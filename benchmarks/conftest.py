@@ -1,0 +1,19 @@
+"""Benchmark helpers: run each experiment once under pytest-benchmark.
+
+The experiment labs are process-cached (lru_cache) and teacher weights are
+disk-cached, so the suite shares trained models across benchmarks.
+"""
+
+import pytest
+
+
+def run_once(benchmark, experiment_id):
+    """Execute one experiment harness under the benchmark timer."""
+    from repro.experiments import run_experiment
+
+    return benchmark.pedantic(
+        lambda: run_experiment(experiment_id, fast=True),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,35 @@
+"""Benchmarks for the Metis deep-dive appendices (E, F, G)."""
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig27_interpretation_baselines(benchmark):
+    """Fig. 27 / Appendix E: the decision tree beats LIME and LEMNA on
+    both accuracy and RMSE for every agent."""
+    result = run_once(benchmark, "fig27")
+    m = result.metrics
+    # Accuracy: Metis within noise of (or above) the baselines' best-k.
+    assert m["Pensieve_metis_acc"] > m["Pensieve_lime_best_acc"] - 0.10
+    assert m["Pensieve_metis_acc"] > 0.75
+    assert m["AuTO-lRLA_metis_acc"] > 0.75
+    # RMSE: clear wins where the paper reports them strongest.
+    assert m["AuTO-lRLA_metis_rmse"] < m["AuTO-lRLA_lime_best_rmse"]
+    assert m["AuTO-lRLA_metis_rmse"] < m["AuTO-lRLA_lemna_best_rmse"]
+    assert m["AuTO-sRLA_metis_rmse"] < m["AuTO-sRLA_lemna_best_rmse"]
+
+
+def test_bench_fig28_leaf_sensitivity(benchmark):
+    """Fig. 28 / Appendix F.1: a wide range of leaf budgets performs
+    within 10% of the best accuracy."""
+    result = run_once(benchmark, "fig28")
+    assert result.metrics["pensieve_acc_range"] < 0.10
+    assert result.metrics["pensieve_best_acc"] > 0.7
+    assert result.metrics["lrla_best_acc"] > 0.7
+
+
+def test_bench_fig31_overhead(benchmark):
+    """Fig. 31 / Appendix G: extraction well under a minute, mask search
+    in seconds."""
+    result = run_once(benchmark, "fig31")
+    assert result.metrics["max_tree_fit_seconds"] < 60.0
+    assert result.metrics["mask_search_seconds"] < 60.0

@@ -1,0 +1,35 @@
+"""Benchmarks regenerating the paper's global-system (RouteNet*) tables
+and figures."""
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table3_top_masks(benchmark):
+    """Table 3: top-5 masks are near 1 and carry shorter/less-congested
+    interpretations."""
+    result = run_once(benchmark, "table3")
+    assert result.metrics["top5_min_mask"] > 0.8
+    assert result.metrics["interpretable_fraction"] >= 0.6
+
+
+def test_bench_fig9_mask_statistics(benchmark):
+    """Fig. 9: masks are bimodal (few median values) and mask sums track
+    link traffic (strong positive correlation)."""
+    result = run_once(benchmark, "fig9")
+    assert result.metrics["median_value_fraction"] < 0.15
+    assert result.metrics["mean_correlation"] > 0.4
+
+
+def test_bench_fig18_adjustment(benchmark):
+    """Fig. 18: the mask-based indicator predicts the latency ordering of
+    rerouting candidates for most decisive triples (paper: 72%)."""
+    result = run_once(benchmark, "fig18")
+    assert result.metrics["n_points"] > 50
+    assert result.metrics["decisive_sign_agreement"] > 0.55
+
+
+def test_bench_fig29_lambda_sensitivity(benchmark):
+    """Figs. 29-30: both lambda knobs respond monotonically."""
+    result = run_once(benchmark, "fig29")
+    assert result.metrics["scale_monotone_drop"] > 0.0
+    assert result.metrics["entropy_monotone_drop"] > 0.0

@@ -1,0 +1,65 @@
+"""Interpret AuTO's lRLA and compile it for on-device deployment (§6.4).
+
+Trains the AuTO agents, distills the long-flow scheduler into a
+classification tree, renders the interpretation, and emits the pure-branch
+C function the paper deployed on a SmartNIC.
+
+Run:  python examples/deploy_auto_tree.py
+"""
+
+import numpy as np
+
+from repro.core.distill import DistillDataset, distill_from_dataset
+from repro.core.tree.codegen import loc_estimate, tree_to_c
+from repro.core.tree.export import render_text
+from repro.deploy import (
+    SERVER_DNN,
+    SERVER_TREE,
+    SMARTNIC_TREE,
+    decision_latency_dnn,
+    decision_latency_tree,
+)
+from repro.teachers.auto import (
+    LRLA_FEATURE_NAMES,
+    collect_auto_dataset,
+    train_auto,
+)
+
+
+def main() -> None:
+    print("1) Training AuTO (sRLA thresholds + lRLA priorities)...")
+    teacher = train_auto(episodes=150, load=0.75, seed=0)
+
+    print("2) Recording the lRLA's decisions and distilling the tree...")
+    ls, la, lr, ss, sa = collect_auto_dataset(teacher, windows=30, load=0.75)
+    tree = distill_from_dataset(
+        DistillDataset(states=ls, actions=la),
+        leaf_nodes=2000, n_classes=teacher.lrla.n_actions,
+    )
+    agreement = (tree.act_greedy_batch(ls) == la).mean()
+    print(f"   {len(la)} decisions; tree fidelity {agreement:.1%}; "
+          f"{tree.tree.n_leaves} leaves")
+
+    print("\n3) Interpretation (top 3 layers):\n")
+    print(render_text(
+        tree.tree, feature_names=list(LRLA_FEATURE_NAMES),
+        action_names=[f"prio{i}" for i in range(5)], max_depth=3,
+    ))
+
+    print("\n4) Deployment cost (modeled, cf. paper Fig. 16a / §6.4):")
+    dnn_ms = decision_latency_dnn(teacher.lrla.net, SERVER_DNN) * 1e3
+    tree_ms = decision_latency_tree(tree.tree, SERVER_TREE) * 1e3
+    nic_us = decision_latency_tree(tree.tree, SMARTNIC_TREE) * 1e6
+    print(f"   DNN on the server:   {dnn_ms:8.2f} ms / decision")
+    print(f"   tree on the server:  {tree_ms:8.2f} ms / decision "
+          f"({dnn_ms / tree_ms:.0f}x faster)")
+    print(f"   tree on a SmartNIC:  {nic_us:8.2f} us / decision")
+
+    source = tree_to_c(tree.tree, feature_names=list(LRLA_FEATURE_NAMES))
+    print(f"\n5) Generated C: {len(source.splitlines())} LoC "
+          f"(estimate {loc_estimate(tree.tree)}); first lines:\n")
+    print("\n".join(source.splitlines()[:10]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: distill a trained ABR DNN into a readable decision tree.
+
+Trains (or loads from cache) a small Pensieve-style teacher, converts it
+with Metis' teacher-student pipeline, prints the Fig.-7-style tree, and
+compares QoE — the end-to-end §3 workflow in ~a minute.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import MetisConfig
+from repro.core.distill import distill_from_env
+from repro.core.tree.export import render_text
+from repro.envs.abr import run_policy
+from repro.envs.abr.env import FEATURE_NAMES
+from repro.teachers.pensieve import default_abr_env, train_pensieve
+
+ACTIONS = ["300kbps", "750kbps", "1200kbps", "1850kbps", "2850kbps",
+           "4300kbps"]
+
+
+def main() -> None:
+    print("1) Building the ABR environment and training the teacher DNN...")
+    env = default_abr_env(trace_kind="hsdpa", n_traces=60)
+    teacher = train_pensieve(env, episodes=3000, seed=0)
+
+    print("2) Converting the DNN into a decision tree (Metis §3.2)...")
+    student = distill_from_env(
+        env, teacher,
+        MetisConfig(leaf_nodes=200, dagger_iterations=4, resample=False),
+        episodes_per_iteration=15, seed=3,
+    )
+    print(f"   tree: {student.tree.n_leaves} leaves, "
+          f"depth {student.tree.depth}")
+
+    print("\n3) Top layers of the interpretation (cf. paper Fig. 7):\n")
+    print(render_text(
+        student.tree, feature_names=list(FEATURE_NAMES),
+        action_names=ACTIONS, max_depth=3,
+    ))
+
+    print("\n4) QoE comparison on 15 held-out streaming sessions:")
+    q_teacher, q_student = [], []
+    for trace in env.traces[:15]:
+        q_teacher.append(run_policy(teacher, env, trace=trace, rng=1).qoe_mean)
+        q_student.append(run_policy(student, env, trace=trace, rng=1).qoe_mean)
+    qt, qs = np.mean(q_teacher), np.mean(q_student)
+    print(f"   Pensieve (DNN):      {qt:+.3f}")
+    print(f"   Metis+Pensieve tree: {qs:+.3f} "
+          f"({(qt - qs) / abs(qt) * 100:+.2f}% vs DNN)")
+
+
+if __name__ == "__main__":
+    main()

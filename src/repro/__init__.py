@@ -1,0 +1,22 @@
+"""Metis reproduction: interpreting deep-learning-based networking systems.
+
+This package reproduces the full system of *Interpreting Deep
+Learning-Based Networking Systems* (SIGCOMM 2020):
+
+* ``repro.nn`` — numpy neural-network substrate (the teachers' backend).
+* ``repro.envs`` — ABR video streaming, datacenter flow scheduling, and
+  SDN routing environments.
+* ``repro.teachers`` — the DL systems Metis interprets: Pensieve, AuTO,
+  RouteNet*.
+* ``repro.core`` — Metis itself: decision-tree distillation (§3) and
+  hypergraph critical-connection search (§4), plus the LIME/LEMNA
+  interpretation baselines.
+* ``repro.deploy`` — deployment cost models (§6.4).
+* ``repro.experiments`` — one harness per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import MetisConfig, TABLE4
+
+__all__ = ["MetisConfig", "TABLE4", "__version__"]

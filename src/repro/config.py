@@ -1,0 +1,59 @@
+"""Global configuration and paper default hyperparameters (Table 4).
+
+The paper reports one set of Metis hyperparameters per interpreted system
+(Appendix C, Table 4).  They are collected here so experiments, examples,
+and benchmarks all draw from a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default number of decision-tree leaf nodes for Metis+Pensieve (Table 4).
+PENSIEVE_LEAF_NODES = 200
+
+#: Default number of decision-tree leaf nodes for Metis+AuTO lRLA (Table 4).
+AUTO_LRLA_LEAF_NODES = 2000
+
+#: Default number of decision-tree leaf nodes for Metis+AuTO sRLA (Table 4).
+AUTO_SRLA_LEAF_NODES = 2000
+
+#: Default conciseness weight lambda_1 in Eq. 4 for RouteNet* (Table 4).
+ROUTENET_LAMBDA1 = 0.25
+
+#: Default determinism weight lambda_2 in Eq. 4 for RouteNet* (Table 4).
+ROUTENET_LAMBDA2 = 1.0
+
+#: Global seed used by experiments unless a caller overrides it.
+DEFAULT_SEED = 20200810  # SIGCOMM '20 opening day.
+
+
+@dataclass(frozen=True)
+class MetisConfig:
+    """Bundle of Metis hyperparameters for one interpreted system.
+
+    Attributes:
+        leaf_nodes: maximum number of leaves of the distilled decision tree
+            (local systems).
+        lambda1: conciseness weight on ``||W||`` (global systems, Eq. 7).
+        lambda2: determinism weight on ``H(W)`` (global systems, Eq. 8).
+        dagger_iterations: teacher-student relabeling rounds (Step 1, §3.2).
+        resample: whether to apply advantage resampling (Step 2, §3.2).
+    """
+
+    leaf_nodes: int = PENSIEVE_LEAF_NODES
+    lambda1: float = ROUTENET_LAMBDA1
+    lambda2: float = ROUTENET_LAMBDA2
+    dagger_iterations: int = 4
+    resample: bool = True
+
+
+#: Table 4 presets, keyed by the system name used throughout the paper.
+TABLE4 = {
+    "pensieve": MetisConfig(leaf_nodes=PENSIEVE_LEAF_NODES),
+    "auto-lrla": MetisConfig(leaf_nodes=AUTO_LRLA_LEAF_NODES),
+    "auto-srla": MetisConfig(leaf_nodes=AUTO_SRLA_LEAF_NODES),
+    "routenet": MetisConfig(
+        lambda1=ROUTENET_LAMBDA1, lambda2=ROUTENET_LAMBDA2
+    ),
+}

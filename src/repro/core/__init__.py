@@ -1,0 +1,2 @@
+"""Metis core: decision-tree distillation for local systems (§3) and
+hypergraph critical-connection search for global systems (§4)."""

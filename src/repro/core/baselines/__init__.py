@@ -1,0 +1,7 @@
+"""Interpretation baselines compared against Metis in Appendix E."""
+
+from repro.core.baselines.clustering import kmeans
+from repro.core.baselines.lime import LimeInterpreter
+from repro.core.baselines.lemna import LemnaInterpreter
+
+__all__ = ["kmeans", "LimeInterpreter", "LemnaInterpreter"]

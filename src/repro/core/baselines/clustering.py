@@ -1,0 +1,56 @@
+"""Lloyd's k-means (Appendix E clusters the state space before fitting
+the per-cluster LIME/LEMNA surrogates)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    iterations: int = 50,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster rows of ``x`` into ``k`` groups.
+
+    Returns:
+        (centroids ``(k, d)``, assignment ``(n,)``).  Empty clusters are
+        re-seeded from the farthest points, so all ``k`` labels occur
+        whenever ``n >= k``.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    n = x.shape[0]
+    if k < 1:
+        raise ValueError("k must be positive")
+    k = min(k, n)
+    rng = as_rng(seed)
+    centroids = x[rng.choice(n, size=k, replace=False)].copy()
+    assign = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        dists = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assign = np.argmin(dists, axis=1)
+        for c in range(k):
+            members = x[new_assign == c]
+            if members.shape[0] == 0:
+                far = int(np.argmax(dists.min(axis=1)))
+                centroids[c] = x[far]
+                new_assign[far] = c
+            else:
+                centroids[c] = members.mean(axis=0)
+        if np.array_equal(new_assign, assign):
+            assign = new_assign
+            break
+        assign = new_assign
+    return centroids, assign
+
+
+def assign_clusters(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment for new points."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    dists = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return np.argmin(dists, axis=1)

@@ -1,0 +1,137 @@
+"""LEMNA-style baseline: mixture of linear regressions fit by EM.
+
+LEMNA [Guo et al., CCS'18] explains deep models over sequential inputs
+with a mixture-regression surrogate.  As in Appendix E, the state space
+is first clustered; inside each cluster a K-component Gaussian mixture of
+linear regressions is fit by expectation-maximization, and predictions
+use the responsibility-weighted component mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.baselines.clustering import assign_clusters, kmeans
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class _Mixture:
+    """One cluster's mixture of linear regressions."""
+
+    coef: np.ndarray      # (components, d+1, k_out)
+    variance: np.ndarray  # (components,)
+    weight: np.ndarray    # (components,)
+
+
+@dataclass
+class LemnaInterpreter:
+    """Clustered mixture-regression surrogate.
+
+    Attributes:
+        n_clusters: k-means groups.
+        components: mixture components per cluster.
+        em_iterations: EM steps per cluster.
+        ridge: regression regularizer in the M-step.
+    """
+
+    n_clusters: int = 10
+    components: int = 3
+    em_iterations: int = 15
+    ridge: float = 1e-3
+    _centroids: Optional[np.ndarray] = field(default=None, repr=False)
+    _mixtures: List[_Mixture] = field(default_factory=list, repr=False)
+
+    def fit(
+        self, states: np.ndarray, outputs: np.ndarray, seed: SeedLike = 0
+    ) -> "LemnaInterpreter":
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        outputs = np.asarray(outputs, dtype=float)
+        if outputs.ndim == 1:
+            outputs = outputs[:, None]
+        rng = as_rng(seed)
+        self._centroids, assign = kmeans(states, self.n_clusters, seed=rng)
+        self._mixtures = []
+        for c in range(self._centroids.shape[0]):
+            members = assign == c
+            self._mixtures.append(
+                self._fit_mixture(states[members], outputs[members], rng,
+                                  outputs.mean(axis=0))
+            )
+        return self
+
+    def _fit_mixture(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator,
+        fallback: np.ndarray,
+    ) -> _Mixture:
+        k_out = y.shape[1] if y.ndim == 2 else 1
+        d = x.shape[1]
+        m = self.components
+        if x.shape[0] < 2 * m:
+            coef = np.zeros((m, d + 1, k_out))
+            coef[:, -1, :] = fallback
+            return _Mixture(
+                coef=coef, variance=np.ones(m), weight=np.full(m, 1.0 / m)
+            )
+        xb = np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+        n = xb.shape[0]
+        # Random responsibility init.
+        resp = rng.dirichlet(np.ones(m), size=n)
+        coef = np.zeros((m, d + 1, k_out))
+        variance = np.ones(m)
+        weight = np.full(m, 1.0 / m)
+        for _ in range(self.em_iterations):
+            # M-step: weighted ridge regression per component.
+            for j in range(m):
+                w = resp[:, j]
+                gram = (xb * w[:, None]).T @ xb + self.ridge * np.eye(d + 1)
+                coef[j] = np.linalg.solve(gram, (xb * w[:, None]).T @ y)
+                err = y - xb @ coef[j]
+                total = max(w.sum(), 1e-9)
+                variance[j] = max(
+                    float((w * (err**2).sum(axis=1)).sum() / (total * k_out)),
+                    1e-6,
+                )
+                weight[j] = total / n
+            # E-step: Gaussian responsibilities.
+            log_resp = np.empty((n, m))
+            for j in range(m):
+                err = y - xb @ coef[j]
+                sq = (err**2).sum(axis=1)
+                log_resp[:, j] = (
+                    np.log(max(weight[j], 1e-12))
+                    - 0.5 * k_out * np.log(2 * np.pi * variance[j])
+                    - 0.5 * sq / variance[j]
+                )
+            log_resp -= log_resp.max(axis=1, keepdims=True)
+            resp = np.exp(log_resp)
+            resp /= resp.sum(axis=1, keepdims=True)
+        return _Mixture(coef=coef, variance=variance, weight=weight)
+
+    def predict_outputs(self, states: np.ndarray) -> np.ndarray:
+        """Mixture-weighted surrogate outputs for new states."""
+        if self._centroids is None:
+            raise RuntimeError("fit must be called first")
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        assign = assign_clusters(states, self._centroids)
+        xb = np.concatenate([states, np.ones((states.shape[0], 1))], axis=1)
+        k_out = self._mixtures[0].coef.shape[2]
+        out = np.zeros((states.shape[0], k_out))
+        for c in np.unique(assign):
+            members = assign == c
+            mix = self._mixtures[c]
+            pred = np.zeros((members.sum(), k_out))
+            for j in range(mix.coef.shape[0]):
+                pred += mix.weight[j] * (xb[members] @ mix.coef[j])
+            out[members] = pred
+        return out
+
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Argmax action prediction (classification fidelity)."""
+        return np.argmax(self.predict_outputs(states), axis=1)

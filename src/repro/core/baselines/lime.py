@@ -1,0 +1,83 @@
+"""LIME-style baseline: per-cluster local linear surrogates.
+
+LIME [Ribeiro et al., KDD'16] explains a blackbox with a sparse linear
+model around a sample.  Following the paper's Appendix E protocol, the
+state space is first k-means-clustered and a ridge-regularized linear
+model of the teacher's output is fit inside each cluster; predictions for
+new states come from their cluster's surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.baselines.clustering import assign_clusters, kmeans
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class LimeInterpreter:
+    """Clustered local linear surrogate of a teacher mapping.
+
+    Attributes:
+        n_clusters: number of k-means groups (Appendix E sweeps 1..50).
+        ridge: L2 regularization of each local regression.
+    """
+
+    n_clusters: int = 10
+    ridge: float = 1e-3
+    _centroids: Optional[np.ndarray] = field(default=None, repr=False)
+    _coef: List[np.ndarray] = field(default_factory=list, repr=False)
+
+    def fit(
+        self, states: np.ndarray, outputs: np.ndarray, seed: SeedLike = 0
+    ) -> "LimeInterpreter":
+        """Fit local surrogates of ``outputs`` (2-D: probs or actions)."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        outputs = np.asarray(outputs, dtype=float)
+        if outputs.ndim == 1:
+            outputs = outputs[:, None]
+        self._centroids, assign = kmeans(
+            states, self.n_clusters, seed=seed
+        )
+        self._coef = []
+        for c in range(self._centroids.shape[0]):
+            members = assign == c
+            x = states[members]
+            y = outputs[members]
+            self._coef.append(self._ridge_fit(x, y, outputs.mean(axis=0)))
+        return self
+
+    def _ridge_fit(
+        self, x: np.ndarray, y: np.ndarray, fallback: np.ndarray
+    ) -> np.ndarray:
+        """Solve (X'X + rI) beta = X'y with intercept; returns (d+1, k)."""
+        if x.shape[0] == 0:
+            coef = np.zeros((x.shape[1] + 1, fallback.size))
+            coef[-1] = fallback
+            return coef
+        xb = np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+        gram = xb.T @ xb + self.ridge * np.eye(xb.shape[1])
+        return np.linalg.solve(gram, xb.T @ y)
+
+    def predict_outputs(self, states: np.ndarray) -> np.ndarray:
+        """Surrogate output vectors for new states."""
+        if self._centroids is None:
+            raise RuntimeError("fit must be called first")
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        assign = assign_clusters(states, self._centroids)
+        xb = np.concatenate(
+            [states, np.ones((states.shape[0], 1))], axis=1
+        )
+        out = np.empty((states.shape[0], self._coef[0].shape[1]))
+        for c in np.unique(assign):
+            members = assign == c
+            out[members] = xb[members] @ self._coef[c]
+        return out
+
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Argmax action prediction (classification fidelity)."""
+        return np.argmax(self.predict_outputs(states), axis=1)

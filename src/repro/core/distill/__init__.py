@@ -1,0 +1,26 @@
+"""Teacher-student conversion of DNN policies into decision trees (§3.2)."""
+
+from repro.core.distill.dataset import (
+    DistillDataset,
+    oversample_rare_actions,
+)
+from repro.core.distill.viper import (
+    DistilledPolicy,
+    DistilledRegressor,
+    distill_from_env,
+    distill_from_dataset,
+    distill_regressor,
+)
+from repro.core.distill.metrics import fidelity_accuracy, fidelity_rmse
+
+__all__ = [
+    "DistillDataset",
+    "oversample_rare_actions",
+    "DistilledPolicy",
+    "DistilledRegressor",
+    "distill_from_env",
+    "distill_from_dataset",
+    "distill_regressor",
+    "fidelity_accuracy",
+    "fidelity_rmse",
+]

@@ -1,0 +1,113 @@
+"""Distillation datasets: (state, teacher action, weight) triples.
+
+The paper's Step 2 resamples the dataset according to the advantage
+(Eq. 1); §6.3's debugging fix *oversamples* actions the teacher rarely
+takes.  Both are dataset transforms and live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class DistillDataset:
+    """A weighted supervised dataset distilled from a teacher policy."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.states = np.atleast_2d(np.asarray(self.states, dtype=float))
+        self.actions = np.asarray(self.actions)
+        if self.states.shape[0] != self.actions.shape[0]:
+            raise ValueError("states/actions length mismatch")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=float)
+            if self.weights.shape[0] != self.actions.shape[0]:
+                raise ValueError("weights length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.actions.shape[0])
+
+    def merge(self, other: "DistillDataset") -> "DistillDataset":
+        """Concatenate two datasets (weights default to 1 where missing)."""
+        w_self = self.weights if self.weights is not None else np.ones(len(self))
+        w_other = (
+            other.weights if other.weights is not None else np.ones(len(other))
+        )
+        return DistillDataset(
+            states=np.concatenate([self.states, other.states]),
+            actions=np.concatenate([self.actions, other.actions]),
+            weights=np.concatenate([w_self, w_other]),
+        )
+
+    def resample(
+        self, probabilities: np.ndarray, size: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> "DistillDataset":
+        """Draw a bootstrap sample with the given per-row probabilities.
+
+        This is the paper's Eq. 1 step: ``p(s, a)`` proportional to
+        ``V(s) - min_a' Q(s, a')``.  Weights are reset to 1 after
+        resampling (importance is now carried by duplication).
+        """
+        p = np.asarray(probabilities, dtype=float)
+        if p.shape[0] != len(self):
+            raise ValueError("probability vector length mismatch")
+        if np.any(p < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = p.sum()
+        if total <= 0:
+            p = np.ones(len(self)) / len(self)
+        else:
+            p = p / total
+        rng = as_rng(rng)
+        n = size if size is not None else len(self)
+        idx = rng.choice(len(self), size=n, replace=True, p=p)
+        return DistillDataset(
+            states=self.states[idx], actions=self.actions[idx]
+        )
+
+
+def oversample_rare_actions(
+    dataset: DistillDataset,
+    target_frequency: float = 0.01,
+    rng: SeedLike = None,
+) -> DistillDataset:
+    """Duplicate samples of rare actions up to ``target_frequency``.
+
+    This is the §6.3 debugging fix (Metis+Pensieve-O): the conversion
+    exposes the training set, so missing bitrates can simply be
+    oversampled until their post-sampling frequency is ~1%.
+    Only meaningful for integer (classification) actions.
+    """
+    if not 0 < target_frequency < 1:
+        raise ValueError("target_frequency must be in (0, 1)")
+    actions = dataset.actions.astype(int)
+    rng = as_rng(rng)
+    n = len(dataset)
+    counts = np.bincount(actions)
+    extra_states = [dataset.states]
+    extra_actions = [actions]
+    for a, count in enumerate(counts):
+        if count == 0:
+            continue  # never seen: nothing to duplicate
+        frequency = count / n
+        if frequency >= target_frequency:
+            continue
+        needed = int(np.ceil(target_frequency * n)) - count
+        pool = np.nonzero(actions == a)[0]
+        picks = rng.choice(pool, size=needed, replace=True)
+        extra_states.append(dataset.states[picks])
+        extra_actions.append(actions[picks])
+    return DistillDataset(
+        states=np.concatenate(extra_states),
+        actions=np.concatenate(extra_actions),
+    )

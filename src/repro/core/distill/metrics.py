@@ -1,0 +1,36 @@
+"""Fidelity metrics between a teacher policy and its interpretation.
+
+Appendix E measures (i) accuracy: how often the interpretation picks the
+teacher's action, and (ii) RMSE: how far the interpretation's output
+vector (class probabilities or continuous action) is from the teacher's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fidelity_accuracy(
+    teacher_actions: np.ndarray, student_actions: np.ndarray
+) -> float:
+    """Fraction of states where student and teacher choose alike."""
+    a = np.asarray(teacher_actions)
+    b = np.asarray(student_actions)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float((a == b).mean())
+
+
+def fidelity_rmse(
+    teacher_outputs: np.ndarray, student_outputs: np.ndarray
+) -> float:
+    """Root mean squared error between output vectors."""
+    a = np.asarray(teacher_outputs, dtype=float)
+    b = np.asarray(student_outputs, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.sqrt(((a - b) ** 2).mean()))

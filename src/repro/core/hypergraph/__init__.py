@@ -1,0 +1,31 @@
+"""Hypergraph interpretation of global systems (§4)."""
+
+from repro.core.hypergraph.structure import Hypergraph
+from repro.core.hypergraph.search import (
+    CriticalConnectionSearch,
+    MaskResult,
+    MaskedSystem,
+)
+from repro.core.hypergraph.routing_system import RoutingMaskedSystem
+from repro.core.hypergraph.formulations import (
+    nfv_placement_hypergraph,
+    udn_hypergraph,
+    cluster_scheduling_hypergraph,
+    NFVPlacementSystem,
+    UDNAssociationSystem,
+    ClusterSchedulingSystem,
+)
+
+__all__ = [
+    "Hypergraph",
+    "CriticalConnectionSearch",
+    "MaskResult",
+    "MaskedSystem",
+    "RoutingMaskedSystem",
+    "nfv_placement_hypergraph",
+    "udn_hypergraph",
+    "cluster_scheduling_hypergraph",
+    "NFVPlacementSystem",
+    "UDNAssociationSystem",
+    "ClusterSchedulingSystem",
+]

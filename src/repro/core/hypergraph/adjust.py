@@ -1,0 +1,175 @@
+"""Ad-hoc adjustment support (§6.5, Fig. 18).
+
+When an operator must reroute a demand away from its current path ``p0``,
+the candidates divert from ``p0`` at different nodes, and the operator
+wants to know which candidate is better *without installing either*.
+The paper's observation: mask values around the divergence points
+predict the latency ordering of the candidates.
+
+Two indicators are provided:
+
+* ``"vertex-mass"`` (default) — candidates are compared on the links
+  they do *not* share; each link is scored by the mask mass concentrated
+  on it across all paths (``sum_e W_ev``, the Fig. 9b quantity that
+  tracks congestion) plus a constant per-hop term.  Higher mask mass on
+  a candidate's private links predicts higher latency for it.
+* ``"divert-link"`` — the paper's literal reading: compare the mask of
+  the single connection (p0, p0's next hop at the diverting node).  With
+  our near-binary connection masks this indicator carries little signal
+  (see EXPERIMENTS.md); it is kept for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hypergraph.search import MaskResult
+from repro.envs.routing.delay import Routing, routing_latencies
+from repro.envs.routing.demands import TrafficMatrix
+from repro.envs.routing.topology import Topology
+
+#: Per-hop offset added to a link's mask-mass score, reflecting the fixed
+#: per-hop latency component alongside the congestion component.
+HOP_WEIGHT = 0.5
+
+
+@dataclass
+class ReroutePoint:
+    """One (p0, p1, p2) comparison."""
+
+    pair: Tuple[int, int]
+    w_delta: float    # indicator difference (candidate 1 minus candidate 2)
+    l_delta: float    # true latency difference l1 - l2 after rerouting
+    p1: List[int]
+    p2: List[int]
+
+
+def _divert_connection(
+    p0: List[int], candidate: List[int]
+) -> Optional[Tuple[int, Tuple[int, int]]]:
+    """(diverting node index in p0, p0's next-hop link at that node)."""
+    limit = min(len(p0), len(candidate))
+    for i in range(limit):
+        if p0[i] != candidate[i]:
+            if i == 0:
+                return None  # different source: not a reroute candidate
+            return i - 1, (p0[i - 1], p0[i])
+    return None
+
+
+def rerouting_scatter(
+    topology: Topology,
+    routing: Routing,
+    traffic: TrafficMatrix,
+    mask_result: MaskResult,
+    sources: Optional[List[int]] = None,
+    indicator: str = "vertex-mass",
+) -> List[ReroutePoint]:
+    """All Fig. 18a triples with their indicator and latency deltas.
+
+    For each demand pair, every unordered pair of candidates (≤1 hop
+    longer than the shortest path, diverting from the current path at
+    *different* nodes) yields one scatter point.  ``l1``/``l2`` come from
+    actually installing each candidate and recomputing the ground-truth
+    latency of that demand.
+    """
+    if indicator not in ("vertex-mass", "divert-link"):
+        raise ValueError(f"unknown indicator {indicator!r}")
+    pairs = routing.pairs()
+    edge_index = {pair: i for i, pair in enumerate(pairs)}
+    vertex_mass = mask_result.vertex_mask_sums()
+
+    def link_score(links) -> float:
+        return float(sum(
+            vertex_mass[topology.link_index(l)] + HOP_WEIGHT for l in links
+        ))
+
+    points: List[ReroutePoint] = []
+    for pair in pairs:
+        if sources is not None and pair[0] not in sources:
+            continue
+        p0 = routing.paths[pair]
+        p0_links = set(Topology.path_links(p0))
+        diverts = []
+        for cand in topology.candidate_paths(*pair):
+            if cand == p0:
+                continue
+            info = _divert_connection(p0, cand)
+            if info is None:
+                continue
+            _, link = info
+            diverts.append((cand, link))
+        e = edge_index[pair]
+        for i in range(len(diverts)):
+            for j in range(i + 1, len(diverts)):
+                cand1, link1 = diverts[i]
+                cand2, link2 = diverts[j]
+                if link1 == link2:
+                    continue  # must divert at different nodes
+                if indicator == "divert-link":
+                    w1 = mask_result.mask[e, topology.link_index(link1)]
+                    w2 = mask_result.mask[e, topology.link_index(link2)]
+                    w_delta = float(w1 - w2)
+                else:
+                    links1 = set(Topology.path_links(cand1))
+                    links2 = set(Topology.path_links(cand2))
+                    w_delta = link_score(links1 - links2) - link_score(
+                        links2 - links1
+                    )
+                l1 = _latency_after_reroute(
+                    topology, routing, traffic, pair, cand1
+                )
+                l2 = _latency_after_reroute(
+                    topology, routing, traffic, pair, cand2
+                )
+                points.append(
+                    ReroutePoint(
+                        pair=pair,
+                        w_delta=w_delta,
+                        l_delta=float(l1 - l2),
+                        p1=cand1,
+                        p2=cand2,
+                    )
+                )
+    return points
+
+
+def _latency_after_reroute(
+    topology: Topology,
+    routing: Routing,
+    traffic: TrafficMatrix,
+    pair: Tuple[int, int],
+    new_path: List[int],
+) -> float:
+    paths = dict(routing.paths)
+    paths[pair] = new_path
+    rerouted = Routing(paths)
+    return routing_latencies(topology, rerouted, traffic)[pair]
+
+
+def quadrant_fractions(
+    points: List[ReroutePoint],
+    w_tolerance: float = 0.05,
+    l_tolerance: float = 1e-3,
+) -> Dict[str, float]:
+    """Fraction of points in quadrants I/III (observation holds), near the
+    axes, and in quadrants II/IV (violations)."""
+    if not points:
+        return {"consistent": 0.0, "near_axis": 0.0, "violations": 0.0}
+    consistent = near = violations = 0
+    for p in points:
+        if abs(p.w_delta) <= w_tolerance or abs(p.l_delta) <= l_tolerance:
+            near += 1
+        elif p.w_delta * p.l_delta > 0:
+            consistent += 1
+        else:
+            violations += 1
+    n = len(points)
+    return {
+        "consistent": consistent / n,
+        "near_axis": near / n,
+        "violations": violations / n,
+    }

@@ -1,0 +1,238 @@
+"""Hypergraph formulations of the other Table-2 scenarios (Appendix B).
+
+Besides SDN routing (scenario #1, :mod:`routing_system`), the paper
+formulates three more global systems as hypergraphs:
+
+* **#2 NFV placement** (B.1): vertices are physical servers, hyperedges
+  are network functions; ``I[e, v] = 1`` iff an instance of NF ``e`` runs
+  on server ``v``.  The interpreted output is the per-server utilization
+  vector (continuous → MSE divergence), with analytic mask gradients.
+* **#3 ultra-dense cellular** (B.2): vertices are mobile users, hyperedges
+  are base-station coverage areas.  The output is the per-user achieved
+  rate under proportional sharing (continuous → MSE), interpreted through
+  the SPSA blackbox path.
+* **#4 cluster job scheduling** (B.3): vertices are job-DAG nodes,
+  hyperedges are dependencies.  The output is the vector of smoothed node
+  finish times (continuous → MSE), also via SPSA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hypergraph.search import MaskedSystem, SPSAMixin
+from repro.core.hypergraph.structure import Hypergraph
+from repro.utils.rng import SeedLike, as_rng
+
+_EPS = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Scenario #2: NFV placement
+# ----------------------------------------------------------------------
+def nfv_placement_hypergraph(
+    n_servers: int = 8,
+    n_nfs: int = 6,
+    instances_per_nf: Tuple[int, int] = (2, 4),
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """Random NFV placement: each NF gets 2-4 instances on distinct servers."""
+    rng = as_rng(seed)
+    incidence = np.zeros((n_nfs, n_servers))
+    for e in range(n_nfs):
+        k = int(rng.integers(instances_per_nf[0], instances_per_nf[1] + 1))
+        servers = rng.choice(n_servers, size=min(k, n_servers), replace=False)
+        incidence[e, servers] = 1.0
+    capacities = rng.uniform(8.0, 16.0, size=(n_servers, 1))
+    demands = rng.uniform(2.0, 10.0, size=(n_nfs, 1))
+    return Hypergraph(
+        vertex_labels=[f"server-{v}" for v in range(n_servers)],
+        edge_labels=[f"NF-{e}" for e in range(n_nfs)],
+        incidence=incidence,
+        vertex_features=capacities,
+        edge_features=demands,
+    )
+
+
+@dataclass
+class NFVPlacementSystem(MaskedSystem):
+    """Per-server utilization under mask-weighted traffic splitting.
+
+    NF ``e``'s demand is split across its instances proportionally to the
+    mask row, so suppressing a connection shifts that NF's traffic onto
+    its other instances:
+
+        util_v = (1 / cap_v) * sum_e demand_e * W_ev / sum_v' W_ev'
+
+    Divergence is the MSE against the unmasked utilization (continuous
+    output, Eq. 6); the gradient is analytic (quotient rule).
+    """
+
+    hypergraph: Hypergraph
+    _reference: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._demands = self.hypergraph.edge_features[:, 0]
+        self._caps = self.hypergraph.vertex_features[:, 0]
+        self._reference = self._utilization(self.hypergraph.incidence)
+
+    def _utilization(self, w: np.ndarray) -> np.ndarray:
+        row = np.maximum(w.sum(axis=1), _EPS)
+        split = w / row[:, None]
+        return (self._demands @ split) / self._caps
+
+    def output(self, w: np.ndarray) -> np.ndarray:
+        return self._utilization(w)
+
+    def divergence(self, w: np.ndarray) -> float:
+        diff = self._utilization(w) - self._reference
+        return float(np.sum(diff**2))
+
+    def divergence_and_grad(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        row = np.maximum(w.sum(axis=1), _EPS)
+        util = (self._demands @ (w / row[:, None])) / self._caps
+        diff = util - self._reference
+        div = float(np.sum(diff**2))
+        resid = 2.0 * diff / self._caps           # dD/d(pre-cap load)_v
+        # d util_v / dW_ev = d_e * (delta - W_ev'/row) / row   (quotient rule)
+        term1 = np.outer(self._demands / row, np.ones_like(resid)) * resid
+        inner = (w * resid[None, :]).sum(axis=1)  # sum_v' W_ev' resid_v'
+        term2 = (self._demands * inner / row**2)[:, None]
+        grad = term1 - term2
+        grad[self.hypergraph.incidence == 0] = 0.0
+        return div, grad
+
+
+# ----------------------------------------------------------------------
+# Scenario #3: ultra-dense cellular association
+# ----------------------------------------------------------------------
+def udn_hypergraph(
+    n_users: int = 20,
+    n_stations: int = 6,
+    coverage_prob: float = 0.4,
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """Random coverage: each base station covers a subset of users."""
+    rng = as_rng(seed)
+    incidence = (rng.random((n_stations, n_users)) < coverage_prob).astype(float)
+    # Every user must be covered by at least one station.
+    for v in range(n_users):
+        if incidence[:, v].sum() == 0:
+            incidence[int(rng.integers(n_stations)), v] = 1.0
+    station_capacity = rng.uniform(50.0, 120.0, size=(n_stations, 1))
+    user_demand = rng.uniform(1.0, 8.0, size=(n_users, 1))
+    return Hypergraph(
+        vertex_labels=[f"user-{v}" for v in range(n_users)],
+        edge_labels=[f"bs-{e}" for e in range(n_stations)],
+        incidence=incidence,
+        vertex_features=user_demand,
+        edge_features=station_capacity,
+    )
+
+
+@dataclass
+class UDNAssociationSystem(SPSAMixin, MaskedSystem):
+    """Per-user achieved rate under proportional station sharing.
+
+    Each station divides its capacity across covered users proportionally
+    to ``W_ev * demand_v``; a user's rate is the sum over covering
+    stations, capped at its demand.  Blackbox (SPSA) gradients.
+    """
+
+    hypergraph: Hypergraph
+    _reference: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._caps = self.hypergraph.edge_features[:, 0]
+        self._demand = self.hypergraph.vertex_features[:, 0]
+        self._reference = self.output(self.hypergraph.incidence)
+
+    def output(self, w: np.ndarray) -> np.ndarray:
+        weighted = w * self._demand[None, :]
+        row = np.maximum(weighted.sum(axis=1), _EPS)
+        share = weighted / row[:, None] * self._caps[:, None]
+        return np.minimum(share.sum(axis=0), self._demand)
+
+    def divergence(self, w: np.ndarray) -> float:
+        diff = self.output(w) - self._reference
+        return float(np.sum(diff**2))
+
+
+# ----------------------------------------------------------------------
+# Scenario #4: cluster job scheduling
+# ----------------------------------------------------------------------
+def cluster_scheduling_hypergraph(
+    n_nodes: int = 12,
+    edge_prob: float = 0.3,
+    seed: SeedLike = None,
+) -> Hypergraph:
+    """A random job DAG; each dependency is a 2-vertex hyperedge."""
+    rng = as_rng(seed)
+    deps: List[Tuple[int, int]] = []
+    for child in range(1, n_nodes):
+        parents = [p for p in range(child) if rng.random() < edge_prob]
+        if not parents:
+            parents = [int(rng.integers(child))]
+        deps.extend((p, child) for p in parents)
+    incidence = np.zeros((len(deps), n_nodes))
+    for e, (p, c) in enumerate(deps):
+        incidence[e, p] = 1.0
+        incidence[e, c] = 1.0
+    work = rng.uniform(1.0, 6.0, size=(n_nodes, 1))
+    transfer = rng.uniform(0.2, 2.0, size=(len(deps), 1))
+    return Hypergraph(
+        vertex_labels=[f"node-{v}" for v in range(n_nodes)],
+        edge_labels=[f"dep-{p}>{c}" for p, c in deps],
+        incidence=incidence,
+        vertex_features=work,
+        edge_features=transfer,
+    )
+
+
+@dataclass
+class ClusterSchedulingSystem(SPSAMixin, MaskedSystem):
+    """Smoothed finish-time vector of the job DAG.
+
+    Dependencies delay a child by the parent's finish time plus the data
+    transfer, scaled by the mask; the max over parents is smoothed with a
+    log-sum-exp so the SPSA estimate is informative.
+    """
+
+    hypergraph: Hypergraph
+    smoothing: float = 0.5
+    _deps: List[Tuple[int, int]] = field(init=False)
+    _reference: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._deps = []
+        for label in self.hypergraph.edge_labels:
+            # labels are "dep-<p>><c>"
+            body = label.split("-", 1)[1]
+            p, c = body.split(">")
+            self._deps.append((int(p), int(c)))
+        self._work = self.hypergraph.vertex_features[:, 0]
+        self._transfer = self.hypergraph.edge_features[:, 0]
+        self._reference = self.output(self.hypergraph.incidence)
+
+    def output(self, w: np.ndarray) -> np.ndarray:
+        n = self.hypergraph.n_vertices
+        finish = np.zeros(n)
+        beta = self.smoothing
+        for child in range(n):
+            terms = [0.0]
+            for e, (p, c) in enumerate(self._deps):
+                if c != child:
+                    continue
+                strength = w[e, p] * w[e, c]
+                terms.append(strength * (finish[p] + self._transfer[e]))
+            arr = np.asarray(terms) / beta
+            ready = beta * (np.log(np.sum(np.exp(arr - arr.max()))) + arr.max())
+            finish[child] = ready + self._work[child]
+        return finish
+
+    def divergence(self, w: np.ndarray) -> float:
+        diff = self.output(w) - self._reference
+        return float(np.sum(diff**2))

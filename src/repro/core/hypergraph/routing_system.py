@@ -1,0 +1,180 @@
+"""Masked-system wrapper for RouteNet* (scenario #1 of Table 2).
+
+Hyperedges are the routing paths RouteNet* chose, vertices are directed
+links; the system output compared under masking is the Boltzmann decision
+distribution over candidate paths per demand (a *discrete* output, so the
+Eq. 6 divergence is the KL divergence).  Gradients flow through the
+message-passing network's manual backward pass, including the
+load-feature coupling ``xv[:, 1] = W.T @ demand``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hypergraph.search import MaskedSystem
+from repro.core.hypergraph.structure import Hypergraph
+from repro.envs.routing.delay import Routing
+from repro.envs.routing.demands import TrafficMatrix
+from repro.envs.routing.topology import Topology
+from repro.teachers.routenet import RouteNetStar
+
+
+def _fmt_path(path: List[int]) -> str:
+    return "->".join(str(n) for n in path)
+
+
+def routing_hypergraph(
+    topology: Topology, routing: Routing, traffic: TrafficMatrix
+) -> Hypergraph:
+    """Build the paths-x-links hypergraph of a routing result (§4.1)."""
+    pairs = routing.pairs()
+    incidence = routing.incidence(topology)
+    edge_labels = [_fmt_path(routing.paths[p]) for p in pairs]
+    vertex_labels = [f"{u}->{v}" for u, v in topology.links]
+    demands = np.asarray([[traffic.volume(*p)] for p in pairs])
+    caps = topology.capacity_vector()[:, None]
+    return Hypergraph(
+        vertex_labels=vertex_labels,
+        edge_labels=edge_labels,
+        incidence=incidence,
+        vertex_features=caps,
+        edge_features=demands,
+    )
+
+
+@dataclass
+class RoutingMaskedSystem(MaskedSystem):
+    """Masked system over RouteNet*.
+
+    Two output modes, matching the two branches of Eq. 6:
+
+    * ``output_kind="decisions"`` (default) — the discrete decision
+      distribution over candidate paths per demand, compared by KL.
+      This is the §4.2 formulation used for the Table-3 interpretations.
+    * ``output_kind="latency"`` — the continuous per-path latency
+      predictions, compared by MSE.  Because the M/M/1-style delay curve
+      is convex in load, this mode concentrates mask mass on heavily
+      loaded links and reproduces the Fig. 9b mask-traffic correlation
+      most cleanly.  Its divergence scale is larger, so experiments
+      scale ``lambda1``/``lambda2`` down accordingly (≈ /5).
+    """
+
+    star: RouteNetStar
+    routing: Routing
+    traffic: TrafficMatrix
+    output_kind: str = "decisions"
+    hypergraph: Hypergraph = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.output_kind not in ("decisions", "latency"):
+            raise ValueError(f"unknown output_kind {self.output_kind!r}")
+        topo = self.star.topology
+        self.hypergraph = routing_hypergraph(topo, self.routing, self.traffic)
+        self._pairs = self.routing.pairs()
+        self._demands = np.asarray(
+            [self.traffic.volume(*p) for p in self._pairs]
+        )
+        inc = self.hypergraph.incidence
+        self._xe = np.stack([self._demands, inc.sum(axis=1)], axis=1)
+        self._caps = topo.capacity_vector()
+        # Probe bundle: every candidate of every pair, flat.
+        probe_rows, probe_feats, owner_idx = [], [], []
+        self._cands: Dict[Tuple[int, int], List[List[int]]] = {}
+        for i, pair in enumerate(self._pairs):
+            cands = self.star.candidates(pair)
+            self._cands[pair] = cands
+            for cand in cands:
+                row = np.zeros(topo.n_links)
+                for link in Topology.path_links(cand):
+                    row[topo.link_index(link)] = 1.0
+                probe_rows.append(row)
+                probe_feats.append([self.traffic.volume(*pair), len(cand) - 1])
+                owner_idx.append(i)
+        self._probe_w = np.asarray(probe_rows)
+        self._probe_xe = np.asarray(probe_feats)
+        self._owner = np.asarray(owner_idx, dtype=int)
+        self._reference = self._distribution(inc)
+        self._ref_lat = self._edge_latencies(inc)
+
+    # ------------------------------------------------------------------
+    @property
+    def reference_distribution(self) -> List[np.ndarray]:
+        """Per-pair decision distribution of the unmasked system (Y_I)."""
+        return [p.copy() for p in self._reference]
+
+    def _forward(self, w: np.ndarray) -> np.ndarray:
+        loads = w.T @ self._demands
+        xv = np.stack([self._caps, loads], axis=1)
+        _, probe_lat = self.star.net.forward(
+            xv, self._xe, w, probe_w=self._probe_w, probe_xe=self._probe_xe
+        )
+        return probe_lat
+
+    def _distribution(self, w: np.ndarray) -> List[np.ndarray]:
+        lat = self._forward(w)
+        return self._softmax_by_owner(lat)
+
+    def _edge_latencies(self, w: np.ndarray) -> np.ndarray:
+        """Masked latency predictions for the chosen paths themselves."""
+        loads = w.T @ self._demands
+        xv = np.stack([self._caps, loads], axis=1)
+        lat, _ = self.star.net.forward(xv, self._xe, w)
+        return lat
+
+    def _softmax_by_owner(self, lat: np.ndarray) -> List[np.ndarray]:
+        out = []
+        temp = self.star.temperature
+        for i in range(len(self._pairs)):
+            z = -lat[self._owner == i] / temp
+            z -= z.max()
+            e = np.exp(z)
+            out.append(e / e.sum())
+        return out
+
+    # ------------------------------------------------------------------
+    def divergence_and_grad(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Divergence and its mask gradient (mode-dependent)."""
+        if self.output_kind == "latency":
+            lat = self._edge_latencies(w)
+            diff = lat - self._ref_lat
+            _, dw, dxv = self.star.net.backward(2.0 * diff)
+            dw = dw + np.outer(self._demands, dxv[:, 1])
+            dw[self.hypergraph.incidence == 0] = 0.0
+            return float(np.sum(diff**2)), dw
+        lat = self._forward(w)
+        dists = self._softmax_by_owner(lat)
+        temp = self.star.temperature
+        total = 0.0
+        dlat_probe = np.zeros_like(lat)
+        for i, (p, q) in enumerate(zip(dists, self._reference)):
+            p_safe = np.clip(p, 1e-12, None)
+            q_safe = np.clip(q, 1e-12, None)
+            kl = float(np.sum(p_safe * np.log(p_safe / q_safe)))
+            total += kl
+            # dKL/dz through softmax, then z = -lat / temp.
+            g = np.log(p_safe / q_safe) + 1.0
+            dz = p * (g - float(np.sum(p * g)))
+            dlat_probe[self._owner == i] = -dz / temp
+        grads, dw, dxv = self.star.net.backward(
+            np.zeros(len(self._pairs)), dlat_probe
+        )
+        dw = dw + np.outer(self._demands, dxv[:, 1])
+        dw[self.hypergraph.incidence == 0] = 0.0
+        return total, dw
+
+    def divergence(self, w: np.ndarray) -> float:
+        if self.output_kind == "latency":
+            diff = self._edge_latencies(w) - self._ref_lat
+            return float(np.sum(diff**2))
+        lat = self._forward(w)
+        dists = self._softmax_by_owner(lat)
+        total = 0.0
+        for p, q in zip(dists, self._reference):
+            p_safe = np.clip(p, 1e-12, None)
+            q_safe = np.clip(q, 1e-12, None)
+            total += float(np.sum(p_safe * np.log(p_safe / q_safe)))
+        return total

@@ -1,0 +1,208 @@
+"""Critical-connection search (§4.2, Fig. 6).
+
+Optimize a fractional incidence mask ``W = I ∘ sigmoid(W')`` (the Eq. 9
+gating) to minimize
+
+    L(W) = D(Y_W, Y_I) + lambda1 * ||W|| + lambda2 * H(W)
+
+where ``D`` keeps masked outputs close to the originals (KL for discrete,
+MSE for continuous — Eq. 6), ``||W||`` is the conciseness L1 term (Eq. 7),
+and ``H`` the determinism entropy term (Eq. 8).  High surviving mask
+values mark the connections the system's decision actually depends on.
+
+Systems plug in through :class:`MaskedSystem`, which must provide the
+divergence and its gradient with respect to ``W``; a finite-difference
+fallback (SPSA) is available for blackbox systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hypergraph.structure import Hypergraph
+from repro.nn.optim import Adam
+from repro.utils.rng import SeedLike, as_rng
+
+_EPS = 1e-9
+
+
+class MaskedSystem:
+    """Interface the search optimizes against.
+
+    Subclasses wrap a concrete global system (routing, placement, ...)
+    and expose how its output diverges when the incidence is masked.
+    """
+
+    #: The hypergraph being interpreted (defines I and the labels).
+    hypergraph: Hypergraph
+
+    def divergence_and_grad(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return ``D(Y_W, Y_I)`` and ``dD/dW`` for a mask ``w``."""
+        raise NotImplementedError
+
+    def divergence(self, w: np.ndarray) -> float:
+        """Divergence only (defaults to the gradient path)."""
+        return self.divergence_and_grad(w)[0]
+
+
+class SPSAMixin:
+    """Simultaneous-perturbation gradient estimate for blackbox systems.
+
+    Systems that cannot differentiate their output implement only
+    ``divergence`` and inherit this mixin; two evaluations per call give
+    an unbiased gradient estimate over every mask entry.
+    """
+
+    spsa_step: float = 0.01
+    spsa_averages: int = 4
+    _spsa_rng: Optional[np.random.Generator] = None
+
+    def divergence_and_grad(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        if self._spsa_rng is None:
+            self._spsa_rng = as_rng(0)
+        rng = self._spsa_rng
+        support = self.hypergraph.incidence > 0
+        grad = np.zeros_like(w)
+        base = self.divergence(w)
+        for _ in range(self.spsa_averages):
+            delta = rng.choice((-1.0, 1.0), size=w.shape) * support
+            plus = np.clip(w + self.spsa_step * delta, 0.0, 1.0)
+            minus = np.clip(w - self.spsa_step * delta, 0.0, 1.0)
+            diff = self.divergence(plus) - self.divergence(minus)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                g = diff / (2.0 * self.spsa_step * delta)
+            g[~support] = 0.0
+            g[~np.isfinite(g)] = 0.0
+            grad += g
+        return base, grad / self.spsa_averages
+
+
+@dataclass
+class MaskResult:
+    """Outcome of one critical-connection search."""
+
+    mask: np.ndarray
+    hypergraph: Hypergraph
+    loss_history: List[float]
+    divergence: float
+    l1: float
+    entropy: float
+
+    def mask_values(self) -> np.ndarray:
+        """Mask values of the existing connections only (1-D)."""
+        es, vs = np.nonzero(self.hypergraph.incidence)
+        return self.mask[es, vs]
+
+    def top_connections(self, k: int = 5) -> List[Tuple[str, float, int, int]]:
+        """The k highest-valued connections as (label, value, e, v)."""
+        conns = self.hypergraph.connections()
+        scored = sorted(
+            conns, key=lambda ev: self.mask[ev[0], ev[1]], reverse=True
+        )[:k]
+        return [
+            (
+                self.hypergraph.connection_label(e, v),
+                float(self.mask[e, v]),
+                e,
+                v,
+            )
+            for e, v in scored
+        ]
+
+    def vertex_mask_sums(self) -> np.ndarray:
+        """``sum_e W[e, v]`` per vertex (the Fig. 9b quantity)."""
+        return self.mask.sum(axis=0)
+
+
+@dataclass
+class CriticalConnectionSearch:
+    """Gradient search for the Fig. 6 optimization problem.
+
+    Attributes:
+        lambda1: conciseness weight (Eq. 7).
+        lambda2: determinism weight (Eq. 8).
+        lr: Adam step size on the logits ``W'``.
+        steps: optimization iterations.
+        init_logit: initial ``W'`` value.  The default 0 starts every
+            connection at the entropy saddle ``W = 0.5``, where the
+            determinism term exerts no pull; the divergence term then
+            decides which pole each connection falls to (critical → 1,
+            immaterial → 0) with the conciseness term breaking ties
+            downward.
+    """
+
+    lambda1: float = 0.25
+    lambda2: float = 1.0
+    lr: float = 0.05
+    steps: int = 300
+    init_logit: float = 0.0
+
+    def run(
+        self, system: MaskedSystem, seed: SeedLike = 0,
+        callback=None,
+    ) -> MaskResult:
+        """Optimize the mask for ``system``; returns the best-loss mask."""
+        rng = as_rng(seed)
+        incidence = system.hypergraph.incidence
+        support = incidence > 0
+        logits = np.full_like(incidence, self.init_logit)
+        logits += 0.01 * rng.normal(size=logits.shape)
+        opt = Adam(lr=self.lr)
+        history: List[float] = []
+        best_loss = np.inf
+        best_mask = incidence.copy()
+        for step in range(self.steps):
+            sig = _sigmoid(logits)
+            w = incidence * sig
+            div, ddiv_dw = system.divergence_and_grad(w)
+            l1 = float(np.abs(w).sum())
+            entropy = _mask_entropy(w, support)
+            loss = div + self.lambda1 * l1 + self.lambda2 * entropy
+            history.append(float(loss))
+            if loss < best_loss:
+                best_loss = float(loss)
+                best_mask = w.copy()
+            grad_w = ddiv_dw + self.lambda1 * np.sign(w)
+            grad_w += self.lambda2 * _entropy_grad(w, support)
+            grad_logits = grad_w * incidence * sig * (1.0 - sig)
+            grad_logits[~support] = 0.0
+            opt.step([logits], [grad_logits])
+            if callback is not None:
+                callback(step, loss, w)
+        sig = _sigmoid(logits)
+        w = incidence * sig
+        div, _ = system.divergence_and_grad(w)
+        l1 = float(np.abs(w).sum())
+        entropy = _mask_entropy(w, support)
+        final_loss = div + self.lambda1 * l1 + self.lambda2 * entropy
+        if final_loss < best_loss:
+            best_mask = w
+        return MaskResult(
+            mask=best_mask,
+            hypergraph=system.hypergraph,
+            loss_history=history,
+            divergence=float(system.divergence(best_mask)),
+            l1=float(np.abs(best_mask).sum()),
+            entropy=_mask_entropy(best_mask, support),
+        )
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+
+def _mask_entropy(w: np.ndarray, support: np.ndarray) -> float:
+    """Eq. 8 over the existing connections."""
+    wv = np.clip(w[support], _EPS, 1.0 - _EPS)
+    return float(-(wv * np.log(wv) + (1.0 - wv) * np.log(1.0 - wv)).sum())
+
+
+def _entropy_grad(w: np.ndarray, support: np.ndarray) -> np.ndarray:
+    """d H / d W (zero off-support)."""
+    grad = np.zeros_like(w)
+    wv = np.clip(w[support], _EPS, 1.0 - _EPS)
+    grad[support] = -np.log(wv / (1.0 - wv))
+    return grad

@@ -1,0 +1,77 @@
+"""Hypergraph structure and incidence matrices (§4.1).
+
+A hypergraph is (vertices V, hyperedges E) with a 0/1 incidence matrix
+``I`` of shape ``(|E|, |V|)`` — ``I[e, v] = 1`` iff hyperedge ``e`` covers
+vertex ``v`` (Eq. 3).  Vertices and hyperedges may carry feature vectors
+``F_V`` and ``F_E``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Hypergraph:
+    """A featured hypergraph.
+
+    Attributes:
+        vertex_labels: human-readable vertex identities (links, servers,
+            users, job nodes ...).
+        edge_labels: hyperedge identities (paths, NFs, base stations,
+            dependencies ...).
+        incidence: 0/1 matrix ``(|E|, |V|)``.
+        vertex_features: optional ``(|V|, dv)`` feature matrix ``F_V``.
+        edge_features: optional ``(|E|, de)`` feature matrix ``F_E``.
+    """
+
+    vertex_labels: List[Any]
+    edge_labels: List[Any]
+    incidence: np.ndarray
+    vertex_features: Optional[np.ndarray] = None
+    edge_features: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.incidence = np.asarray(self.incidence, dtype=float)
+        if self.incidence.ndim != 2:
+            raise ValueError("incidence must be 2-D")
+        ne, nv = self.incidence.shape
+        if len(self.edge_labels) != ne or len(self.vertex_labels) != nv:
+            raise ValueError("label counts must match incidence shape")
+        if not np.all(np.isin(self.incidence, (0.0, 1.0))):
+            raise ValueError("incidence entries must be 0 or 1")
+        if self.vertex_features is not None:
+            self.vertex_features = np.asarray(self.vertex_features, dtype=float)
+            if self.vertex_features.shape[0] != nv:
+                raise ValueError("vertex feature rows must match |V|")
+        if self.edge_features is not None:
+            self.edge_features = np.asarray(self.edge_features, dtype=float)
+            if self.edge_features.shape[0] != ne:
+                raise ValueError("edge feature rows must match |E|")
+
+    @property
+    def n_vertices(self) -> int:
+        return self.incidence.shape[1]
+
+    @property
+    def n_edges(self) -> int:
+        return self.incidence.shape[0]
+
+    def connections(self) -> List[Tuple[int, int]]:
+        """All (edge index, vertex index) pairs with ``I[e, v] = 1``."""
+        es, vs = np.nonzero(self.incidence)
+        return list(zip(es.tolist(), vs.tolist()))
+
+    def degree_vertices(self) -> np.ndarray:
+        """Number of hyperedges covering each vertex."""
+        return self.incidence.sum(axis=0)
+
+    def degree_edges(self) -> np.ndarray:
+        """Number of vertices each hyperedge covers."""
+        return self.incidence.sum(axis=1)
+
+    def connection_label(self, edge_idx: int, vertex_idx: int) -> str:
+        return f"{self.edge_labels[edge_idx]} | {self.vertex_labels[vertex_idx]}"

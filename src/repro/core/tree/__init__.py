@@ -1,0 +1,21 @@
+"""Decision trees from scratch: CART growth, cost-complexity pruning,
+and human-readable export (the paper's Fig. 7 rendering)."""
+
+from repro.core.tree.cart import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    Node,
+)
+from repro.core.tree.pruning import cost_complexity_path, prune_to_leaves
+from repro.core.tree.export import render_text, tree_to_dict, tree_from_dict
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Node",
+    "cost_complexity_path",
+    "prune_to_leaves",
+    "render_text",
+    "tree_to_dict",
+    "tree_from_dict",
+]

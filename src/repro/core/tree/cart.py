@@ -1,0 +1,438 @@
+"""CART decision trees (classification and multi-output regression).
+
+sklearn is not available in this environment, so the trees Metis distills
+into are implemented here from scratch:
+
+* weighted Gini impurity (classification) / weighted variance (regression,
+  summed over output dimensions);
+* exact best-split search per feature via sorted cumulative statistics;
+* **best-first growth** bounded by ``max_leaf_nodes`` — the node with the
+  largest impurity *decrease* is expanded next, which is what makes a
+  200-leaf budget spend its leaves where the policy is complicated
+  (the paper's Table 4 budgets);
+* sample weights throughout — Metis' advantage resampling (Eq. 1) enters
+  the tree as weights.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Node:
+    """One tree node; leaves have ``feature == -1``.
+
+    Attributes:
+        feature: split feature index (-1 for leaves).
+        threshold: split point; samples with ``x[feature] < threshold`` go
+            left.
+        left/right: children (None for leaves).
+        value: class-probability vector (classifier) or mean output vector
+            (regressor).
+        n_samples: weighted sample count reaching this node.
+        impurity: weighted impurity at this node.
+    """
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["Node"] = None
+    right: Optional["Node"] = None
+    value: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    n_samples: float = 0.0
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+    def copy(self) -> "Node":
+        """Deep copy of the subtree rooted here."""
+        node = Node(
+            feature=self.feature,
+            threshold=self.threshold,
+            value=self.value.copy(),
+            n_samples=self.n_samples,
+            impurity=self.impurity,
+        )
+        if not self.is_leaf:
+            node.left = self.left.copy()
+            node.right = self.right.copy()
+        return node
+
+
+class _BaseTree:
+    """Shared growth/predict machinery; subclasses define the criterion."""
+
+    def __init__(
+        self,
+        max_leaf_nodes: int = 200,
+        min_samples_leaf: int = 2,
+        min_impurity_decrease: float = 1e-12,
+        max_depth: Optional[int] = None,
+    ) -> None:
+        if max_leaf_nodes < 2:
+            raise ValueError("max_leaf_nodes must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_leaf_nodes = max_leaf_nodes
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_depth = max_depth
+        self.root: Optional[Node] = None
+        self.n_features: int = 0
+
+    # -- criterion hooks (subclass responsibility) -----------------------
+    def _encode_targets(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _leaf_value(self, stats_sum: np.ndarray, weight: float) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity(
+        self, stats_sum: np.ndarray, stats_sq: np.ndarray, weight: float
+    ) -> float:
+        raise NotImplementedError
+
+    # -- fitting ---------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "_BaseTree":
+        """Grow the tree best-first under the leaf budget."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        targets = self._encode_targets(np.asarray(y))
+        if sample_weight is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(sample_weight, dtype=float)
+            if weights.shape != (n,):
+                raise ValueError("sample_weight shape mismatch")
+            if np.any(weights < 0):
+                raise ValueError("sample weights must be non-negative")
+            if weights.sum() <= 0:
+                raise ValueError("sample weights must not all be zero")
+        self.n_features = x.shape[1]
+
+        idx_all = np.arange(n)
+        root = self._make_node(targets, weights, idx_all)
+        # Heap of candidate splits: (-impurity_decrease, tiebreak, ...).
+        counter = itertools.count()
+        heap: List[Tuple] = []
+        self._push_candidate(
+            heap, counter, x, targets, weights, idx_all, root, depth=0
+        )
+        n_leaves = 1
+        while heap and n_leaves < self.max_leaf_nodes:
+            neg_gain, _, node, split = heapq.heappop(heap)
+            if -neg_gain < self.min_impurity_decrease:
+                break
+            feature, threshold, left_idx, right_idx, depth = split
+            node.feature = feature
+            node.threshold = threshold
+            node.left = self._make_node(targets, weights, left_idx)
+            node.right = self._make_node(targets, weights, right_idx)
+            n_leaves += 1
+            self._push_candidate(
+                heap, counter, x, targets, weights, left_idx, node.left,
+                depth + 1,
+            )
+            self._push_candidate(
+                heap, counter, x, targets, weights, right_idx, node.right,
+                depth + 1,
+            )
+        self.root = root
+        return self
+
+    def _make_node(
+        self, targets: np.ndarray, weights: np.ndarray, idx: np.ndarray
+    ) -> Node:
+        w = weights[idx]
+        total = w.sum()
+        t = targets[idx]
+        stats_sum = (t * w[:, None]).sum(axis=0)
+        stats_sq = ((t**2) * w[:, None]).sum(axis=0)
+        return Node(
+            value=self._leaf_value(stats_sum, total),
+            n_samples=float(total),
+            impurity=self._impurity(stats_sum, stats_sq, total),
+        )
+
+    def _push_candidate(
+        self,
+        heap: List,
+        counter,
+        x: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        idx: np.ndarray,
+        node: Node,
+        depth: int,
+    ) -> None:
+        if self.max_depth is not None and depth >= self.max_depth:
+            return
+        if idx.size < 2 * self.min_samples_leaf:
+            return
+        best = self._best_split(x, targets, weights, idx, node)
+        if best is None:
+            return
+        gain, feature, threshold, left_idx, right_idx = best
+        heapq.heappush(
+            heap,
+            (-gain, next(counter), node,
+             (feature, threshold, left_idx, right_idx, depth)),
+        )
+
+    def _best_split(
+        self,
+        x: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        idx: np.ndarray,
+        node: Node,
+    ) -> Optional[Tuple[float, int, float, np.ndarray, np.ndarray]]:
+        """Exact best split over all features for the samples in ``idx``."""
+        xs = x[idx]
+        t = targets[idx]
+        w = weights[idx]
+        parent_impurity = node.impurity
+        best_gain = 0.0
+        best: Optional[Tuple[float, int, float, np.ndarray, np.ndarray]] = None
+        min_leaf = self.min_samples_leaf
+        for feature in range(self.n_features):
+            col = xs[:, feature]
+            order = np.argsort(col, kind="stable")
+            cs = col[order]
+            # Candidate boundaries: positions where the value changes.
+            diff = np.nonzero(cs[1:] > cs[:-1])[0]
+            if diff.size == 0:
+                continue
+            tw = t[order] * w[order, None]
+            cum_sum = np.cumsum(tw, axis=0)
+            cum_sq = np.cumsum((t[order]**2) * w[order, None], axis=0)
+            cum_w = np.cumsum(w[order])
+            total_sum = cum_sum[-1]
+            total_sq = cum_sq[-1]
+            total_w = cum_w[-1]
+            # Left side ends at position p (inclusive) for p in diff.
+            valid = diff[
+                (diff + 1 >= min_leaf) & (cs.size - diff - 1 >= min_leaf)
+            ]
+            if valid.size == 0:
+                continue
+            lw = cum_w[valid]
+            rw = total_w - lw
+            l_imp = self._impurity_vec(
+                cum_sum[valid], cum_sq[valid], lw
+            )
+            r_imp = self._impurity_vec(
+                total_sum - cum_sum[valid], total_sq - cum_sq[valid], rw
+            )
+            gains = parent_impurity - (l_imp + r_imp)
+            arg = int(np.argmax(gains))
+            if gains[arg] > best_gain:
+                p = valid[arg]
+                threshold = 0.5 * (cs[p] + cs[p + 1])
+                mask = col < threshold
+                best_gain = float(gains[arg])
+                best = (
+                    best_gain,
+                    feature,
+                    float(threshold),
+                    idx[mask],
+                    idx[~mask],
+                )
+        return best
+
+    def _impurity_vec(
+        self, sums: np.ndarray, sqs: np.ndarray, ws: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized impurity over candidate splits (rows)."""
+        raise NotImplementedError
+
+    # -- prediction --------------------------------------------------------
+    def _leaf_values(self, x: np.ndarray) -> np.ndarray:
+        """Value vector of the leaf each row lands in."""
+        if self.root is None:
+            raise RuntimeError("fit must be called first")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        x = np.atleast_2d(x)
+        out = np.empty((x.shape[0], self.root.value.size))
+        stack = [(self.root, np.arange(x.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            mask = x[idx, node.feature] < node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out[0:1] if single else out
+
+    def predict_one(self, x) -> np.ndarray:
+        """Leaf value for one sample via plain-Python traversal.
+
+        This is the deployment-style call: a handful of attribute reads
+        and comparisons, no numpy dispatch — the micro-benchmarks in
+        ``repro.deploy`` measure this path against MLP inference.
+        """
+        node = self.root
+        while not node.is_leaf:
+            if x[node.feature] < node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.value
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Leaf id (preorder index) each row lands in."""
+        ids = {}
+        for i, node in enumerate(self.iter_nodes()):
+            ids[id(node)] = i
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        out = np.empty(x.shape[0], dtype=int)
+        for row in range(x.shape[0]):
+            node = self.root
+            while not node.is_leaf:
+                if x[row, node.feature] < node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            out[row] = ids[id(node)]
+        return out
+
+    # -- inspection ----------------------------------------------------------
+    def iter_nodes(self):
+        """Preorder traversal."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    @property
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+
+    @property
+    def depth(self) -> int:
+        def walk(node: Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self.root is None:
+            return 0
+        return walk(self.root)
+
+    def decision_path_length(self, x: np.ndarray) -> np.ndarray:
+        """Comparisons needed per row (the deployment latency proxy)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        out = np.zeros(x.shape[0], dtype=int)
+        for row in range(x.shape[0]):
+            node = self.root
+            hops = 0
+            while not node.is_leaf:
+                hops += 1
+                if x[row, node.feature] < node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            out[row] = hops
+        return out
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Gini-impurity CART classifier; ``value`` is the class distribution."""
+
+    def __init__(self, n_classes: Optional[int] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n_classes = n_classes
+
+    def _encode_targets(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=int)
+        if y.ndim != 1:
+            raise ValueError("classification targets must be 1-D")
+        if self.n_classes is None:
+            self.n_classes = int(y.max()) + 1
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range")
+        onehot = np.zeros((y.size, self.n_classes))
+        onehot[np.arange(y.size), y] = 1.0
+        return onehot
+
+    def _leaf_value(self, stats_sum: np.ndarray, weight: float) -> np.ndarray:
+        return stats_sum / max(weight, 1e-12)
+
+    def _impurity(self, stats_sum, stats_sq, weight) -> float:
+        if weight <= 0:
+            return 0.0
+        p = stats_sum / weight
+        return float(weight * (1.0 - np.sum(p**2)))
+
+    def _impurity_vec(self, sums, sqs, ws) -> np.ndarray:
+        safe = np.maximum(ws, 1e-12)
+        p = sums / safe[:, None]
+        return ws * (1.0 - np.sum(p**2, axis=1))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._leaf_values(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """Variance-reduction CART regressor; supports multi-output targets."""
+
+    def _encode_targets(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if y.ndim != 2:
+            raise ValueError("regression targets must be 1-D or 2-D")
+        self.n_outputs = y.shape[1]
+        return y
+
+    def _leaf_value(self, stats_sum: np.ndarray, weight: float) -> np.ndarray:
+        return stats_sum / max(weight, 1e-12)
+
+    def _impurity(self, stats_sum, stats_sq, weight) -> float:
+        if weight <= 0:
+            return 0.0
+        mean = stats_sum / weight
+        return float(np.sum(stats_sq - weight * mean**2))
+
+    def _impurity_vec(self, sums, sqs, ws) -> np.ndarray:
+        safe = np.maximum(ws, 1e-12)
+        mean = sums / safe[:, None]
+        return np.sum(sqs - safe[:, None] * mean**2, axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        values = self._leaf_values(x)
+        if getattr(self, "n_outputs", 1) == 1:
+            return values[:, 0]
+        return values

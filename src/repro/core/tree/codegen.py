@@ -1,0 +1,100 @@
+"""Generate branch-only source code from a decision tree.
+
+§6.4's on-device story: decision trees compile to pure branching clauses
+(no floating-point tensor ops), which is what made the Metis+AuTO-lRLA
+policy deployable on a Netronome SmartNIC in ~1,000 LoC.  This module
+emits that artifact: a self-contained C function (or Python function)
+implementing the tree as nested ``if``/``else``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tree.cart import DecisionTreeClassifier, Node, _BaseTree
+
+
+def tree_to_c(
+    tree: _BaseTree,
+    function_name: str = "decide",
+    feature_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Emit a C function ``int decide(const double *x)``.
+
+    Classification trees return the argmax class; regression trees are
+    not supported (device offload targets discrete actions).
+    """
+    if not isinstance(tree, DecisionTreeClassifier):
+        raise TypeError("code generation targets classification trees")
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    lines: List[str] = [
+        f"/* generated from a {tree.n_leaves}-leaf decision tree */",
+        f"int {function_name}(const double *x) {{",
+    ]
+    _emit_c(tree.root, lines, indent=1, feature_names=feature_names)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _emit_c(node: Node, lines: List[str], indent: int, feature_names) -> None:
+    pad = "    " * indent
+    if node.is_leaf:
+        action = int(np.argmax(node.value))
+        lines.append(f"{pad}return {action};")
+        return
+    comment = ""
+    if feature_names is not None and node.feature < len(feature_names):
+        comment = f"  /* {feature_names[node.feature]} */"
+    lines.append(
+        f"{pad}if (x[{node.feature}] < {node.threshold!r}) {{{comment}"
+    )
+    _emit_c(node.left, lines, indent + 1, feature_names)
+    lines.append(f"{pad}}} else {{")
+    _emit_c(node.right, lines, indent + 1, feature_names)
+    lines.append(f"{pad}}}")
+
+
+def tree_to_python(
+    tree: _BaseTree, function_name: str = "decide"
+) -> str:
+    """Emit a dependency-free Python function implementing the tree.
+
+    The result ``exec``s to a callable taking one indexable sample; tests
+    verify it agrees with ``tree.predict`` exactly.
+    """
+    if not isinstance(tree, DecisionTreeClassifier):
+        raise TypeError("code generation targets classification trees")
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    lines = [f"def {function_name}(x):"]
+    _emit_python(tree.root, lines, indent=1)
+    return "\n".join(lines)
+
+
+def _emit_python(node: Node, lines: List[str], indent: int) -> None:
+    pad = "    " * indent
+    if node.is_leaf:
+        lines.append(f"{pad}return {int(np.argmax(node.value))}")
+        return
+    lines.append(f"{pad}if x[{node.feature}] < {node.threshold!r}:")
+    _emit_python(node.left, lines, indent + 1)
+    lines.append(f"{pad}else:")
+    _emit_python(node.right, lines, indent + 1)
+
+
+def compile_python(tree: _BaseTree, function_name: str = "decide"):
+    """Exec the generated Python and return the callable."""
+    source = tree_to_python(tree, function_name)
+    namespace: dict = {}
+    exec(source, namespace)  # noqa: S102 - our own generated code
+    return namespace[function_name]
+
+
+def loc_estimate(tree: _BaseTree) -> int:
+    """Lines of generated C (the paper quotes ~1,000 LoC on the NIC)."""
+    internal = tree.node_count - tree.n_leaves
+    # Each internal node: if + else + closing brace; each leaf: return.
+    return 3 * internal + tree.n_leaves + 3

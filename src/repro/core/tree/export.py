@@ -1,0 +1,156 @@
+"""Human-readable and serializable tree export.
+
+``render_text`` reproduces the paper's Fig. 7 view: the top layers of the
+distilled tree with decision variables in natural units, annotated with
+how often each node is visited and which actions dominate beneath it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tree.cart import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    Node,
+    _BaseTree,
+)
+
+
+def render_text(
+    tree: _BaseTree,
+    feature_names: Optional[Sequence[str]] = None,
+    max_depth: Optional[int] = 4,
+    action_names: Optional[Sequence[str]] = None,
+    visit_states: Optional[np.ndarray] = None,
+) -> str:
+    """Render the top ``max_depth`` layers as indented text.
+
+    Args:
+        tree: a fitted tree.
+        feature_names: names for split features (defaults to ``x[i]``).
+        max_depth: layers to show (None = all).
+        action_names: labels for classifier outputs (e.g. bitrates).
+        visit_states: optional dataset; when given, each shown node is
+            annotated with the fraction of these states that traverse it
+            (the paper's "visit frequency" shading).
+    """
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    visits: Optional[Dict[int, float]] = None
+    if visit_states is not None:
+        visits = _visit_fractions(tree, np.atleast_2d(visit_states))
+
+    lines: List[str] = []
+
+    def name_of(idx: int) -> str:
+        if feature_names is not None and 0 <= idx < len(feature_names):
+            return feature_names[idx]
+        return f"x[{idx}]"
+
+    def describe_leaf(node: Node) -> str:
+        value = node.value
+        if isinstance(tree, DecisionTreeClassifier):
+            top = np.argsort(value)[::-1][:2]
+            parts = []
+            for a in top:
+                if value[a] <= 0:
+                    continue
+                label = (
+                    action_names[a]
+                    if action_names is not None and a < len(action_names)
+                    else f"a{a}"
+                )
+                parts.append(f"{label}:{value[a]:.0%}")
+            return "predict " + ", ".join(parts) if parts else "predict ?"
+        return "predict [" + ", ".join(f"{v:.3g}" for v in value) + "]"
+
+    def walk(node: Node, depth: int, prefix: str) -> None:
+        note = ""
+        if visits is not None:
+            note = f"  (visits {visits.get(id(node), 0.0):.1%})"
+        if node.is_leaf or (max_depth is not None and depth >= max_depth):
+            suffix = "" if node.is_leaf else "  [subtree pruned from view]"
+            lines.append(f"{prefix}{describe_leaf(node)}{note}{suffix}")
+            return
+        lines.append(
+            f"{prefix}{name_of(node.feature)} < {node.threshold:.3g}?{note}"
+        )
+        walk(node.left, depth + 1, prefix + "| yes: ")
+        walk(node.right, depth + 1, prefix + "| no:  ")
+
+    walk(tree.root, 0, "")
+    return "\n".join(lines)
+
+
+def _visit_fractions(tree: _BaseTree, x: np.ndarray) -> Dict[int, float]:
+    total = x.shape[0]
+    counts: Dict[int, int] = {}
+    for row in range(total):
+        node = tree.root
+        while True:
+            counts[id(node)] = counts.get(id(node), 0) + 1
+            if node.is_leaf:
+                break
+            if x[row, node.feature] < node.threshold:
+                node = node.left
+            else:
+                node = node.right
+    return {k: v / max(total, 1) for k, v in counts.items()}
+
+
+# ----------------------------------------------------------------------
+def tree_to_dict(tree: _BaseTree) -> dict:
+    """JSON-serializable representation (for on-device deployment)."""
+
+    def encode(node: Node) -> dict:
+        out = {
+            "feature": node.feature,
+            "threshold": node.threshold,
+            "value": node.value.tolist(),
+            "n_samples": node.n_samples,
+            "impurity": node.impurity,
+        }
+        if not node.is_leaf:
+            out["left"] = encode(node.left)
+            out["right"] = encode(node.right)
+        return out
+
+    kind = (
+        "classifier" if isinstance(tree, DecisionTreeClassifier) else "regressor"
+    )
+    meta = {"kind": kind, "n_features": tree.n_features}
+    if kind == "classifier":
+        meta["n_classes"] = tree.n_classes
+    else:
+        meta["n_outputs"] = getattr(tree, "n_outputs", 1)
+    return {"meta": meta, "root": encode(tree.root)}
+
+
+def tree_from_dict(data: dict) -> _BaseTree:
+    """Inverse of :func:`tree_to_dict`."""
+
+    def decode(obj: dict) -> Node:
+        node = Node(
+            feature=obj["feature"],
+            threshold=obj["threshold"],
+            value=np.asarray(obj["value"], dtype=float),
+            n_samples=obj["n_samples"],
+            impurity=obj["impurity"],
+        )
+        if "left" in obj:
+            node.left = decode(obj["left"])
+            node.right = decode(obj["right"])
+        return node
+
+    meta = data["meta"]
+    if meta["kind"] == "classifier":
+        tree: _BaseTree = DecisionTreeClassifier(n_classes=meta["n_classes"])
+    else:
+        tree = DecisionTreeRegressor()
+        tree.n_outputs = meta.get("n_outputs", 1)
+    tree.n_features = meta["n_features"]
+    tree.root = decode(data["root"])
+    return tree

@@ -1,0 +1,81 @@
+"""Cost-complexity pruning (CCP), the paper's Step 3 (§3.2).
+
+Weakest-link pruning: every internal node ``t`` has an effective alpha
+``g(t) = (R(t) - R(T_t)) / (|leaves(T_t)| - 1)`` where ``R`` is the total
+(weighted) impurity.  Repeatedly collapsing the node with the smallest
+``g`` yields a nested subtree sequence; ``prune_to_leaves`` picks the
+largest subtree within a leaf budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.tree.cart import Node, _BaseTree
+
+
+def _subtree_stats(node: Node) -> Tuple[float, int]:
+    """(total leaf impurity, leaf count) of the subtree."""
+    if node.is_leaf:
+        return node.impurity, 1
+    left_r, left_n = _subtree_stats(node.left)
+    right_r, right_n = _subtree_stats(node.right)
+    return left_r + right_r, left_n + right_n
+
+
+def _weakest_link(node: Node) -> Tuple[float, Node]:
+    """(effective alpha, node) of the weakest internal node below."""
+    best_alpha = float("inf")
+    best_node = node
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            continue
+        subtree_r, subtree_n = _subtree_stats(current)
+        if subtree_n > 1:
+            alpha = (current.impurity - subtree_r) / (subtree_n - 1)
+            if alpha < best_alpha:
+                best_alpha = alpha
+                best_node = current
+        stack.append(current.left)
+        stack.append(current.right)
+    return best_alpha, best_node
+
+
+def cost_complexity_path(tree: _BaseTree) -> List[Tuple[float, int]]:
+    """The (alpha, n_leaves) sequence of weakest-link pruning.
+
+    Starts at (0, full size) and ends at the root stump.  Operates on a
+    copy; the input tree is unchanged.
+    """
+    root = tree.root.copy()
+    path = [(0.0, _subtree_stats(root)[1])]
+    while not root.is_leaf:
+        alpha, node = _weakest_link(root)
+        node.feature = -1
+        node.left = None
+        node.right = None
+        path.append((float(alpha), _subtree_stats(root)[1]))
+    return path
+
+
+def prune_to_leaves(tree: _BaseTree, max_leaves: int) -> _BaseTree:
+    """Return a pruned copy with at most ``max_leaves`` leaves.
+
+    This implements the paper's "prune the decision tree down to N leaf
+    nodes" knob: weakest links are collapsed until the budget holds, so
+    the retained structure is the one CCP considers most valuable.
+    """
+    if max_leaves < 1:
+        raise ValueError("max_leaves must be positive")
+    import copy
+
+    pruned = copy.copy(tree)
+    pruned.root = tree.root.copy()
+    while _subtree_stats(pruned.root)[1] > max_leaves:
+        _, node = _weakest_link(pruned.root)
+        node.feature = -1
+        node.left = None
+        node.right = None
+    return pruned

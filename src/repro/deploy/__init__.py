@@ -1,0 +1,33 @@
+"""Deployment cost models and micro-benchmarks (§6.4)."""
+
+from repro.deploy.latency import (
+    DeviceProfile,
+    SERVER_DNN,
+    SERVER_TREE,
+    SMARTNIC_TREE,
+    decision_latency_dnn,
+    decision_latency_tree,
+    measure_wallclock_latency,
+)
+from repro.deploy.resources import (
+    dnn_bundle_bytes,
+    tree_bundle_bytes,
+    page_load_seconds,
+    dnn_runtime_memory_bytes,
+    tree_runtime_memory_bytes,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "SERVER_DNN",
+    "SERVER_TREE",
+    "SMARTNIC_TREE",
+    "decision_latency_dnn",
+    "decision_latency_tree",
+    "measure_wallclock_latency",
+    "dnn_bundle_bytes",
+    "tree_bundle_bytes",
+    "page_load_seconds",
+    "dnn_runtime_memory_bytes",
+    "tree_runtime_memory_bytes",
+]

@@ -1,0 +1,60 @@
+"""Resource-consumption models: page size, load time, runtime memory.
+
+§6.4 measures the client-side cost of Pensieve-in-the-browser: the tf.js
+DNN adds ~1370 KB of page weight (runtime + weights) and several MB of JS
+heap, while the distilled tree adds almost nothing.  These closed-form
+models reproduce that accounting from first principles (bytes per weight,
+bytes per tree node) with documented constants.
+"""
+
+from __future__ import annotations
+
+from repro.core.tree.cart import _BaseTree
+from repro.nn.mlp import MLP
+
+#: Bytes per DNN weight in the shipped bundle (float32).
+BYTES_PER_WEIGHT = 4
+
+#: Size of the tf.js-style runtime that must ship with any DNN (bytes).
+DNN_RUNTIME_BYTES = 1_100_000
+
+#: Serialized size of one tree node (feature id, threshold, child refs).
+BYTES_PER_TREE_NODE = 28
+
+#: JS implementation of tree traversal (bytes of script).
+TREE_RUNTIME_BYTES = 2_000
+
+#: Activation/tensor workspace multiplier for DNN inference memory.
+DNN_MEMORY_MULTIPLIER = 6.0
+
+#: Baseline player memory unrelated to the ABR algorithm (bytes).
+PLAYER_BASE_MEMORY = 5_000_000
+
+
+def dnn_bundle_bytes(net: MLP) -> int:
+    """Page weight added by shipping the DNN (runtime + weights)."""
+    return DNN_RUNTIME_BYTES + net.num_parameters() * BYTES_PER_WEIGHT
+
+
+def tree_bundle_bytes(tree: _BaseTree) -> int:
+    """Page weight added by shipping the decision tree."""
+    return TREE_RUNTIME_BYTES + tree.node_count * BYTES_PER_TREE_NODE
+
+
+def page_load_seconds(extra_bytes: int, bandwidth_kbps: float) -> float:
+    """Additional page-load time for ``extra_bytes`` at ``bandwidth_kbps``."""
+    if bandwidth_kbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return extra_bytes * 8.0 / (bandwidth_kbps * 1000.0)
+
+
+def dnn_runtime_memory_bytes(net: MLP) -> int:
+    """JS heap attributable to DNN inference (weights + workspaces)."""
+    return int(
+        net.num_parameters() * BYTES_PER_WEIGHT * DNN_MEMORY_MULTIPLIER
+    )
+
+
+def tree_runtime_memory_bytes(tree: _BaseTree) -> int:
+    """JS heap attributable to tree inference (the node table)."""
+    return tree.node_count * BYTES_PER_TREE_NODE

@@ -1,0 +1,2 @@
+"""Environment substrates: bandwidth traces, ABR video streaming,
+datacenter flow scheduling, and SDN routing."""

@@ -1,0 +1,34 @@
+"""Adaptive-bitrate (ABR) video streaming substrate (the Pensieve setting)."""
+
+from repro.envs.abr.video import Video, PENSIEVE_BITRATES_KBPS, CHUNK_SECONDS
+from repro.envs.abr.qoe import QoEMetric, LinearQoE
+from repro.envs.abr.env import ABREnv, ABRState, FEATURE_NAMES
+from repro.envs.abr.baselines import (
+    ABRPolicy,
+    BufferBased,
+    RateBased,
+    Festive,
+    Bola,
+    RobustMPC,
+    FixedLowest,
+    run_policy,
+)
+
+__all__ = [
+    "Video",
+    "PENSIEVE_BITRATES_KBPS",
+    "CHUNK_SECONDS",
+    "QoEMetric",
+    "LinearQoE",
+    "ABREnv",
+    "ABRState",
+    "FEATURE_NAMES",
+    "ABRPolicy",
+    "BufferBased",
+    "RateBased",
+    "Festive",
+    "Bola",
+    "RobustMPC",
+    "FixedLowest",
+    "run_policy",
+]

@@ -1,0 +1,292 @@
+"""Heuristic ABR baselines: BB, RB, FESTIVE, BOLA, RobustMPC, Fixed.
+
+These are the comparison policies of Figs. 12–15 and Table 5.  Each policy
+consumes the 25-dim observation vector of :mod:`repro.envs.abr.env` (plus,
+for MPC, the manifest information the real algorithms also have) and
+returns a ladder index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.abr.env import (
+    ABREnv,
+    IDX_BUFFER,
+    IDX_LAST_BITRATE,
+    THROUGHPUT_SLICE,
+)
+from repro.utils.rng import SeedLike, as_rng
+
+
+class ABRPolicy:
+    """Interface for bitrate-selection policies."""
+
+    name = "abr"
+
+    def reset(self) -> None:
+        """Clear per-session state (called before each trace)."""
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        raise NotImplementedError
+
+
+def _harmonic_mean(values: np.ndarray) -> float:
+    """Harmonic mean of the positive entries (0 when none exist)."""
+    positive = values[values > 0]
+    if positive.size == 0:
+        return 0.0
+    return float(positive.size / np.sum(1.0 / positive))
+
+
+def _max_level_below(bitrates_kbps: Sequence[int], budget_kbps: float) -> int:
+    """Highest ladder index with bitrate <= budget (0 if none)."""
+    level = 0
+    for i, rate in enumerate(bitrates_kbps):
+        if rate <= budget_kbps:
+            level = i
+    return level
+
+
+class FixedLowest(ABRPolicy):
+    """Always the lowest rung — the §6.4 resource-consumption control."""
+
+    name = "Fixed"
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        return 0
+
+
+@dataclass
+class BufferBased(ABRPolicy):
+    """BB [Huang et al., SIGCOMM'14]: map buffer linearly to the ladder.
+
+    Below ``reservoir`` seconds pick the lowest rung; above
+    ``reservoir + cushion`` pick the highest; interpolate in between.
+    """
+
+    reservoir: float = 5.0
+    cushion: float = 10.0
+    name: str = "BB"
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        buffer = state[IDX_BUFFER]
+        n = env.n_actions
+        if buffer <= self.reservoir:
+            return 0
+        if buffer >= self.reservoir + self.cushion:
+            return n - 1
+        frac = (buffer - self.reservoir) / self.cushion
+        return int(np.clip(round(frac * (n - 1)), 0, n - 1))
+
+
+@dataclass
+class RateBased(ABRPolicy):
+    """RB: highest bitrate below the harmonic-mean throughput estimate."""
+
+    window: int = 5
+    safety: float = 1.0
+    name: str = "RB"
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        history = state[THROUGHPUT_SLICE][-self.window:]
+        estimate_kbps = _harmonic_mean(history) * 1000.0 * self.safety
+        return _max_level_below(env.video.bitrates_kbps, estimate_kbps)
+
+
+@dataclass
+class Festive(ABRPolicy):
+    """FESTIVE [Jiang et al., CoNEXT'12], simplified.
+
+    Conservative throughput estimate (harmonic mean scaled by 0.85),
+    stepwise switching only, and an upward switch requires the target to be
+    sustained for ``patience`` consecutive decisions (stability term).
+    """
+
+    window: int = 5
+    discount: float = 0.85
+    patience: int = 2
+    name: str = "FESTIVE"
+    _up_count: int = field(default=0, repr=False)
+
+    def reset(self) -> None:
+        self._up_count = 0
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        history = state[THROUGHPUT_SLICE][-self.window:]
+        estimate_kbps = _harmonic_mean(history) * 1000.0 * self.discount
+        target = _max_level_below(env.video.bitrates_kbps, estimate_kbps)
+        current = _level_from_state(state, env)
+        if target > current:
+            self._up_count += 1
+            if self._up_count >= self.patience:
+                self._up_count = 0
+                return current + 1
+            return current
+        self._up_count = 0
+        if target < current:
+            return current - 1
+        return current
+
+
+@dataclass
+class Bola(ABRPolicy):
+    """BOLA [Spiteri et al., INFOCOM'16], the buffer-only Lyapunov variant.
+
+    Picks ``argmax_m (V * (utility_m + gamma_p) - B) / size_m`` whenever the
+    numerator is positive, where utility is log-relative chunk size.
+    """
+
+    gamma_p: float = 5.0
+    buffer_target: float = 25.0
+    name: str = "BOLA"
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        sizes = env.upcoming_sizes_kbits(1)
+        if sizes.shape[0] == 0:
+            return 0
+        sizes = sizes[0]
+        utilities = np.log(sizes / sizes[0])
+        # Control parameter chosen so the top rung is sustainable at the
+        # buffer target (standard BOLA-basic calibration).
+        v = (self.buffer_target - env.video.chunk_seconds) / (
+            utilities[-1] + self.gamma_p
+        )
+        buffer = state[IDX_BUFFER]
+        scores = (v * (utilities + self.gamma_p) - buffer) / sizes
+        if np.all(scores <= 0):
+            return 0
+        return int(np.argmax(scores))
+
+
+@dataclass
+class RobustMPC(ABRPolicy):
+    """rMPC [Yin et al., SIGCOMM'15].
+
+    Exhaustive look-ahead over all bitrate sequences of length ``horizon``
+    with a robust (error-discounted) harmonic-mean throughput predictor,
+    maximizing the same linear QoE the environment pays.
+    """
+
+    horizon: int = 5
+    window: int = 5
+    name: str = "rMPC"
+    _past_errors: List[float] = field(default_factory=list, repr=False)
+    _plans: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def reset(self) -> None:
+        self._past_errors = []
+        self._last_estimate: Optional[float] = None
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        history = state[THROUGHPUT_SLICE][-self.window:]
+        estimate = _harmonic_mean(history)  # Mbps
+        actual = float(state[THROUGHPUT_SLICE][-1])
+        if getattr(self, "_last_estimate", None) and actual > 0:
+            err = abs(self._last_estimate - actual) / max(actual, 1e-9)
+            self._past_errors.append(err)
+            if len(self._past_errors) > self.window:
+                self._past_errors.pop(0)
+        self._last_estimate = estimate
+        max_err = max(self._past_errors) if self._past_errors else 0.0
+        robust_kbps = estimate * 1000.0 / (1.0 + max_err)
+        if robust_kbps <= 0:
+            return 0
+
+        sizes = env.upcoming_sizes_kbits(self.horizon)  # (h, n)
+        h = sizes.shape[0]
+        if h == 0:
+            return 0
+        n = env.n_actions
+        plans = self._plan_matrix(n, h)
+        # Vectorized rollout of every plan.
+        buffer = np.full(plans.shape[0], state[IDX_BUFFER])
+        last_rate = np.full(
+            plans.shape[0], state[IDX_LAST_BITRATE] * 1000.0
+        )
+        bitrates = np.asarray(env.video.bitrates_kbps, dtype=float)
+        total = np.zeros(plans.shape[0])
+        qoe = env.qoe
+        for step in range(h):
+            levels = plans[:, step]
+            size = sizes[step][levels]
+            dt = size / robust_kbps
+            rebuffer = np.maximum(0.0, dt - buffer)
+            buffer = np.maximum(buffer - dt, 0.0) + env.video.chunk_seconds
+            rate = bitrates[levels]
+            total += (
+                rate / 1000.0
+                - qoe.rebuffer_penalty * rebuffer
+                - qoe.smoothness_penalty * np.abs(rate - last_rate) / 1000.0
+            )
+            last_rate = rate
+        return int(plans[int(np.argmax(total)), 0])
+
+    def _plan_matrix(self, n_actions: int, horizon: int) -> np.ndarray:
+        if (
+            self._plans is None
+            or self._plans.shape[1] != horizon
+            or self._plans.max() != n_actions - 1
+        ):
+            self._plans = np.asarray(
+                list(product(range(n_actions), repeat=horizon)), dtype=int
+            )
+        return self._plans
+
+
+def _level_from_state(state: np.ndarray, env: ABREnv) -> int:
+    """Recover the ladder index of the last selected bitrate."""
+    rate_kbps = state[IDX_LAST_BITRATE] * 1000.0
+    ladder = np.asarray(env.video.bitrates_kbps, dtype=float)
+    return int(np.argmin(np.abs(ladder - rate_kbps)))
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of one streaming session."""
+
+    qoe_total: float
+    qoe_mean: float
+    bitrates_kbps: np.ndarray
+    rebuffer_s: float
+    actions: np.ndarray
+    states: np.ndarray
+    rewards: np.ndarray
+
+
+def run_policy(
+    policy: ABRPolicy,
+    env: ABREnv,
+    trace=None,
+    rng: SeedLike = None,
+) -> EpisodeResult:
+    """Stream the whole video once under ``policy`` and summarize."""
+    rng = as_rng(rng)
+    policy.reset()
+    state = env.reset(rng, trace=trace)
+    states, actions, rewards, bitrates = [], [], [], []
+    rebuffer = 0.0
+    done = False
+    while not done:
+        action = policy.select(state, env)
+        states.append(state)
+        next_state, reward, done, info = env.step(action)
+        actions.append(action)
+        rewards.append(reward)
+        bitrates.append(info["bitrate_kbps"])
+        rebuffer += info["rebuffer_s"]
+        state = next_state
+    rewards = np.asarray(rewards)
+    return EpisodeResult(
+        qoe_total=float(rewards.sum()),
+        qoe_mean=float(rewards.mean()),
+        bitrates_kbps=np.asarray(bitrates, dtype=float),
+        rebuffer_s=rebuffer,
+        actions=np.asarray(actions, dtype=int),
+        states=np.asarray(states),
+        rewards=rewards,
+    )

@@ -1,0 +1,252 @@
+"""Trace-driven ABR environment with Pensieve's state layout.
+
+The observation is a 25-dimensional vector in *natural units* (the paper's
+Pensieve state has 25 entries, Appendix C), so distilled decision-tree
+thresholds read like Fig. 7 (``r_t < 1.53`` Mbps, ``B < 15.0`` s, ...):
+
+====== ============================== =========
+index  meaning                        unit
+====== ============================== =========
+0      last selected bitrate ``r_t``  Mbps
+1      playback buffer ``B``          seconds
+2–9    past 8 throughputs (9 = θ_t)   Mbps
+10–17  past 8 download times (17=T_t) seconds
+18–23  next chunk size per rung       MB
+24     fraction of chunks remaining   —
+====== ============================== =========
+
+Teacher networks normalize internally; trees and heuristics consume the
+vector as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.abr.qoe import LinearQoE, QoEMetric
+from repro.envs.abr.video import Video
+from repro.envs.traces import BandwidthTrace
+from repro.utils.rng import SeedLike, as_rng
+
+#: Length of the throughput/download-time history window.
+HISTORY = 8
+
+IDX_LAST_BITRATE = 0
+IDX_BUFFER = 1
+THROUGHPUT_SLICE = slice(2, 2 + HISTORY)
+DOWNLOAD_TIME_SLICE = slice(2 + HISTORY, 2 + 2 * HISTORY)
+NEXT_SIZES_SLICE = slice(2 + 2 * HISTORY, 2 + 2 * HISTORY + 6)
+IDX_CHUNKS_LEFT = 2 + 2 * HISTORY + 6
+
+#: Total state dimensionality (matches the paper's "25 states").
+STATE_DIM = IDX_CHUNKS_LEFT + 1
+
+FEATURE_NAMES: Tuple[str, ...] = (
+    ("r_t", "B")
+    + tuple(f"theta_t-{HISTORY - 1 - i}" if i < HISTORY - 1 else "theta_t"
+            for i in range(HISTORY))
+    + tuple(f"T_t-{HISTORY - 1 - i}" if i < HISTORY - 1 else "T_t"
+            for i in range(HISTORY))
+    + tuple(f"size_{b}" for b in (300, 750, 1200, 1850, 2850, 4300))
+    + ("chunks_left",)
+)
+
+#: Round-trip latency added to each chunk fetch (seconds).
+RTT_SECONDS = 0.08
+
+#: Fraction of link bandwidth usable as goodput (headers, TCP dynamics).
+GOODPUT_RATIO = 0.95
+
+#: Client buffer cap (seconds); the player idles above this.
+MAX_BUFFER_SECONDS = 60.0
+
+
+@dataclass
+class ABRState:
+    """Structured view of one observation (mainly for humans/tests)."""
+
+    last_bitrate_mbps: float
+    buffer_seconds: float
+    throughputs_mbps: np.ndarray
+    download_times_s: np.ndarray
+    next_sizes_mb: np.ndarray
+    chunks_left_frac: float
+
+    @classmethod
+    def from_vector(cls, vec: np.ndarray) -> "ABRState":
+        vec = np.asarray(vec, dtype=float)
+        if vec.shape != (STATE_DIM,):
+            raise ValueError(f"expected shape ({STATE_DIM},), got {vec.shape}")
+        return cls(
+            last_bitrate_mbps=float(vec[IDX_LAST_BITRATE]),
+            buffer_seconds=float(vec[IDX_BUFFER]),
+            throughputs_mbps=vec[THROUGHPUT_SLICE].copy(),
+            download_times_s=vec[DOWNLOAD_TIME_SLICE].copy(),
+            next_sizes_mb=vec[NEXT_SIZES_SLICE].copy(),
+            chunks_left_frac=float(vec[IDX_CHUNKS_LEFT]),
+        )
+
+
+class ABREnv:
+    """Sequential bitrate-selection environment.
+
+    Args:
+        video: the chunked video being streamed.
+        traces: candidate bandwidth traces; ``reset`` samples one.
+        qoe: per-chunk reward metric.
+        random_start: whether to start at a random trace offset.
+    """
+
+    def __init__(
+        self,
+        video: Video,
+        traces: Sequence[BandwidthTrace],
+        qoe: QoEMetric = None,
+        random_start: bool = True,
+    ) -> None:
+        if not traces:
+            raise ValueError("at least one trace is required")
+        self.video = video
+        self.traces = list(traces)
+        self.qoe = qoe if qoe is not None else LinearQoE()
+        self.random_start = random_start
+        self._trace: Optional[BandwidthTrace] = None
+        self._time = 0.0
+        self._buffer = 0.0
+        self._chunk = 0
+        self._last_level = 0
+        self._throughputs = np.zeros(HISTORY)
+        self._download_times = np.zeros(HISTORY)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        return self.video.n_bitrates
+
+    @property
+    def chunk_index(self) -> int:
+        """Index of the chunk the *next* action will download."""
+        return self._chunk
+
+    @property
+    def current_trace(self) -> BandwidthTrace:
+        if self._trace is None:
+            raise RuntimeError("reset() must be called first")
+        return self._trace
+
+    def reset(
+        self, rng: SeedLike = None, trace: Optional[BandwidthTrace] = None
+    ) -> np.ndarray:
+        """Start a new streaming session; returns the initial observation."""
+        rng = as_rng(rng)
+        self._trace = trace if trace is not None else (
+            self.traces[int(rng.integers(len(self.traces)))]
+        )
+        self._time = (
+            float(rng.uniform(0.0, self._trace.duration))
+            if self.random_start and trace is None
+            else 0.0
+        )
+        self._buffer = 0.0
+        self._chunk = 0
+        self._last_level = 0
+        self._throughputs[...] = 0.0
+        self._download_times[...] = 0.0
+        return self._observation()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, dict]:
+        """Download chunk ``self.chunk_index`` at ladder index ``action``."""
+        if self._trace is None:
+            raise RuntimeError("reset() must be called first")
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action {action} out of range")
+        if self._chunk >= self.video.n_chunks:
+            raise RuntimeError("episode already finished")
+
+        size_kbits = self.video.chunk_size_kbits(self._chunk, action)
+        download_time = self._simulate_download(size_kbits)
+
+        rebuffer = max(0.0, download_time - self._buffer)
+        self._buffer = max(self._buffer - download_time, 0.0)
+        self._buffer += self.video.chunk_seconds
+        if self._buffer > MAX_BUFFER_SECONDS:
+            # Player pauses fetching; wall-clock advances while we idle.
+            idle = self._buffer - MAX_BUFFER_SECONDS
+            self._time += idle
+            self._buffer = MAX_BUFFER_SECONDS
+
+        throughput_mbps = (size_kbits / 1000.0) / max(download_time, 1e-9)
+        self._push_history(throughput_mbps, download_time)
+
+        bitrate = self.video.bitrates_kbps[action]
+        last_bitrate = self.video.bitrates_kbps[self._last_level]
+        reward = self.qoe.reward(bitrate, last_bitrate, rebuffer)
+
+        self._last_level = action
+        self._chunk += 1
+        done = self._chunk >= self.video.n_chunks
+        info = {
+            "bitrate_kbps": bitrate,
+            "rebuffer_s": rebuffer,
+            "buffer_s": self._buffer,
+            "download_time_s": download_time,
+            "throughput_mbps": throughput_mbps,
+            "chunk": self._chunk - 1,
+        }
+        return self._observation(), reward, done, info
+
+    # ------------------------------------------------------------------
+    def upcoming_sizes_kbits(self, horizon: int) -> np.ndarray:
+        """Sizes of the next ``horizon`` chunks, shape ``(h, n_bitrates)``.
+
+        Model-predictive baselines use this manifest information; it is
+        clipped at the end of the video.
+        """
+        end = min(self._chunk + horizon, self.video.n_chunks)
+        return self.video.sizes_kbits[self._chunk:end].copy()
+
+    def _simulate_download(self, size_kbits: float) -> float:
+        """Advance trace time while draining ``size_kbits``; returns seconds."""
+        remaining = size_kbits
+        elapsed = RTT_SECONDS
+        t = self._time + RTT_SECONDS
+        while remaining > 0:
+            bw = self._trace.bandwidth_at(t) * GOODPUT_RATIO
+            slot_left = 1.0 - (t % 1.0)
+            can_send = bw * slot_left
+            if can_send >= remaining:
+                used = remaining / bw
+                elapsed += used
+                t += used
+                remaining = 0.0
+            else:
+                remaining -= can_send
+                elapsed += slot_left
+                t += slot_left
+        self._time = t
+        return elapsed
+
+    def _push_history(self, throughput_mbps: float, download_time: float) -> None:
+        self._throughputs[:-1] = self._throughputs[1:]
+        self._throughputs[-1] = throughput_mbps
+        self._download_times[:-1] = self._download_times[1:]
+        self._download_times[-1] = download_time
+
+    def _observation(self) -> np.ndarray:
+        vec = np.zeros(STATE_DIM)
+        vec[IDX_LAST_BITRATE] = self.video.bitrates_kbps[self._last_level] / 1000.0
+        vec[IDX_BUFFER] = self._buffer
+        vec[THROUGHPUT_SLICE] = self._throughputs
+        vec[DOWNLOAD_TIME_SLICE] = self._download_times
+        if self._chunk < self.video.n_chunks:
+            sizes = self.video.sizes_kbits[self._chunk] / 8.0 / 1000.0  # MB
+        else:
+            sizes = np.zeros(self.video.n_bitrates)
+        vec[NEXT_SIZES_SLICE] = sizes
+        vec[IDX_CHUNKS_LEFT] = (
+            (self.video.n_chunks - self._chunk) / self.video.n_chunks
+        )
+        return vec

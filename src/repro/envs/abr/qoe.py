@@ -1,0 +1,53 @@
+"""Quality-of-experience metrics for ABR.
+
+The paper uses Pensieve's linear QoE:
+
+    QoE = sum_k q(R_k) - mu * rebuffer_k - |q(R_k) - q(R_{k-1})|
+
+with q(R) = R in Mbps and mu = 4.3 (the maximum bitrate in Mbps), i.e. one
+second of stall costs as much as a chunk of top-rung quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class QoEMetric:
+    """Interface: per-chunk reward given bitrate decisions and stalls."""
+
+    def reward(
+        self,
+        bitrate_kbps: float,
+        last_bitrate_kbps: float,
+        rebuffer_seconds: float,
+    ) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinearQoE(QoEMetric):
+    """Pensieve's QoE_lin: bitrate utility minus stall and smoothness terms.
+
+    Attributes:
+        rebuffer_penalty: Mbps-equivalent cost per stalled second (paper: 4.3).
+        smoothness_penalty: weight on |bitrate change| in Mbps (paper: 1.0).
+    """
+
+    rebuffer_penalty: float = 4.3
+    smoothness_penalty: float = 1.0
+
+    def reward(
+        self,
+        bitrate_kbps: float,
+        last_bitrate_kbps: float,
+        rebuffer_seconds: float,
+    ) -> float:
+        if rebuffer_seconds < 0:
+            raise ValueError("rebuffer time cannot be negative")
+        quality = bitrate_kbps / 1000.0
+        stall = self.rebuffer_penalty * rebuffer_seconds
+        smooth = self.smoothness_penalty * abs(
+            bitrate_kbps - last_bitrate_kbps
+        ) / 1000.0
+        return quality - stall - smooth

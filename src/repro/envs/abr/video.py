@@ -1,0 +1,95 @@
+"""Chunked-video model.
+
+The paper's Pensieve setup: 4-second chunks encoded at
+{300, 750, 1200, 1850, 2850, 4300} kbps.  Chunk sizes are variable-bitrate
+around the nominal ``bitrate * duration`` with a reproducible per-chunk
+multiplier (real encoders produce scene-dependent sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+#: Bitrate ladder used by Pensieve (kbit/s).
+PENSIEVE_BITRATES_KBPS = (300, 750, 1200, 1850, 2850, 4300)
+
+#: Chunk playback duration (seconds).
+CHUNK_SECONDS = 4.0
+
+
+@dataclass
+class Video:
+    """A video as a grid of chunk sizes: ``sizes_kbits[chunk, bitrate]``.
+
+    Attributes:
+        bitrates_kbps: encoding ladder, ascending.
+        chunk_seconds: playtime per chunk.
+        sizes_kbits: per-chunk, per-bitrate sizes in kilobits.
+    """
+
+    bitrates_kbps: Sequence[int] = PENSIEVE_BITRATES_KBPS
+    chunk_seconds: float = CHUNK_SECONDS
+    sizes_kbits: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.bitrates_kbps = tuple(self.bitrates_kbps)
+        if list(self.bitrates_kbps) != sorted(self.bitrates_kbps):
+            raise ValueError("bitrate ladder must be ascending")
+        if self.sizes_kbits is None:
+            raise ValueError("sizes_kbits is required; use Video.synthetic()")
+        self.sizes_kbits = np.asarray(self.sizes_kbits, dtype=float)
+        if self.sizes_kbits.ndim != 2:
+            raise ValueError("sizes_kbits must be 2-D (chunks x bitrates)")
+        if self.sizes_kbits.shape[1] != len(self.bitrates_kbps):
+            raise ValueError("sizes_kbits columns must match ladder length")
+        if np.any(self.sizes_kbits <= 0):
+            raise ValueError("chunk sizes must be positive")
+
+    @classmethod
+    def synthetic(
+        cls,
+        n_chunks: int = 48,
+        bitrates_kbps: Sequence[int] = PENSIEVE_BITRATES_KBPS,
+        chunk_seconds: float = CHUNK_SECONDS,
+        vbr_std: float = 0.10,
+        seed: SeedLike = None,
+    ) -> "Video":
+        """Generate a VBR video.
+
+        Each chunk gets one scene-complexity multiplier shared by all
+        bitrates (complex scenes are bigger at every rung), clipped to
+        keep sizes positive and bounded.
+        """
+        if n_chunks <= 0:
+            raise ValueError("n_chunks must be positive")
+        rng = as_rng(seed)
+        nominal = np.asarray(bitrates_kbps, dtype=float) * chunk_seconds
+        mult = np.clip(
+            rng.normal(1.0, vbr_std, size=(n_chunks, 1)), 0.6, 1.5
+        )
+        return cls(
+            bitrates_kbps=bitrates_kbps,
+            chunk_seconds=chunk_seconds,
+            sizes_kbits=nominal[None, :] * mult,
+        )
+
+    @property
+    def n_chunks(self) -> int:
+        return int(self.sizes_kbits.shape[0])
+
+    @property
+    def n_bitrates(self) -> int:
+        return len(self.bitrates_kbps)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.n_chunks * self.chunk_seconds
+
+    def chunk_size_kbits(self, chunk: int, level: int) -> float:
+        """Size of ``chunk`` encoded at ladder index ``level``."""
+        return float(self.sizes_kbits[chunk, level])

@@ -1,0 +1,23 @@
+"""Datacenter flow-scheduling substrate (the AuTO setting)."""
+
+from repro.envs.flows.workloads import (
+    FlowSizeDistribution,
+    WEB_SEARCH,
+    DATA_MINING,
+    generate_flows,
+    Flow,
+)
+from repro.envs.flows.mlfq import MLFQConfig, DEFAULT_THRESHOLDS_BYTES
+from repro.envs.flows.simulator import FabricSimulator, SimulationResult
+
+__all__ = [
+    "FlowSizeDistribution",
+    "WEB_SEARCH",
+    "DATA_MINING",
+    "generate_flows",
+    "Flow",
+    "MLFQConfig",
+    "DEFAULT_THRESHOLDS_BYTES",
+    "FabricSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,64 @@
+"""Multi-level feedback queue (MLFQ) configuration.
+
+AuTO schedules short flows with MLFQ on the switches: a flow starts in the
+highest-priority queue and is demoted each time its sent-byte count
+crosses a threshold.  The sRLA agent's whole job is choosing these
+thresholds; this module holds the queue logic shared by the simulator and
+the agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Default demotion thresholds (bytes) — a PIAS-style geometric ladder.
+DEFAULT_THRESHOLDS_BYTES: Tuple[float, ...] = (20_000, 100_000, 500_000, 2_000_000)
+
+
+@dataclass(frozen=True)
+class MLFQConfig:
+    """Demotion thresholds defining ``len(thresholds) + 1`` queues.
+
+    Queue 0 is the highest priority; a flow with ``bytes_sent`` in
+    ``[thresholds[i-1], thresholds[i])`` sits in queue ``i``.
+    """
+
+    thresholds_bytes: Tuple[float, ...] = DEFAULT_THRESHOLDS_BYTES
+
+    def __post_init__(self) -> None:
+        t = list(self.thresholds_bytes)
+        if not t:
+            raise ValueError("at least one threshold is required")
+        if t != sorted(t) or len(set(t)) != len(t):
+            raise ValueError("thresholds must be strictly increasing")
+        if t[0] <= 0:
+            raise ValueError("thresholds must be positive")
+
+    @property
+    def n_queues(self) -> int:
+        return len(self.thresholds_bytes) + 1
+
+    def queue_of(self, bytes_sent: float) -> int:
+        """Queue index for a flow that has sent ``bytes_sent`` so far."""
+        return int(np.searchsorted(self.thresholds_bytes, bytes_sent, side="right"))
+
+    def bytes_to_demotion(self, bytes_sent: float) -> float:
+        """Bytes until the next demotion (inf from the lowest queue)."""
+        q = self.queue_of(bytes_sent)
+        if q >= len(self.thresholds_bytes):
+            return float("inf")
+        return float(self.thresholds_bytes[q] - bytes_sent)
+
+    @classmethod
+    def from_log2(cls, log2_thresholds: Sequence[float]) -> "MLFQConfig":
+        """Build from log2-byte values (the sRLA action space), sorted and
+        de-duplicated with a minimal separation to stay strictly increasing."""
+        raw = np.sort(np.asarray(log2_thresholds, dtype=float))
+        bytes_ = np.power(2.0, raw)
+        for i in range(1, bytes_.size):
+            if bytes_[i] <= bytes_[i - 1]:
+                bytes_[i] = bytes_[i - 1] * 1.0001
+        return cls(tuple(float(b) for b in bytes_))

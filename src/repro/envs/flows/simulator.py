@@ -1,0 +1,235 @@
+"""Fluid event-driven simulation of a single bottleneck fabric.
+
+The paper's AuTO testbed is 16 servers behind one switch; its FCT
+behaviour is a queueing phenomenon, which this simulator reproduces with
+a fluid model of the bottleneck link:
+
+* strict priority across queues, processor sharing within a queue;
+* MLFQ demotion of flows by sent bytes (thresholds from sRLA);
+* optional *central decisions*: a scheduler callback assigns an explicit
+  priority to a flow, but the decision only takes effect
+  ``decision_latency`` seconds after arrival — flows that finish earlier
+  were never covered (the §6.4 coverage experiment).
+
+Events: flow arrival, flow completion, threshold crossing, decision
+activation.  Between events the allocation is constant, so the simulation
+advances analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.envs.flows.mlfq import MLFQConfig
+from repro.envs.flows.workloads import Flow
+
+#: Signature of a central per-flow scheduler: receives (flow, fabric state
+#: snapshot) and returns a priority index, or None to leave MLFQ in charge.
+DecisionFn = Callable[[Flow, "FabricSnapshot"], Optional[int]]
+
+
+@dataclass
+class FabricSnapshot:
+    """What a central scheduler can observe when deciding for a flow."""
+
+    time: float
+    queue_counts: np.ndarray          # active flows per queue
+    queue_remaining_bytes: np.ndarray  # remaining bytes per queue
+    flow_bytes_sent: float
+    flow_size_bytes: float
+
+    def feature_vector(self) -> np.ndarray:
+        """Numeric features consumed by lRLA and its distilled tree."""
+        return np.concatenate([
+            [np.log10(max(self.flow_size_bytes, 1.0))],
+            [np.log10(max(self.flow_bytes_sent, 1.0))],
+            self.queue_counts.astype(float),
+            np.log10(self.queue_remaining_bytes + 1.0),
+        ])
+
+
+@dataclass
+class SimulationResult:
+    """Completed-flow accounting for one run."""
+
+    flows: List[Flow]
+    capacity_bps: float
+    duration: float
+
+    def fcts(self) -> np.ndarray:
+        return np.asarray([f.fct for f in self.flows])
+
+    def slowdowns(self) -> np.ndarray:
+        return np.asarray([f.slowdown(self.capacity_bps) for f in self.flows])
+
+    def mean_fct(self) -> float:
+        return float(self.fcts().mean()) if self.flows else 0.0
+
+    def p99_fct(self) -> float:
+        return float(np.percentile(self.fcts(), 99)) if self.flows else 0.0
+
+    def subset(self, predicate) -> "SimulationResult":
+        """Result restricted to flows satisfying ``predicate``."""
+        return SimulationResult(
+            [f for f in self.flows if predicate(f)],
+            self.capacity_bps,
+            self.duration,
+        )
+
+
+class FabricSimulator:
+    """Single-bottleneck fluid simulator with MLFQ + central decisions.
+
+    Args:
+        capacity_bps: bottleneck bandwidth (bits per second).
+        mlfq: demotion thresholds.
+        decision_fn: optional central scheduler (lRLA / distilled tree).
+        decision_latency_s: delay before a central decision takes effect.
+        decision_min_bytes: only flows at least this large are sent to the
+            central scheduler (AuTO only schedules long flows centrally).
+    """
+
+    def __init__(
+        self,
+        capacity_bps: float = 1e9,
+        mlfq: MLFQConfig = None,
+        decision_fn: Optional[DecisionFn] = None,
+        decision_latency_s: float = 0.0,
+        decision_min_bytes: float = 0.0,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bps = capacity_bps
+        self.mlfq = mlfq if mlfq is not None else MLFQConfig()
+        self.decision_fn = decision_fn
+        self.decision_latency_s = decision_latency_s
+        self.decision_min_bytes = decision_min_bytes
+        #: Recorded (features, priority) pairs for each central decision —
+        #: the distillation dataset.
+        self.decision_log: List = []
+
+    # ------------------------------------------------------------------
+    def run(self, flows: Sequence[Flow], horizon_s: float = None) -> SimulationResult:
+        """Simulate until every flow completes (or ``horizon_s``)."""
+        pending = sorted(
+            (Flow(f.flow_id, f.arrival, f.size_bytes) for f in flows),
+            key=lambda f: f.arrival,
+        )
+        for f in pending:
+            if (
+                self.decision_fn is not None
+                and f.size_bytes >= self.decision_min_bytes
+            ):
+                f.decision_ready_at = f.arrival + self.decision_latency_s
+        active: List[Flow] = []
+        done: List[Flow] = []
+        t = 0.0
+        next_idx = 0
+        n = len(pending)
+        guard = 0
+        max_events = 200 * max(n, 1) + 10_000
+        while (next_idx < n or active) and guard < max_events:
+            guard += 1
+            if horizon_s is not None and t >= horizon_s:
+                break
+            # Activate any pending central decisions due now.
+            for f in active:
+                if f.assigned_priority < 0 and f.decision_ready_at <= t:
+                    self._apply_decision(f, t, active)
+            shares = self._allocate(active)
+            dt = self._time_to_next_event(t, active, shares, pending, next_idx)
+            if dt == float("inf"):
+                break
+            # Advance fluid state.
+            for f, share in zip(active, shares):
+                if share > 0:
+                    f.bytes_sent += share * dt / 8.0
+            t += dt
+            # Completions.
+            still_active = []
+            for f in active:
+                if f.remaining <= 1e-6:
+                    f.completion = t
+                    done.append(f)
+                else:
+                    still_active.append(f)
+            active = still_active
+            # Arrivals at the new time.
+            while next_idx < n and pending[next_idx].arrival <= t + 1e-12:
+                active.append(pending[next_idx])
+                next_idx += 1
+        duration = t
+        done.sort(key=lambda f: f.flow_id)
+        return SimulationResult(done, self.capacity_bps, duration)
+
+    # ------------------------------------------------------------------
+    def _priority_of(self, flow: Flow) -> int:
+        if flow.assigned_priority >= 0:
+            return flow.assigned_priority
+        return self.mlfq.queue_of(flow.bytes_sent)
+
+    def _allocate(self, active: List[Flow]) -> List[float]:
+        """Strict priority, equal share within the served queue (bps)."""
+        if not active:
+            return []
+        priorities = [self._priority_of(f) for f in active]
+        served = min(priorities)
+        members = priorities.count(served)
+        share = self.capacity_bps / members
+        return [share if p == served else 0.0 for p in priorities]
+
+    def _time_to_next_event(
+        self,
+        t: float,
+        active: List[Flow],
+        shares: List[float],
+        pending: List[Flow],
+        next_idx: int,
+    ) -> float:
+        dt = float("inf")
+        if next_idx < len(pending):
+            dt = min(dt, max(pending[next_idx].arrival - t, 0.0))
+        for f, share in zip(active, shares):
+            if f.assigned_priority < 0 and f.decision_ready_at > t:
+                dt = min(dt, f.decision_ready_at - t)
+            if share <= 0:
+                continue
+            dt = min(dt, f.remaining * 8.0 / share)
+            if f.assigned_priority < 0:
+                to_demote = self.mlfq.bytes_to_demotion(f.bytes_sent)
+                if to_demote != float("inf"):
+                    dt = min(dt, to_demote * 8.0 / share)
+        return max(dt, 1e-9)
+
+    def _apply_decision(self, flow: Flow, t: float, active: List[Flow]) -> None:
+        snapshot = self._snapshot(t, flow, active)
+        priority = self.decision_fn(flow, snapshot)
+        if priority is None:
+            flow.decision_ready_at = float("inf")
+            return
+        n_q = self.mlfq.n_queues
+        flow.assigned_priority = int(np.clip(priority, 0, n_q - 1))
+        self.decision_log.append(
+            (snapshot.feature_vector(), flow.assigned_priority)
+        )
+
+    def _snapshot(self, t: float, flow: Flow, active: List[Flow]) -> FabricSnapshot:
+        n_q = self.mlfq.n_queues
+        counts = np.zeros(n_q)
+        remaining = np.zeros(n_q)
+        for f in active:
+            if f is flow:
+                continue
+            q = self._priority_of(f)
+            counts[q] += 1
+            remaining[q] += f.remaining
+        return FabricSnapshot(
+            time=t,
+            queue_counts=counts,
+            queue_remaining_bytes=remaining,
+            flow_bytes_sent=flow.bytes_sent,
+            flow_size_bytes=flow.size_bytes,
+        )

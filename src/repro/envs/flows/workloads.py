@@ -1,0 +1,157 @@
+"""Datacenter workloads: flow-size distributions and Poisson arrivals.
+
+The paper evaluates AuTO on the web-search (DCTCP [Alizadeh et al.,
+SIGCOMM'10]) and data-mining (VL2 [Greenberg et al., SIGCOMM'09]) traces.
+We use the standard empirical CDFs from those papers (as tabulated in the
+pFabric literature) with log-linear interpolation between knots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class FlowSizeDistribution:
+    """Empirical flow-size CDF with log-linear inverse interpolation.
+
+    Attributes:
+        name: workload label.
+        knots: (size_bytes, cumulative_probability) pairs, ascending, the
+            last probability being 1.0.
+    """
+
+    name: str
+    knots: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        sizes = [k[0] for k in self.knots]
+        probs = [k[1] for k in self.knots]
+        if sizes != sorted(sizes) or probs != sorted(probs):
+            raise ValueError("CDF knots must be ascending")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("last knot must have probability 1.0")
+
+    def sample(self, rng: SeedLike = None, size: int = 1) -> np.ndarray:
+        """Draw ``size`` flow sizes (bytes)."""
+        rng = as_rng(rng)
+        u = rng.uniform(0.0, 1.0, size=size)
+        return self.quantile(u)
+
+    def quantile(self, u: np.ndarray) -> np.ndarray:
+        """Inverse CDF, log-linear in size between knots."""
+        u = np.atleast_1d(np.asarray(u, dtype=float))
+        sizes = np.log(np.array([k[0] for k in self.knots]))
+        probs = np.array([k[1] for k in self.knots])
+        # Prepend an implicit (min_size, 0) anchor.
+        probs0 = np.concatenate([[0.0], probs])
+        sizes0 = np.concatenate([[sizes[0]], sizes])
+        return np.exp(np.interp(u, probs0, sizes0))
+
+    def mean_bytes(self, samples: int = 200_000, seed: int = 0) -> float:
+        """Monte-Carlo mean flow size (cached sampling would be overkill)."""
+        return float(self.sample(as_rng(seed), samples).mean())
+
+
+#: DCTCP web-search workload: mix of short queries and medium responses.
+WEB_SEARCH = FlowSizeDistribution(
+    "web-search",
+    (
+        (6_000, 0.15),
+        (13_000, 0.20),
+        (19_000, 0.30),
+        (33_000, 0.40),
+        (53_000, 0.53),
+        (133_000, 0.60),
+        (667_000, 0.70),
+        (1_467_000, 0.80),
+        (3_333_000, 0.90),
+        (6_667_000, 0.97),
+        (20_000_000, 1.00),
+    ),
+)
+
+#: VL2 data-mining workload: heavy-tailed, dominated by a few huge flows.
+DATA_MINING = FlowSizeDistribution(
+    "data-mining",
+    (
+        (100, 0.50),
+        (1_000, 0.60),
+        (10_000, 0.70),
+        (100_000, 0.80),
+        (1_000_000, 0.90),
+        (10_000_000, 0.95),
+        (100_000_000, 0.98),
+        (1_000_000_000, 1.00),
+    ),
+)
+
+WORKLOADS = {"websearch": WEB_SEARCH, "datamining": DATA_MINING}
+
+
+@dataclass
+class Flow:
+    """One flow through the fabric.
+
+    Mutable simulation fields are managed by the simulator.
+    """
+
+    flow_id: int
+    arrival: float
+    size_bytes: float
+    # -- simulation state ------------------------------------------------
+    bytes_sent: float = 0.0
+    assigned_priority: int = -1  # -1 = MLFQ-governed
+    decision_ready_at: float = field(default=float("inf"))
+    completion: float = field(default=float("nan"))
+
+    @property
+    def remaining(self) -> float:
+        return self.size_bytes - self.bytes_sent
+
+    @property
+    def fct(self) -> float:
+        return self.completion - self.arrival
+
+    def ideal_fct(self, capacity_bps: float) -> float:
+        """FCT with the whole bottleneck to itself."""
+        return self.size_bytes * 8.0 / capacity_bps
+
+    def slowdown(self, capacity_bps: float) -> float:
+        """FCT normalized by the ideal transfer time (>= 1 in theory)."""
+        return self.fct / max(self.ideal_fct(capacity_bps), 1e-9)
+
+
+def generate_flows(
+    workload: FlowSizeDistribution,
+    load: float,
+    capacity_bps: float,
+    duration_s: float,
+    seed: SeedLike = None,
+) -> List[Flow]:
+    """Poisson flow arrivals at target utilization ``load``.
+
+    The arrival rate is ``load * capacity / mean_size`` so the offered
+    traffic equals ``load`` of the bottleneck capacity in expectation.
+    """
+    if not 0 < load < 1:
+        raise ValueError("load must be in (0, 1)")
+    rng = as_rng(seed)
+    mean_size_bits = workload.mean_bytes(samples=50_000, seed=1) * 8.0
+    rate = load * capacity_bps / mean_size_bits  # flows per second
+    flows: List[Flow] = []
+    t = 0.0
+    fid = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t > duration_s:
+            break
+        size = float(workload.sample(rng, 1)[0])
+        flows.append(Flow(flow_id=fid, arrival=t, size_bytes=size))
+        fid += 1
+    return flows

@@ -1,0 +1,21 @@
+"""SDN routing substrate (the RouteNet setting): NSFNet topology,
+gravity-model traffic, candidate paths, and the M/M/1 delay ground truth."""
+
+from repro.envs.routing.topology import (
+    Topology,
+    nsfnet,
+    DirectedLink,
+)
+from repro.envs.routing.demands import TrafficMatrix, gravity_demands
+from repro.envs.routing.delay import link_delays, routing_latencies, Routing
+
+__all__ = [
+    "Topology",
+    "nsfnet",
+    "DirectedLink",
+    "TrafficMatrix",
+    "gravity_demands",
+    "link_delays",
+    "routing_latencies",
+    "Routing",
+]

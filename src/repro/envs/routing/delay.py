@@ -1,0 +1,113 @@
+"""Ground-truth latency model for routings.
+
+The RouteNet dataset's labels come from an OMNeT++ queueing simulation;
+here the ground truth is the standard analytic equivalent: each directed
+link is an M/M/1-style server whose sojourn time grows as ``1/(C - load)``
+(smoothly clipped near saturation), plus a fixed per-hop propagation cost.
+Path latency is the sum over traversed links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.routing.demands import TrafficMatrix
+from repro.envs.routing.topology import Topology
+
+#: Fixed propagation + processing latency per hop (time units).
+HOP_COST = 0.05
+
+#: Load is clipped at this fraction of capacity so delays stay finite.
+MAX_UTILIZATION = 0.98
+
+
+@dataclass
+class Routing:
+    """A routing: one node path per ordered src-dst demand pair."""
+
+    paths: Dict[Tuple[int, int], List[int]]
+
+    def __post_init__(self) -> None:
+        for (s, d), path in self.paths.items():
+            if not path or path[0] != s or path[-1] != d:
+                raise ValueError(f"path for {(s, d)} must run src->dst: {path}")
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        return sorted(self.paths)
+
+    def path(self, src: int, dst: int) -> List[int]:
+        return self.paths[(src, dst)]
+
+    def incidence(self, topology: Topology) -> np.ndarray:
+        """0/1 incidence matrix, hyperedges (paths) x vertices (links).
+
+        Row order follows ``pairs()``; column order follows
+        ``topology.links``.  This is exactly the paper's Eq. 3 matrix.
+        """
+        pairs = self.pairs()
+        inc = np.zeros((len(pairs), topology.n_links))
+        for row, pair in enumerate(pairs):
+            for link in Topology.path_links(self.paths[pair]):
+                inc[row, topology.link_index(link)] = 1.0
+        return inc
+
+
+def link_loads(
+    topology: Topology, routing: Routing, traffic: TrafficMatrix
+) -> np.ndarray:
+    """Traffic volume per directed link under ``routing``."""
+    loads = np.zeros(topology.n_links)
+    for pair, path in routing.paths.items():
+        volume = traffic.volume(*pair)
+        for link in Topology.path_links(path):
+            loads[topology.link_index(link)] += volume
+    return loads
+
+
+def link_delays(
+    topology: Topology, routing: Routing, traffic: TrafficMatrix
+) -> np.ndarray:
+    """Per-directed-link queueing delay under ``routing``."""
+    loads = link_loads(topology, routing, traffic)
+    return delays_from_loads(loads, topology.capacity_vector())
+
+
+def delays_from_loads(loads: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+    """M/M/1-style sojourn time with smooth clipping near saturation."""
+    slack = np.maximum(capacities - loads, (1.0 - MAX_UTILIZATION) * capacities)
+    return 1.0 / slack
+
+
+def routing_latencies(
+    topology: Topology, routing: Routing, traffic: TrafficMatrix
+) -> Dict[Tuple[int, int], float]:
+    """End-to-end latency per demand pair (queueing + per-hop cost)."""
+    delays = link_delays(topology, routing, traffic)
+    out: Dict[Tuple[int, int], float] = {}
+    for pair, path in routing.paths.items():
+        links = Topology.path_links(path)
+        queueing = sum(delays[topology.link_index(l)] for l in links)
+        out[pair] = float(queueing + HOP_COST * len(links))
+    return out
+
+
+def path_latency(
+    path: Sequence[int], delays: np.ndarray, topology: Topology
+) -> float:
+    """Latency of an arbitrary path under fixed link delays."""
+    links = Topology.path_links(list(path))
+    queueing = sum(delays[topology.link_index(l)] for l in links)
+    return float(queueing + HOP_COST * len(links))
+
+
+def shortest_path_routing(topology: Topology) -> Routing:
+    """Hop-count shortest paths for every pair (the optimizer's start)."""
+    import networkx as nx
+
+    paths = {}
+    for s, d in topology.node_pairs():
+        paths[(s, d)] = list(nx.shortest_path(topology.graph, s, d))
+    return Routing(paths)

@@ -1,0 +1,117 @@
+"""Topologies for the routing experiments.
+
+The paper uses the 14-node NSFNet topology with the 50 traffic samples of
+the RouteNet dataset.  Links are *directed* here (each undirected fiber is
+two directed links) because the paper's interpretations are directional
+("link 6→7", Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+#: A directed link is an ordered node pair.
+DirectedLink = Tuple[int, int]
+
+#: NSFNet undirected edges (the 21-fiber layout used by RouteNet).
+NSFNET_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (0, 2), (0, 3), (1, 2), (1, 7), (2, 5), (3, 4), (3, 8),
+    (4, 5), (4, 6), (5, 12), (5, 13), (6, 7), (7, 10), (8, 9), (8, 11),
+    (9, 10), (9, 12), (10, 11), (10, 13), (11, 12),
+)
+
+
+@dataclass
+class Topology:
+    """A capacitated directed topology with candidate-path enumeration.
+
+    Attributes:
+        graph: the underlying undirected connectivity.
+        capacities: per-directed-link capacity (traffic units).
+        name: label for reports.
+    """
+
+    graph: nx.Graph
+    capacities: Dict[DirectedLink, float]
+    name: str = "topology"
+    _links: List[DirectedLink] = field(default_factory=list, repr=False)
+    _link_index: Dict[DirectedLink, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._links = sorted(self.capacities)
+        self._link_index = {l: i for i, l in enumerate(self._links)}
+        for u, v in self._links:
+            if not self.graph.has_edge(u, v):
+                raise ValueError(f"capacity given for non-edge {(u, v)}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def links(self) -> List[DirectedLink]:
+        """All directed links in a stable order."""
+        return list(self._links)
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    def link_index(self, link: DirectedLink) -> int:
+        return self._link_index[link]
+
+    def capacity_vector(self) -> np.ndarray:
+        return np.asarray([self.capacities[l] for l in self._links])
+
+    @staticmethod
+    def path_links(path: Sequence[int]) -> List[DirectedLink]:
+        """Directed links traversed by a node path."""
+        return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    # ------------------------------------------------------------------
+    def node_pairs(self) -> List[Tuple[int, int]]:
+        """All ordered src-dst pairs (the demand set)."""
+        nodes = sorted(self.graph.nodes)
+        return [(s, d) for s in nodes for d in nodes if s != d]
+
+    def candidate_paths(
+        self, src: int, dst: int, extra_hops: int = 1, max_candidates: int = 6
+    ) -> List[List[int]]:
+        """Loop-free candidate paths at most ``extra_hops`` longer than the
+        shortest path (the paper's §6.5 candidate criterion)."""
+        shortest_len = nx.shortest_path_length(self.graph, src, dst)
+        out: List[List[int]] = []
+        for path in nx.shortest_simple_paths(self.graph, src, dst):
+            if len(path) - 1 > shortest_len + extra_hops:
+                break
+            out.append(list(path))
+            if len(out) >= max_candidates:
+                break
+        return out
+
+
+def nsfnet(
+    capacity: float = 40.0,
+    fat_links: Sequence[Tuple[int, int]] = ((7, 10), (9, 12), (0, 3)),
+    fat_capacity: float = 80.0,
+) -> Topology:
+    """The NSFNet topology with mostly uniform capacities.
+
+    A few backbone fibers get double capacity (``fat_links``) so routing
+    decisions are not degenerate.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(14))
+    graph.add_edges_from(NSFNET_EDGES)
+    capacities: Dict[DirectedLink, float] = {}
+    fat = {tuple(sorted(e)) for e in fat_links}
+    for u, v in NSFNET_EDGES:
+        cap = fat_capacity if tuple(sorted((u, v))) in fat else capacity
+        capacities[(u, v)] = cap
+        capacities[(v, u)] = cap
+    return Topology(graph=graph, capacities=capacities, name="nsfnet")

@@ -1,0 +1,135 @@
+"""Synthetic bandwidth traces.
+
+The paper evaluates Pensieve on 250 HSDPA (Norway 3G commute) traces and
+205 FCC broadband traces.  Those datasets cannot be shipped offline, so
+this module generates stochastic traces matched to their published
+character:
+
+* HSDPA-like: slowly wandering cellular throughput in roughly
+  0.1–6 Mbps with occasional deep fades (tunnels, handovers), strong
+  temporal autocorrelation.
+* FCC-like: wired broadband with piecewise-constant regimes in roughly
+  0.3–8 Mbps plus mild noise, modeling cross-traffic level shifts.
+
+Both produce 1-second-granularity traces consumed by the chunk download
+simulator.  ``fixed_trace`` reproduces the §6.3 fixed-bandwidth links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+
+
+@dataclass
+class BandwidthTrace:
+    """A piecewise-constant bandwidth series.
+
+    Attributes:
+        bandwidths_kbps: bandwidth during each 1-second slot, kbit/s.
+        name: human-readable identifier for reports.
+    """
+
+    bandwidths_kbps: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        self.bandwidths_kbps = np.asarray(self.bandwidths_kbps, dtype=float)
+        if self.bandwidths_kbps.ndim != 1 or self.bandwidths_kbps.size == 0:
+            raise ValueError("trace must be a non-empty 1-D array")
+        if np.any(self.bandwidths_kbps <= 0):
+            raise ValueError("bandwidths must be strictly positive")
+
+    @property
+    def duration(self) -> float:
+        """Total seconds covered (traces wrap around when exhausted)."""
+        return float(self.bandwidths_kbps.size)
+
+    def bandwidth_at(self, t: float) -> float:
+        """Bandwidth (kbps) at absolute time ``t`` (wraps modulo duration)."""
+        idx = int(t % self.duration)
+        return float(self.bandwidths_kbps[idx])
+
+    def mean_kbps(self) -> float:
+        return float(self.bandwidths_kbps.mean())
+
+
+def fixed_trace(bandwidth_kbps: float, duration_s: int = 2000) -> BandwidthTrace:
+    """A constant-bandwidth link (the §6.3 debugging setup)."""
+    if bandwidth_kbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return BandwidthTrace(
+        np.full(duration_s, float(bandwidth_kbps)),
+        name=f"fixed-{int(bandwidth_kbps)}kbps",
+    )
+
+
+def hsdpa_like_trace(
+    duration_s: int = 320, seed: SeedLike = None, index: int = 0
+) -> BandwidthTrace:
+    """One HSDPA-like 3G trace.
+
+    Mean-reverting log-bandwidth (Ornstein–Uhlenbeck) around a per-trace
+    operating point, with occasional multiplicative deep fades.
+    """
+    rng = as_rng(seed)
+    base = rng.uniform(400.0, 3200.0)  # per-trace operating point, kbps
+    theta, sigma = 0.12, 0.22          # OU reversion speed / noise
+    log_base = np.log(base)
+    x = log_base + rng.normal(0.0, sigma)
+    values = np.empty(duration_s)
+    fade_left = 0
+    for t in range(duration_s):
+        x += theta * (log_base - x) + sigma * rng.normal()
+        bw = np.exp(x)
+        if fade_left > 0:
+            bw *= 0.15
+            fade_left -= 1
+        elif rng.random() < 0.01:  # enter a fade (tunnel / handover)
+            fade_left = int(rng.integers(2, 8))
+        values[t] = np.clip(bw, 80.0, 6500.0)
+    return BandwidthTrace(values, name=f"hsdpa-{index}")
+
+
+def fcc_like_trace(
+    duration_s: int = 320, seed: SeedLike = None, index: int = 0
+) -> BandwidthTrace:
+    """One FCC-like broadband trace: regime-switching levels plus noise."""
+    rng = as_rng(seed)
+    levels = rng.uniform(350.0, 8000.0, size=8)
+    level = float(rng.choice(levels))
+    values = np.empty(duration_s)
+    for t in range(duration_s):
+        if rng.random() < 0.03:  # cross-traffic level shift
+            level = float(rng.choice(levels))
+        noisy = level * (1.0 + 0.08 * rng.normal())
+        values[t] = np.clip(noisy, 200.0, 9500.0)
+    return BandwidthTrace(values, name=f"fcc-{index}")
+
+
+def trace_set(
+    kind: str,
+    count: int,
+    duration_s: int = 320,
+    seed: SeedLike = None,
+) -> List[BandwidthTrace]:
+    """Generate a reproducible set of traces.
+
+    Args:
+        kind: "hsdpa" or "fcc".
+        count: number of traces (paper: 250 HSDPA, 205 FCC).
+        duration_s: seconds per trace.
+        seed: master seed; each trace gets an independent child RNG.
+    """
+    makers = {"hsdpa": hsdpa_like_trace, "fcc": fcc_like_trace}
+    if kind not in makers:
+        raise ValueError(f"unknown trace kind {kind!r}")
+    rngs = spawn_rngs(seed, count)
+    return [
+        makers[kind](duration_s=duration_s, seed=rngs[i], index=i)
+        for i in range(count)
+    ]

@@ -1,0 +1,42 @@
+"""One harness module per paper table/figure.
+
+Every module exposes ``run(fast=False, seed=...) -> ExperimentResult``;
+``fast=True`` shrinks workloads for CI/benchmarks while keeping the same
+code path.  The registry maps experiment ids to their runners so the CLI
+(``python -m repro.experiments <id>``) and the benchmark suite agree.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+REGISTRY = {
+    "fig7": "repro.experiments.fig7_tree",
+    "table3": "repro.experiments.table3_masks",
+    "fig9": "repro.experiments.fig9_mask_stats",
+    "fig11": "repro.experiments.fig11_model_design",
+    "fig12": "repro.experiments.fig12_bitrate_freq",
+    "fig13": "repro.experiments.fig13_fixed_link",
+    "fig14": "repro.experiments.fig14_oversample",
+    "fig15": "repro.experiments.fig15_performance",
+    "fig16": "repro.experiments.fig16_latency_coverage",
+    "fig17": "repro.experiments.fig17_resources",
+    "fig18": "repro.experiments.fig18_adjustment",
+    "fig20": "repro.experiments.fig20_resampling",
+    "fig27": "repro.experiments.fig27_baselines",
+    "fig28": "repro.experiments.fig28_leaf_sensitivity",
+    "fig29": "repro.experiments.fig29_lambda_sensitivity",
+    "fig31": "repro.experiments.fig31_overhead",
+}
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]
+
+
+def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
+    """Import and run one registered experiment by id."""
+    import importlib
+
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(REGISTRY)}"
+        )
+    module = importlib.import_module(REGISTRY[name])
+    return module.run(fast=fast)

@@ -1,0 +1,33 @@
+"""CLI: ``python -m repro.experiments <id> [--fast]`` or ``all``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the paper-reproduction experiments."
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(sorted(REGISTRY))}) or 'all'",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced workloads (same code paths)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, fast=args.fast)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

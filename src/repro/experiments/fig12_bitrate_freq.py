@@ -1,0 +1,94 @@
+"""Fig. 12 (§6.3): bitrate-selection frequencies.
+
+The paper's debugging observation: Pensieve (and its faithful tree)
+almost never selects the median bitrates 1200/2850 kbps, on real traces
+and even on fixed-bandwidth links where a median bitrate is optimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.abr import (
+    ABREnv,
+    Bola,
+    BufferBased,
+    Festive,
+    RateBased,
+    RobustMPC,
+    run_policy,
+)
+from repro.envs.abr.video import PENSIEVE_BITRATES_KBPS, Video
+from repro.envs.traces import fixed_trace
+from repro.experiments.common import ExperimentResult, pensieve_lab
+from repro.utils.tables import ResultTable
+
+RARE_LEVELS = (2, 4)  # 1200 kbps and 2850 kbps
+
+
+def _frequencies(policy, env, traces) -> np.ndarray:
+    counts = np.zeros(env.n_actions)
+    for trace in traces:
+        result = run_policy(policy, env, trace=trace, rng=1)
+        for a in result.actions:
+            counts[a] += 1
+    return counts / max(counts.sum(), 1)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    lab = pensieve_lab("hsdpa", fast)
+    env, teacher, student = lab["env"], lab["teacher"], lab["student"]
+    traces = env.traces[: (10 if fast else 30)]
+
+    policies = [
+        BufferBased(), RateBased(), Festive(), Bola(), RobustMPC(),
+        student, teacher,
+    ]
+    names = ["BB", "RB", "FESTIVE", "BOLA", "rMPC", "Metis+Pensieve",
+             "Pensieve"]
+    freq_table = ResultTable(
+        "Bitrate selection frequency, HSDPA-like traces (Fig. 12a)",
+        ["policy"] + [f"{b}k" for b in PENSIEVE_BITRATES_KBPS],
+    )
+    freqs = {}
+    for name, policy in zip(names, policies):
+        f = _frequencies(policy, env, traces)
+        freqs[name] = f
+        freq_table.add_row([name] + [float(v) for v in f])
+
+    # Fixed-bandwidth sweep (Fig. 12c).
+    video = Video.synthetic(n_chunks=48 if fast else 100, seed=7)
+    sweep = ResultTable(
+        "Pensieve on fixed-bandwidth links (Fig. 12c)",
+        ["bandwidth"] + [f"{b}k" for b in PENSIEVE_BITRATES_KBPS],
+    )
+    fixed_freqs = {}
+    for bw in (300, 750, 1200, 1850, 2850, 4300):
+        fenv = ABREnv(video, [fixed_trace(float(bw * 1.05))],
+                      random_start=False)
+        f = _frequencies(teacher, fenv, fenv.traces)
+        fixed_freqs[bw] = f
+        sweep.add_row([f"{bw}kbps"] + [float(v) for v in f])
+
+    rare_teacher = float(sum(freqs["Pensieve"][l] for l in RARE_LEVELS))
+    rare_student = float(
+        sum(freqs["Metis+Pensieve"][l] for l in RARE_LEVELS)
+    )
+    mimic_gap = float(
+        np.abs(freqs["Pensieve"] - freqs["Metis+Pensieve"]).sum()
+    )
+    return ExperimentResult(
+        experiment="fig12",
+        title="Median bitrates are rarely selected by Pensieve",
+        tables=[freq_table, sweep],
+        metrics={
+            "teacher_rare_bitrate_freq": rare_teacher,
+            "student_rare_bitrate_freq": rare_student,
+            "teacher_student_freq_gap": mimic_gap,
+        },
+        raw={"frequencies": freqs, "fixed": fixed_freqs},
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,97 @@
+"""Figs. 13/24/25 + Table 5 (§6.3 + Appendix D): fixed-link behaviour.
+
+On a 3000 kbps link, BB/RB/rMPC converge to 2850 kbps, while Pensieve
+(and its faithful tree) oscillates between 1850 and 4300 kbps with low
+decision confidence, losing QoE to the smoothness penalty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.abr import (
+    ABREnv,
+    BufferBased,
+    RateBased,
+    RobustMPC,
+    run_policy,
+)
+from repro.envs.abr.video import Video
+from repro.envs.traces import fixed_trace
+from repro.experiments.common import ExperimentResult, pensieve_lab
+from repro.utils.tables import ResultTable
+
+
+def _switches(bitrates: np.ndarray) -> int:
+    return int(np.sum(bitrates[1:] != bitrates[:-1]))
+
+
+def _confidence(teacher, states: np.ndarray) -> float:
+    """Mean max-probability of the teacher along a run (Fig. 25)."""
+    probs = teacher.action_probabilities(states)
+    return float(probs.max(axis=1).mean())
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    lab = pensieve_lab("hsdpa", fast)
+    teacher, student = lab["teacher"], lab["student"]
+    video = Video.synthetic(n_chunks=60 if fast else 250, seed=11)
+
+    tables = []
+    metrics = {}
+    raw = {}
+    for bw, label in ((3000.0, "3000kbps"), (1300.0, "1300kbps")):
+        env = ABREnv(video, [fixed_trace(bw)], random_start=False)
+        table = ResultTable(
+            f"Fixed {label} link (Fig. 13 / Table 5)",
+            ["policy", "mean QoE", "switches", "dominant bitrate"],
+        )
+        runs = {}
+        for name, policy in (
+            ("BB", BufferBased()),
+            ("RB", RateBased()),
+            ("rMPC", RobustMPC()),
+            ("Metis+Pensieve", student),
+            ("Pensieve", teacher),
+        ):
+            result = run_policy(policy, env, trace=env.traces[0], rng=2)
+            runs[name] = result
+            values, counts = np.unique(
+                result.bitrates_kbps, return_counts=True
+            )
+            dominant = values[int(np.argmax(counts))]
+            table.add_row([
+                name,
+                result.qoe_mean,
+                _switches(result.bitrates_kbps),
+                f"{int(dominant)}kbps",
+            ])
+        tables.append(table)
+        raw[label] = runs
+        metrics[f"pensieve_switches_{label}"] = float(
+            _switches(runs["Pensieve"].bitrates_kbps)
+        )
+        metrics[f"rmpc_switches_{label}"] = float(
+            _switches(runs["rMPC"].bitrates_kbps)
+        )
+        if label == "3000kbps":
+            metrics["teacher_confidence_3000"] = _confidence(
+                teacher, runs["Pensieve"].states
+            )
+            metrics["tree_mimics_teacher"] = float(
+                np.mean(
+                    runs["Pensieve"].bitrates_kbps
+                    == runs["Metis+Pensieve"].bitrates_kbps
+                )
+            )
+    return ExperimentResult(
+        experiment="fig13",
+        title="Fixed-bandwidth links: oscillation vs convergence",
+        tables=tables,
+        metrics=metrics,
+        raw=raw,
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,105 @@
+"""Fig. 15 (§6.4): performance maintenance after conversion.
+
+The decision tree keeps the teacher's application-level performance:
+QoE within ~2% for Pensieve (both trace families), FCT within ~2% for
+AuTO (both workloads) — while the DNN's advantage over the heuristics is
+much larger than the conversion loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.abr import (
+    Bola,
+    BufferBased,
+    Festive,
+    RateBased,
+    RobustMPC,
+)
+from repro.envs.flows import FabricSimulator, MLFQConfig, generate_flows
+from repro.experiments.common import (
+    ExperimentResult,
+    auto_lab,
+    evaluate_abr_policy,
+    pensieve_lab,
+)
+from repro.utils.tables import ResultTable
+
+
+def _auto_fct(lab, decision_fn, seed: int, fast: bool) -> float:
+    teacher = lab["teacher"]
+    flows = generate_flows(
+        lab["workload"], load=0.75, capacity_bps=teacher.capacity_bps,
+        duration_s=1.0 if fast else 3.0, seed=seed,
+    )
+    sim = FabricSimulator(
+        capacity_bps=teacher.capacity_bps,
+        mlfq=MLFQConfig(),
+        decision_fn=decision_fn,
+        decision_min_bytes=1_000_000.0,
+    )
+    return sim.run(flows).mean_fct()
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    tables = []
+    metrics = {}
+
+    # --- Pensieve side (Fig. 15a) --------------------------------------
+    for kind in ("hsdpa", "fcc"):
+        lab = pensieve_lab(kind, fast)
+        env, teacher, student = lab["env"], lab["teacher"], lab["student"]
+        traces = env.traces[: (10 if fast else 30)]
+        table = ResultTable(
+            f"Mean QoE, {kind.upper()} traces (Fig. 15a)",
+            ["policy", "mean QoE"],
+        )
+        results = {}
+        for name, policy in (
+            ("BB", BufferBased()), ("RB", RateBased()),
+            ("FESTIVE", Festive()), ("BOLA", Bola()),
+            ("rMPC", RobustMPC()),
+            ("Metis+Pensieve", student), ("Pensieve", teacher),
+        ):
+            q = evaluate_abr_policy(policy, env, traces).mean()
+            results[name] = float(q)
+            table.add_row([name, float(q)])
+        tables.append(table)
+        deg = (results["Pensieve"] - results["Metis+Pensieve"]) / abs(
+            results["Pensieve"]
+        )
+        metrics[f"pensieve_degradation_pct_{kind}"] = float(deg * 100.0)
+
+    # --- AuTO side (Fig. 15b) -------------------------------------------
+    for workload in ("websearch", "datamining"):
+        lab = auto_lab(workload, fast)
+        teacher, tree = lab["teacher"], lab["lrla_tree"]
+        fct_dnn = np.mean([
+            _auto_fct(lab, teacher.lrla_decision_fn(greedy=True), s, fast)
+            for s in (101, 102)
+        ])
+        fct_tree = np.mean([
+            _auto_fct(lab, tree.decision_fn(), s, fast)
+            for s in (101, 102)
+        ])
+        table = ResultTable(
+            f"Mean FCT, {workload} (Fig. 15b)", ["scheduler", "mean FCT (ms)"]
+        )
+        table.add_row(["AuTO", float(fct_dnn * 1000)])
+        table.add_row(["Metis+AuTO", float(fct_tree * 1000)])
+        tables.append(table)
+        metrics[f"auto_degradation_pct_{workload}"] = float(
+            (fct_tree - fct_dnn) / fct_dnn * 100.0
+        )
+
+    return ExperimentResult(
+        experiment="fig15",
+        title="Conversion keeps application performance",
+        tables=tables,
+        metrics=metrics,
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

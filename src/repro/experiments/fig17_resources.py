@@ -1,0 +1,130 @@
+"""Fig. 17 (§6.4): median-flow FCT gains + client resource consumption.
+
+(a) With its short decision latency, the tree can schedule *median* flows
+centrally (AuTO cannot), improving their FCT.  (b) Shipping the tree to
+video clients costs ~KBs of page weight and memory, versus ~MBs for the
+tf.js DNN bundle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deploy.resources import (
+    dnn_bundle_bytes,
+    dnn_runtime_memory_bytes,
+    page_load_seconds,
+    tree_bundle_bytes,
+    tree_runtime_memory_bytes,
+)
+from repro.envs.flows import FabricSimulator, MLFQConfig, generate_flows
+from repro.experiments.common import (
+    ExperimentResult,
+    auto_lab,
+    pensieve_lab,
+)
+from repro.utils.tables import ResultTable
+
+#: Median-flow band (bytes): large enough to outlive the tree's decision
+#: latency, too short for the DNN's.
+MEDIAN_BAND = (100_000.0, 1_000_000.0)
+
+
+def _run_fct(lab, decision_fn, min_bytes, latency_s, seed, fast):
+    teacher = lab["teacher"]
+    flows = generate_flows(
+        lab["workload"], load=0.75, capacity_bps=teacher.capacity_bps,
+        duration_s=1.5 if fast else 4.0, seed=seed,
+    )
+    sim = FabricSimulator(
+        capacity_bps=teacher.capacity_bps,
+        mlfq=MLFQConfig(),
+        decision_fn=decision_fn,
+        decision_latency_s=latency_s,
+        decision_min_bytes=min_bytes,
+    )
+    return sim.run(flows)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    metrics = {}
+
+    # --- (a) median-flow scheduling -------------------------------------
+    fct_table = ResultTable(
+        "Median-flow FCT, tree schedules median flows (Fig. 17a)",
+        ["workload", "scheduler", "mean FCT (ms)", "p90 FCT (ms)"],
+    )
+    for workload in ("websearch", "datamining"):
+        lab = auto_lab(workload, fast)
+        teacher, tree = lab["teacher"], lab["lrla_tree"]
+        # AuTO: 62 ms latency, long flows only.
+        auto_res = _run_fct(
+            lab, teacher.lrla_decision_fn(greedy=True),
+            min_bytes=1_000_000.0, latency_s=0.062, seed=77, fast=fast,
+        )
+        # Metis+AuTO: 2.3 ms latency, median flows included.
+        tree_res = _run_fct(
+            lab, tree.decision_fn(),
+            min_bytes=MEDIAN_BAND[0], latency_s=0.0023, seed=77, fast=fast,
+        )
+        in_band = lambda f: MEDIAN_BAND[0] <= f.size_bytes < MEDIAN_BAND[1]
+        auto_band = auto_res.subset(in_band)
+        tree_band = tree_res.subset(in_band)
+        for name, res in (("AuTO", auto_band), ("Metis+AuTO", tree_band)):
+            fcts = res.fcts()
+            if fcts.size == 0:
+                fct_table.add_row([workload, name, float("nan"), float("nan")])
+                continue
+            fct_table.add_row([
+                workload, name,
+                float(fcts.mean() * 1e3),
+                float(np.percentile(fcts, 90) * 1e3),
+            ])
+        if auto_band.fcts().size and tree_band.fcts().size:
+            metrics[f"median_fct_change_pct_{workload}"] = float(
+                (tree_band.mean_fct() - auto_band.mean_fct())
+                / auto_band.mean_fct() * 100.0
+            )
+
+    # --- (b) client resources -------------------------------------------
+    lab = pensieve_lab("hsdpa", fast)
+    teacher, student = lab["teacher"], lab["student"]
+    dnn_bytes = dnn_bundle_bytes(teacher.policy.net)
+    tree_bytes = tree_bundle_bytes(student.tree)
+    res_table = ResultTable(
+        "Client-side resource consumption (Fig. 17b)",
+        ["model", "page size (KB)", "load time @1200kbps (s)",
+         "runtime memory (KB)"],
+    )
+    res_table.add_row([
+        "Pensieve (tf.js-style bundle)",
+        dnn_bytes / 1e3,
+        page_load_seconds(dnn_bytes, 1200.0),
+        dnn_runtime_memory_bytes(teacher.policy.net) / 1e3,
+    ])
+    res_table.add_row([
+        "Metis+Pensieve (tree)",
+        tree_bytes / 1e3,
+        page_load_seconds(tree_bytes, 1200.0),
+        tree_runtime_memory_bytes(student.tree) / 1e3,
+    ])
+    metrics["page_size_ratio"] = float(dnn_bytes / tree_bytes)
+    metrics["load_time_ratio"] = float(
+        page_load_seconds(dnn_bytes, 1200.0)
+        / page_load_seconds(tree_bytes, 1200.0)
+    )
+    metrics["memory_ratio"] = float(
+        dnn_runtime_memory_bytes(teacher.policy.net)
+        / max(tree_runtime_memory_bytes(student.tree), 1)
+    )
+
+    return ExperimentResult(
+        experiment="fig17",
+        title="Median-flow gains and lightweight client deployment",
+        tables=[fct_table, res_table],
+        metrics=metrics,
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,122 @@
+"""Fig. 28 (Appendix F.1): sensitivity to the number of leaf nodes.
+
+Fidelity (accuracy/RMSE) of the distilled trees across leaf budgets from
+10 to 5000: a wide range performs within a few percent of the best, so
+operators need not tune the knob carefully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distill import (
+    DistillDataset,
+    distill_from_dataset,
+    distill_regressor,
+    fidelity_accuracy,
+    fidelity_rmse,
+)
+from repro.core.distill.viper import collect_teacher_dataset
+from repro.experiments.common import (
+    ExperimentResult,
+    auto_lab,
+    pensieve_lab,
+)
+from repro.utils.tables import ResultTable
+
+LEAVES_FULL = (10, 50, 200, 1000, 5000)
+LEAVES_FAST = (10, 200, 1000)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    leaves = LEAVES_FAST if fast else LEAVES_FULL
+    tables = []
+    metrics = {}
+
+    # Pensieve.
+    lab = pensieve_lab("hsdpa", fast)
+    env, teacher = lab["env"], lab["teacher"]
+    data = collect_teacher_dataset(env, teacher, 8 if fast else 20, rng=41)
+    outputs = teacher.action_probabilities(data.states)
+    n_train = int(len(data) * 0.7)
+    table = ResultTable(
+        "Pensieve leaf sensitivity (Fig. 28)",
+        ["leaves", "accuracy", "rmse"],
+    )
+    accs = []
+    for m in leaves:
+        tree = distill_from_dataset(
+            DistillDataset(
+                states=data.states[:n_train], actions=data.actions[:n_train]
+            ),
+            leaf_nodes=m, n_classes=env.n_actions,
+        )
+        acc = fidelity_accuracy(
+            data.actions[n_train:],
+            tree.act_greedy_batch(data.states[n_train:]),
+        )
+        rmse = fidelity_rmse(
+            outputs[n_train:],
+            tree.action_probabilities(data.states[n_train:]),
+        )
+        accs.append(acc)
+        table.add_row([m, acc, rmse])
+    tables.append(table)
+    metrics["pensieve_acc_range"] = float(max(accs) - min(accs))
+    metrics["pensieve_best_acc"] = float(max(accs))
+
+    # AuTO lRLA + sRLA.
+    alab = auto_lab("websearch", fast)
+    lstates = alab["lrla_dataset"].states
+    lactions = alab["lrla_dataset"].actions
+    loutputs = alab["teacher"].lrla_probabilities(lstates)
+    nl = int(len(lactions) * 0.7)
+    ltable = ResultTable(
+        "AuTO-lRLA leaf sensitivity (Fig. 28)",
+        ["leaves", "accuracy", "rmse"],
+    )
+    laccs = []
+    for m in leaves:
+        tree = distill_from_dataset(
+            DistillDataset(states=lstates[:nl], actions=lactions[:nl]),
+            leaf_nodes=m, n_classes=alab["teacher"].lrla.n_actions,
+        )
+        acc = fidelity_accuracy(
+            lactions[nl:], tree.act_greedy_batch(lstates[nl:])
+        )
+        rmse = fidelity_rmse(
+            loutputs[nl:], tree.action_probabilities(lstates[nl:])
+        )
+        laccs.append(acc)
+        ltable.add_row([m, acc, rmse])
+    tables.append(ltable)
+    metrics["lrla_best_acc"] = float(max(laccs))
+
+    sstates, sactions = alab["srla_states"], alab["srla_actions"]
+    ns = max(int(len(sstates) * 0.7), 1)
+    stable = ResultTable(
+        "AuTO-sRLA leaf sensitivity (Fig. 28)", ["leaves", "rmse"]
+    )
+    srmses = []
+    for m in leaves:
+        reg = distill_regressor(sstates[:ns], sactions[:ns], leaf_nodes=m)
+        pred = reg.predict(sstates[ns:])
+        if pred.size == 0:
+            continue
+        rmse = fidelity_rmse(sactions[ns:], pred)
+        srmses.append(rmse)
+        stable.add_row([m, rmse])
+    tables.append(stable)
+    if srmses:
+        metrics["srla_best_rmse"] = float(min(srmses))
+
+    return ExperimentResult(
+        experiment="fig28",
+        title="Leaf-budget sensitivity of the distilled trees",
+        tables=tables,
+        metrics=metrics,
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

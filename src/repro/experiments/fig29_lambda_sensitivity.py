@@ -1,0 +1,82 @@
+"""Figs. 29-30 (Appendix F.2): lambda sensitivity of the mask search.
+
+Raising ``lambda1`` suppresses mask mass (the CDF shifts up / ||W||
+falls); raising ``lambda2`` polarizes the masks (fewer median values /
+H(W) falls).  Both knobs respond monotonically, which is what lets
+operators tune how many critical connections they see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypergraph import (
+    CriticalConnectionSearch,
+    RoutingMaskedSystem,
+)
+from repro.experiments.common import ExperimentResult, routing_lab
+from repro.utils.tables import ResultTable
+
+LAMBDA1_SWEEP_FULL = (0.01, 0.05, 0.1, 0.2)
+LAMBDA2_SWEEP_FULL = (0.05, 0.2, 0.5, 1.0)
+LAMBDA1_SWEEP_FAST = (0.01, 0.1)
+LAMBDA2_SWEEP_FAST = (0.05, 0.5)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    lab = routing_lab(fast)
+    star = lab["star"]
+    traffic = lab["traffics"][8]
+    routing = star.optimize(traffic, sweeps=2, seed=0)
+    system = RoutingMaskedSystem(
+        star, routing, traffic, output_kind="latency"
+    )
+    steps = 150 if fast else 300
+    support_size = int(system.hypergraph.incidence.sum())
+
+    l1_sweep = LAMBDA1_SWEEP_FAST if fast else LAMBDA1_SWEEP_FULL
+    l2_sweep = LAMBDA2_SWEEP_FAST if fast else LAMBDA2_SWEEP_FULL
+
+    t1 = ResultTable(
+        "Varying lambda1, lambda2 fixed at 0.2 (Figs. 29a/30)",
+        ["lambda1", "||W||/||I||", "high-mask fraction", "H(W)"],
+    )
+    scales = []
+    for l1 in l1_sweep:
+        result = CriticalConnectionSearch(
+            lambda1=l1, lambda2=0.2, steps=steps, lr=0.05
+        ).run(system, seed=1)
+        values = result.mask_values()
+        scale = result.l1 / support_size
+        scales.append(scale)
+        t1.add_row([l1, scale, float((values > 0.8).mean()), result.entropy])
+
+    t2 = ResultTable(
+        "Varying lambda2, lambda1 fixed at 0.05 (Figs. 29b/30)",
+        ["lambda2", "median-value fraction", "H(W)"],
+    )
+    entropies = []
+    for l2 in l2_sweep:
+        result = CriticalConnectionSearch(
+            lambda1=0.05, lambda2=l2, steps=steps, lr=0.05
+        ).run(system, seed=1)
+        values = result.mask_values()
+        mid = float(((values >= 0.2) & (values <= 0.8)).mean())
+        entropies.append(result.entropy)
+        t2.add_row([l2, mid, result.entropy])
+
+    return ExperimentResult(
+        experiment="fig29",
+        title="Hyperparameter response of the mask search",
+        tables=[t1, t2],
+        metrics={
+            # ||W|| should shrink as lambda1 grows.
+            "scale_monotone_drop": float(scales[0] - scales[-1]),
+            # H(W) should shrink as lambda2 grows.
+            "entropy_monotone_drop": float(entropies[0] - entropies[-1]),
+        },
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

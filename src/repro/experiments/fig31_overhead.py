@@ -1,0 +1,74 @@
+"""Fig. 31 + Appendix G: offline computation overhead of Metis.
+
+Tree extraction stays well under a minute across leaf budgets, and one
+mask search takes seconds — negligible next to hours of DNN training.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.distill import DistillDataset, distill_from_dataset
+from repro.core.distill.viper import collect_teacher_dataset
+from repro.experiments.common import (
+    ExperimentResult,
+    mask_search_for,
+    pensieve_lab,
+    routing_lab,
+)
+from repro.utils.tables import ResultTable
+
+LEAVES_FULL = (10, 100, 1000, 5000)
+LEAVES_FAST = (10, 200)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    lab = pensieve_lab("hsdpa", fast)
+    env, teacher = lab["env"], lab["teacher"]
+    data = collect_teacher_dataset(env, teacher, 8 if fast else 24, rng=51)
+
+    table = ResultTable(
+        "Tree extraction wall-clock (Fig. 31)",
+        ["leaves", "fit seconds", "resulting leaves"],
+    )
+    times = []
+    for m in (LEAVES_FAST if fast else LEAVES_FULL):
+        start = time.perf_counter()
+        tree = distill_from_dataset(
+            DistillDataset(states=data.states, actions=data.actions),
+            leaf_nodes=m, n_classes=env.n_actions,
+        )
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        table.add_row([m, elapsed, tree.tree.n_leaves])
+
+    rlab = routing_lab(fast)
+    star = rlab["star"]
+    traffic = rlab["traffics"][3]
+    routing = star.optimize(traffic, sweeps=2, seed=0)
+    start = time.perf_counter()
+    mask_search_for(
+        star, routing, traffic, output_kind="latency",
+        steps=100 if fast else 300,
+    )
+    mask_seconds = time.perf_counter() - start
+    mtable = ResultTable(
+        "Mask-search wall-clock (Appendix G)", ["what", "seconds"]
+    )
+    mtable.add_row(["one critical-connection search", mask_seconds])
+
+    return ExperimentResult(
+        experiment="fig31",
+        title="Offline computation overhead",
+        tables=[table, mtable],
+        metrics={
+            "max_tree_fit_seconds": float(max(times)),
+            "mask_search_seconds": float(mask_seconds),
+        },
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

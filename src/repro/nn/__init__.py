@@ -1,0 +1,33 @@
+"""A small, dependency-free neural-network substrate (numpy only).
+
+The paper's teacher systems (Pensieve, AuTO, RouteNet) are DNNs trained
+with TensorFlow.  TensorFlow is not available in this environment, so the
+teachers in this reproduction run on this substrate instead: dense layers
+with manual backpropagation, Adam, a softmax policy-gradient trainer (A2C)
+for discrete-action teachers, a Gaussian policy head for continuous-action
+teachers, and a fitted-Q evaluator used by Metis' advantage resampling.
+"""
+
+from repro.nn.layers import Dense, ReLU, Tanh, Sigmoid, Identity
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD, Adam
+from repro.nn.policy import SoftmaxPolicy, GaussianPolicy, ValueNet
+from repro.nn.a2c import A2CTrainer, Trajectory
+from repro.nn.qeval import QEstimator
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "MLP",
+    "SGD",
+    "Adam",
+    "SoftmaxPolicy",
+    "GaussianPolicy",
+    "ValueNet",
+    "A2CTrainer",
+    "Trajectory",
+    "QEstimator",
+]

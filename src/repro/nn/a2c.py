@@ -1,0 +1,127 @@
+"""Advantage actor-critic training loop over gym-style environments.
+
+An *environment* here is any object exposing::
+
+    reset(rng) -> state          # 1-D numpy array
+    step(action) -> (state, reward, done, info)
+
+which matches :class:`repro.envs.abr.env.ABREnv` and the flow-scheduling
+wrappers.  The trainer is synchronous single-worker A2C: roll one episode,
+compute reward-to-go, fit the critic, step the actor with advantages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn.optim import Adam
+from repro.nn.policy import SoftmaxPolicy, ValueNet, evaluate_return
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class Trajectory:
+    """One rollout of (state, action, reward) triples."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+
+    @property
+    def total_reward(self) -> float:
+        return float(self.rewards.sum())
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def rollout(
+    env,
+    act: Callable[[np.ndarray], int],
+    rng: SeedLike = None,
+    max_steps: int = 10_000,
+) -> Trajectory:
+    """Run one episode under ``act`` and record the trajectory."""
+    rng = as_rng(rng)
+    state = env.reset(rng)
+    states: List[np.ndarray] = []
+    actions: List[int] = []
+    rewards: List[float] = []
+    for _ in range(max_steps):
+        action = act(state)
+        next_state, reward, done, _ = env.step(action)
+        states.append(np.asarray(state, dtype=float))
+        actions.append(action)
+        rewards.append(float(reward))
+        state = next_state
+        if done:
+            break
+    return Trajectory(
+        states=np.asarray(states),
+        actions=np.asarray(actions, dtype=int),
+        rewards=np.asarray(rewards),
+    )
+
+
+@dataclass
+class A2CTrainer:
+    """Synchronous A2C for discrete-action environments.
+
+    Attributes:
+        policy: the actor being trained.
+        value: critic; created automatically if omitted.
+        gamma: discount factor.
+        actor_lr / critic_lr: Adam step sizes.
+        entropy_coef: exploration bonus weight.
+    """
+
+    policy: SoftmaxPolicy
+    value: Optional[ValueNet] = None
+    gamma: float = 0.99
+    actor_lr: float = 1e-3
+    critic_lr: float = 2e-3
+    entropy_coef: float = 0.02
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            self.value = ValueNet(self.policy.net.d_in)
+        self._actor_opt = Adam(lr=self.actor_lr)
+        self._critic_opt = Adam(lr=self.critic_lr)
+
+    def train(
+        self,
+        env,
+        episodes: int,
+        seed: SeedLike = None,
+        critic_epochs: int = 2,
+        callback: Optional[Callable[[int, float], None]] = None,
+    ) -> List[float]:
+        """Train for ``episodes`` rollouts; returns per-episode returns."""
+        rng = as_rng(seed)
+        returns: List[float] = []
+        for ep in range(episodes):
+            traj = rollout(env, lambda s: self.policy.act(s, rng), rng)
+            if len(traj) == 0:
+                continue
+            rtg = evaluate_return(traj.rewards, self.gamma)
+            for _ in range(critic_epochs):
+                self.value.fit_step(traj.states, rtg, self._critic_opt)
+            baseline = self.value.predict(traj.states)
+            adv = rtg - baseline
+            std = adv.std()
+            if std > 1e-8:
+                adv = (adv - adv.mean()) / std
+            self.policy.policy_gradient_step(
+                traj.states, traj.actions, adv, self._actor_opt,
+                entropy_coef=self.entropy_coef,
+            )
+            total = traj.total_reward
+            returns.append(total)
+            self.history.append(total)
+            if callback is not None:
+                callback(ep, total)
+        return returns

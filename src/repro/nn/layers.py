@@ -1,0 +1,114 @@
+"""Layers with explicit forward/backward passes.
+
+Each layer caches what it needs during ``forward`` and consumes the cache
+in ``backward``.  Layers are deliberately stateless across batches except
+for their parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Layer:
+    """Base class: a differentiable function of a batch ``(n, d_in)``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(out)`` to ``dL/d(in)``, accumulating param grads."""
+        raise NotImplementedError
+
+    def params(self) -> List[np.ndarray]:
+        return []
+
+    def grads(self) -> List[np.ndarray]:
+        return []
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` with He-style initialization."""
+
+    def __init__(self, d_in: int, d_out: int, seed: SeedLike = None) -> None:
+        if d_in <= 0 or d_out <= 0:
+            raise ValueError(f"invalid dims ({d_in}, {d_out})")
+        rng = as_rng(seed)
+        scale = np.sqrt(2.0 / d_in)
+        self.w = rng.normal(0.0, scale, size=(d_in, d_out))
+        self.b = np.zeros(d_out)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.w + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dw += self._x.T @ grad_out
+        self.db += grad_out.sum(axis=0)
+        return grad_out @ self.w.T
+
+    def params(self) -> List[np.ndarray]:
+        return [self.w, self.b]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.dw, self.db]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._y**2)
+
+
+class Sigmoid(Layer):
+    def __init__(self) -> None:
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Identity(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-subtraction stabilization."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)

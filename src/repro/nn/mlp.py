@@ -1,0 +1,128 @@
+"""A multi-layer perceptron with an optional *skip-to-output* connection.
+
+The skip connection implements the paper's §6.2 "modified structure"
+(Fig. 10b): selected input features are concatenated directly onto the
+penultimate activation so they reach the output layer through a single
+affine map.  The original and modified Pensieve DNNs are mathematically
+equivalent in expressiveness, but the modified one optimizes more easily —
+exactly the effect the experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, Layer, ReLU, Tanh
+from repro.utils.rng import SeedLike, spawn_rngs
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh}
+
+
+class MLP:
+    """Feed-forward network ``d_in -> hidden... -> d_out``.
+
+    Args:
+        d_in: input dimensionality.
+        hidden: sizes of hidden layers.
+        d_out: output dimensionality (raw scores; heads apply softmax etc.).
+        activation: "relu" or "tanh".
+        skip_features: optional indices of input features concatenated onto
+            the last hidden activation (Fig. 10b modified structure).
+        seed: RNG seed for weight init.
+    """
+
+    def __init__(
+        self,
+        d_in: int,
+        hidden: Sequence[int],
+        d_out: int,
+        activation: str = "relu",
+        skip_features: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.d_in = d_in
+        self.d_out = d_out
+        self.skip_features = list(skip_features) if skip_features else []
+        for idx in self.skip_features:
+            if not 0 <= idx < d_in:
+                raise ValueError(f"skip feature index {idx} out of range")
+
+        sizes = [d_in, *hidden]
+        rngs = spawn_rngs(seed, len(sizes))
+        act_cls = _ACTIVATIONS[activation]
+        self.body: List[Layer] = []
+        for i in range(len(sizes) - 1):
+            self.body.append(Dense(sizes[i], sizes[i + 1], seed=rngs[i]))
+            self.body.append(act_cls())
+        head_in = sizes[-1] + len(self.skip_features)
+        self.head = Dense(head_in, d_out, seed=rngs[-1])
+        self._last_batch: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute raw outputs for a batch ``(n, d_in)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.d_in:
+            raise ValueError(f"expected {self.d_in} features, got {x.shape[1]}")
+        h = x
+        for layer in self.body:
+            h = layer.forward(h)
+        if self.skip_features:
+            h = np.concatenate([h, x[:, self.skip_features]], axis=1)
+        self._last_batch = x.shape[0]
+        return self.head.forward(h)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dL/d(out)``; returns ``dL/d(in)`` (body path only
+        plus the skip path merged back into the right input columns)."""
+        grad_h = self.head.backward(grad_out)
+        if self.skip_features:
+            n_skip = len(self.skip_features)
+            grad_skip = grad_h[:, -n_skip:]
+            grad_h = grad_h[:, :-n_skip]
+        for layer in reversed(self.body):
+            grad_h = layer.backward(grad_h)
+        if self.skip_features:
+            for j, idx in enumerate(self.skip_features):
+                grad_h[:, idx] += grad_skip[:, j]
+        return grad_h
+
+    # ------------------------------------------------------------------
+    def params(self) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        for layer in self.body:
+            out.extend(layer.params())
+        out.extend(self.head.params())
+        return out
+
+    def grads(self) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        for layer in self.body:
+            out.extend(layer.grads())
+        out.extend(self.head.grads())
+        return out
+
+    def zero_grads(self) -> None:
+        for g in self.grads():
+            g[...] = 0.0
+
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (used by deployment cost models)."""
+        return int(sum(p.size for p in self.params()))
+
+    def get_weights(self) -> List[np.ndarray]:
+        return [p.copy() for p in self.params()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = self.params()
+        if len(weights) != len(params):
+            raise ValueError("weight list length mismatch")
+        for p, w in zip(params, weights):
+            if p.shape != w.shape:
+                raise ValueError(f"shape mismatch {p.shape} vs {w.shape}")
+            p[...] = w

@@ -1,0 +1,71 @@
+"""First-order optimizers over explicit parameter/gradient lists."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class SGD:
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] = []
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+
+def clip_gradients(grads: Sequence[np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place to a global L2 norm cap; returns the norm."""
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total

@@ -1,0 +1,203 @@
+"""Policy and value heads on top of :class:`repro.nn.mlp.MLP`.
+
+Three heads cover the paper's teachers:
+
+* :class:`SoftmaxPolicy` — discrete actions (Pensieve bitrates, lRLA
+  priorities).
+* :class:`GaussianPolicy` — continuous actions (sRLA queue thresholds).
+* :class:`ValueNet` — state-value baseline for A2C and for Metis'
+  advantage resampling (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import softmax
+from repro.nn.mlp import MLP
+from repro.utils.rng import SeedLike, as_rng
+
+
+class SoftmaxPolicy:
+    """Categorical policy ``pi(a|s) = softmax(MLP(s))``."""
+
+    def __init__(
+        self,
+        d_in: int,
+        n_actions: int,
+        hidden: Sequence[int] = (64, 32),
+        skip_features: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_actions = n_actions
+        self.net = MLP(
+            d_in, hidden, n_actions, activation="relu",
+            skip_features=skip_features, seed=seed,
+        )
+
+    def probabilities(self, states: np.ndarray) -> np.ndarray:
+        """Action distribution for a batch of states, shape ``(n, A)``."""
+        return softmax(self.net.forward(states))
+
+    def act(self, state: np.ndarray, rng: SeedLike = None) -> int:
+        """Sample an action for a single state."""
+        probs = self.probabilities(np.atleast_2d(state))[0]
+        return int(as_rng(rng).choice(self.n_actions, p=probs))
+
+    def act_greedy(self, state: np.ndarray) -> int:
+        """Most-likely action for a single state (deployment behaviour)."""
+        probs = self.probabilities(np.atleast_2d(state))[0]
+        return int(np.argmax(probs))
+
+    def act_greedy_batch(self, states: np.ndarray) -> np.ndarray:
+        """Most-likely actions for a batch of states."""
+        return np.argmax(self.probabilities(states), axis=1)
+
+    def policy_gradient_step(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        advantages: np.ndarray,
+        optimizer,
+        entropy_coef: float = 0.01,
+    ) -> float:
+        """One policy-gradient update; returns mean entropy (diagnostics).
+
+        Loss: ``-mean(adv * log pi(a|s)) - entropy_coef * H(pi)``.
+        The gradient of the cross-entropy part w.r.t. the logits is
+        ``(pi - onehot(a)) * adv / n``; the entropy gradient is folded in
+        analytically.
+        """
+        states = np.atleast_2d(states)
+        n = states.shape[0]
+        logits = self.net.forward(states)
+        probs = softmax(logits)
+        eps = 1e-12
+        logp = np.log(probs + eps)
+        entropy = float(-(probs * logp).sum(axis=1).mean())
+
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(n), actions] = 1.0
+        grad_logits = (probs - onehot) * advantages[:, None] / n
+        # d(-H)/dlogits = probs * (logp - sum(probs*logp)), per row.
+        ent_inner = (probs * logp).sum(axis=1, keepdims=True)
+        grad_logits += entropy_coef * probs * (logp - ent_inner) / n
+
+        self.net.zero_grads()
+        self.net.backward(grad_logits)
+        optimizer.step(self.net.params(), self.net.grads())
+        return entropy
+
+
+class GaussianPolicy:
+    """Diagonal-Gaussian policy for continuous actions in ``[low, high]``.
+
+    The network outputs the mean in tanh-squashed form; the log-std is a
+    free (trained) parameter per dimension.  Used by AuTO's sRLA, whose
+    actions are MLFQ queue thresholds.
+    """
+
+    def __init__(
+        self,
+        d_in: int,
+        d_action: int,
+        low: float,
+        high: float,
+        hidden: Sequence[int] = (64, 32),
+        init_log_std: float = -0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        if high <= low:
+            raise ValueError("high must exceed low")
+        self.d_action = d_action
+        self.low = low
+        self.high = high
+        self.net = MLP(d_in, hidden, d_action, activation="tanh", seed=seed)
+        self.log_std = np.full(d_action, init_log_std)
+        self._dlog_std = np.zeros(d_action)
+
+    def mean_action(self, states: np.ndarray) -> np.ndarray:
+        """Deterministic (deployment) action: squashed network mean."""
+        raw = self.net.forward(states)
+        return self._squash(np.tanh(raw))
+
+    def _squash(self, t: np.ndarray) -> np.ndarray:
+        return self.low + (t + 1.0) * 0.5 * (self.high - self.low)
+
+    def act(self, state: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        """Sample an action (squashed mean + pre-squash Gaussian noise)."""
+        rng = as_rng(rng)
+        raw = self.net.forward(np.atleast_2d(state))[0]
+        noise = rng.normal(0.0, 1.0, size=self.d_action) * np.exp(self.log_std)
+        return np.clip(self._squash(np.tanh(raw + noise)), self.low, self.high)
+
+    def policy_gradient_step(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        advantages: np.ndarray,
+        optimizer,
+    ) -> None:
+        """REINFORCE-with-baseline update for the squashed Gaussian.
+
+        For tractability the likelihood is taken in the *pre-squash* space:
+        actions are unsquashed and compared against the raw network output.
+        """
+        states = np.atleast_2d(states)
+        n = states.shape[0]
+        raw = self.net.forward(states)
+        # Unsquash the executed actions back to pre-tanh space.
+        t = 2.0 * (actions - self.low) / (self.high - self.low) - 1.0
+        t = np.clip(t, -0.999999, 0.999999)
+        u = np.arctanh(t)
+        std = np.exp(self.log_std)
+        z = (u - raw) / std
+        # d(-logp)/d(raw) = -(u - raw) / std^2
+        grad_raw = (-(z / std)) * advantages[:, None] / n
+        self.net.zero_grads()
+        self.net.backward(grad_raw)
+        # d(-logp)/d(log_std) = 1 - z^2, weighted by advantage.
+        self._dlog_std[...] = ((1.0 - z**2) * advantages[:, None]).mean(axis=0)
+        optimizer.step(
+            self.net.params() + [self.log_std],
+            self.net.grads() + [self._dlog_std],
+        )
+
+
+class ValueNet:
+    """State-value function ``V(s)`` trained by mean-squared error."""
+
+    def __init__(
+        self, d_in: int, hidden: Sequence[int] = (64, 32), seed: SeedLike = None
+    ) -> None:
+        self.net = MLP(d_in, hidden, 1, activation="relu", seed=seed)
+
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        return self.net.forward(np.atleast_2d(states))[:, 0]
+
+    def fit_step(
+        self, states: np.ndarray, targets: np.ndarray, optimizer
+    ) -> float:
+        """One MSE regression step; returns the batch loss."""
+        states = np.atleast_2d(states)
+        n = states.shape[0]
+        preds = self.net.forward(states)[:, 0]
+        err = preds - targets
+        loss = float((err**2).mean())
+        grad = (2.0 * err / n)[:, None]
+        self.net.zero_grads()
+        self.net.backward(grad)
+        optimizer.step(self.net.params(), self.net.grads())
+        return loss
+
+
+def evaluate_return(rewards: Sequence[float], gamma: float) -> np.ndarray:
+    """Discounted reward-to-go for one episode."""
+    out = np.zeros(len(rewards))
+    acc = 0.0
+    for i in range(len(rewards) - 1, -1, -1):
+        acc = rewards[i] + gamma * acc
+        out[i] = acc
+    return out

@@ -1,0 +1,5 @@
+"""Teacher systems interpreted by Metis: Pensieve, AuTO, RouteNet*.
+
+Submodules are imported lazily by callers (``repro.teachers.pensieve``
+etc.) so each teacher's dependency chain stays independent.
+"""

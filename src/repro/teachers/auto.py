@@ -1,0 +1,410 @@
+"""The AuTO teacher: lRLA (long-flow priorities) and sRLA (MLFQ thresholds).
+
+AuTO [Chen et al., SIGCOMM'18] splits traffic optimization between two
+deep-RL agents:
+
+* **sRLA** observes statistics of recently finished short flows and emits
+  the MLFQ demotion thresholds (a continuous action) — here a squashed
+  Gaussian policy trained by REINFORCE over windowed simulations.
+* **lRLA** makes a per-flow decision (priority) for every long flow — here
+  a softmax policy trained by REINFORCE with per-decision credit
+  (the negative log slowdown of the flow it scheduled).
+
+Both agents are later distilled into decision trees by Metis
+(classification tree for lRLA, multi-output regression tree for sRLA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.flows.mlfq import MLFQConfig
+from repro.envs.flows.simulator import FabricSimulator, FabricSnapshot
+from repro.envs.flows.workloads import (
+    Flow,
+    FlowSizeDistribution,
+    WEB_SEARCH,
+    generate_flows,
+)
+from repro.nn.a2c import Trajectory
+from repro.nn.optim import Adam
+from repro.nn.policy import GaussianPolicy, SoftmaxPolicy
+from repro.nn.qeval import QEstimator
+from repro.teachers.cache import load_weights, recipe_key, save_weights
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+
+#: Number of MLFQ queues (4 thresholds) used throughout.
+N_QUEUES = 5
+
+#: lRLA feature dimensionality: log size, log sent, counts and remaining
+#: bytes per queue (see FabricSnapshot.feature_vector).
+LRLA_STATE_DIM = 2 + 2 * N_QUEUES
+
+#: Internal input normalization for the lRLA network (natural units in,
+#: roughly unit-scale activations out; trees see natural units).
+LRLA_SCALE = np.concatenate([[1 / 8.0, 1 / 8.0],
+                             np.full(N_QUEUES, 1 / 10.0),
+                             np.full(N_QUEUES, 1 / 10.0)])
+
+
+def lrla_normalize(states: np.ndarray) -> np.ndarray:
+    """Scale natural-unit lRLA features for the network."""
+    return np.atleast_2d(np.asarray(states, dtype=float)) * LRLA_SCALE
+
+
+#: sRLA observes a bucketed histogram of finished short-flow sizes plus
+#: aggregate load and slowdown statistics.
+SRLA_BUCKETS = np.logspace(2, 7, 8)  # 100 B .. 10 MB
+SRLA_STATE_DIM = len(SRLA_BUCKETS) + 2
+
+#: sRLA action space: 4 thresholds as log2(bytes) in [10, 21] (1 KB–2 MB).
+SRLA_ACTION_DIM = N_QUEUES - 1
+SRLA_LOW, SRLA_HIGH = 10.0, 21.0
+
+#: Flows at least this large get a central (lRLA) decision.
+LONG_FLOW_BYTES = 1_000_000.0
+
+LRLA_FEATURE_NAMES: Tuple[str, ...] = (
+    ("log_size", "log_sent")
+    + tuple(f"q{i}_count" for i in range(N_QUEUES))
+    + tuple(f"q{i}_log_bytes" for i in range(N_QUEUES))
+)
+
+SRLA_FEATURE_NAMES: Tuple[str, ...] = (
+    tuple(f"bucket_{i}" for i in range(len(SRLA_BUCKETS)))
+    + ("load", "mean_slowdown")
+)
+
+
+def srla_state(
+    finished_short: Sequence[Flow], load: float, capacity_bps: float
+) -> np.ndarray:
+    """Feature vector summarizing a window of finished short flows."""
+    counts = np.zeros(len(SRLA_BUCKETS))
+    slowdowns = []
+    for f in finished_short:
+        idx = int(np.searchsorted(SRLA_BUCKETS, f.size_bytes))
+        counts[min(idx, len(SRLA_BUCKETS) - 1)] += 1
+        slowdowns.append(f.slowdown(capacity_bps))
+    total = counts.sum()
+    if total > 0:
+        counts = counts / total
+    mean_sd = float(np.mean(slowdowns)) if slowdowns else 1.0
+    return np.concatenate([counts, [load, np.log10(mean_sd + 1e-9) + 1.0]])
+
+
+@dataclass
+class AutoTeacher:
+    """Trained AuTO agent pair.
+
+    Attributes:
+        lrla: softmax priority policy for long flows.
+        srla: Gaussian threshold policy for short flows.
+        lrla_qest: fitted one-step Q for lRLA (advantage resampling).
+        capacity_bps: fabric bottleneck bandwidth.
+    """
+
+    lrla: SoftmaxPolicy
+    srla: GaussianPolicy
+    lrla_qest: Optional[QEstimator] = None
+    capacity_bps: float = 1e9
+    name: str = "AuTO"
+
+    def lrla_decision_fn(
+        self, rng: SeedLike = None, greedy: bool = True
+    ) -> Callable[[Flow, FabricSnapshot], int]:
+        """Adapter: lRLA as a simulator ``decision_fn``."""
+        rng = as_rng(rng)
+
+        def decide(flow: Flow, snapshot: FabricSnapshot) -> int:
+            features = lrla_normalize(snapshot.feature_vector())[0]
+            if greedy:
+                return self.lrla.act_greedy(features)
+            return self.lrla.act(features, rng)
+
+        return decide
+
+    def srla_thresholds(self, state: np.ndarray) -> MLFQConfig:
+        """Deterministic thresholds for an sRLA observation."""
+        action = self.srla.mean_action(np.atleast_2d(state))[0]
+        return MLFQConfig.from_log2(action)
+
+    def lrla_probabilities(self, states: np.ndarray) -> np.ndarray:
+        """pi(a|s) for natural-unit lRLA states."""
+        return self.lrla.probabilities(lrla_normalize(states))
+
+    def lrla_greedy(self, states: np.ndarray) -> np.ndarray:
+        """Greedy priorities for natural-unit lRLA states."""
+        return np.argmax(self.lrla_probabilities(states), axis=1)
+
+    def fit_lrla_q(
+        self, states: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> QEstimator:
+        """One-step fitted Q (gamma=0): per-action reward regression."""
+        qest = QEstimator(
+            LRLA_STATE_DIM, self.lrla.n_actions, gamma=0.0, seed=0
+        )
+        trajectories = [
+            Trajectory(
+                states=lrla_normalize(s),
+                actions=np.array([a], dtype=int),
+                rewards=np.array([r]),
+            )
+            for s, a, r in zip(states, actions, rewards)
+        ]
+        qest.fit(trajectories, sweeps=1, epochs_per_sweep=150)
+        self.lrla_qest = qest
+        return qest
+
+
+@dataclass
+class _WindowOutcome:
+    """Everything one simulated window produces for training."""
+
+    decisions: List[Tuple[np.ndarray, int, float]]  # (features, a, reward)
+    short_flows: List[Flow]
+    mean_short_slowdown: float
+
+
+def _run_window(
+    teacher: AutoTeacher,
+    workload: FlowSizeDistribution,
+    mlfq: MLFQConfig,
+    load: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    greedy: bool = False,
+) -> _WindowOutcome:
+    """Simulate one training window under the current policies."""
+    flows = generate_flows(
+        workload, load=load, capacity_bps=teacher.capacity_bps,
+        duration_s=duration_s, seed=rng,
+    )
+    records: List[Tuple[np.ndarray, int, int]] = []  # features, action, fid
+
+    def decide(flow: Flow, snapshot: FabricSnapshot) -> int:
+        features = snapshot.feature_vector()
+        norm = lrla_normalize(features)[0]
+        action = (
+            teacher.lrla.act_greedy(norm)
+            if greedy
+            else teacher.lrla.act(norm, rng)
+        )
+        records.append((features, action, flow.flow_id))
+        return action
+
+    sim = FabricSimulator(
+        capacity_bps=teacher.capacity_bps,
+        mlfq=mlfq,
+        decision_fn=decide,
+        decision_latency_s=0.0,
+        decision_min_bytes=LONG_FLOW_BYTES,
+    )
+    result = sim.run(flows)
+    by_id = {f.flow_id: f for f in result.flows}
+    shorts = [
+        f for f in result.flows
+        if f.size_bytes < LONG_FLOW_BYTES and np.isfinite(f.completion)
+    ]
+    decisions = []
+    for features, action, fid in records:
+        flow = by_id.get(fid)
+        if flow is None or not np.isfinite(flow.completion):
+            continue
+        own = -np.log10(max(flow.slowdown(teacher.capacity_bps), 1.0))
+        # Externality: short flows that overlapped this long flow pay for
+        # its priority grab — AuTO's reward is global, and without this
+        # term the selfish optimum is "always top priority".
+        overlap = [
+            np.log10(max(s.slowdown(teacher.capacity_bps), 1.0))
+            for s in shorts
+            if flow.arrival <= s.arrival <= flow.completion
+        ]
+        # Sum (not mean): a flow that occupies the fabric longer harms more
+        # short flows, which is what pushes huge flows to low priorities.
+        externality = 0.3 * float(np.sum(overlap)) if overlap else 0.0
+        reward = own - externality
+        decisions.append((features, action, float(reward)))
+    short = [
+        f for f in result.flows
+        if f.size_bytes < LONG_FLOW_BYTES and np.isfinite(f.completion)
+    ]
+    mean_sd = (
+        float(np.mean([f.slowdown(teacher.capacity_bps) for f in short]))
+        if short
+        else 1.0
+    )
+    return _WindowOutcome(decisions, short, mean_sd)
+
+
+def sjf_priority(features: np.ndarray) -> int:
+    """Shortest-job-first-style labeling rule used to pretrain lRLA.
+
+    Flow scheduling theory (pFabric, PIAS) and the paper's own Appendix E
+    observation ("the underlying decision logics ... are much simpler,
+    e.g. shortest-job-first") say the converged AuTO policy is SJF-like:
+    bigger flows take lower priorities, and decisions defer further when
+    the top queue is busy with fresh short flows.
+    """
+    log_size = float(features[0])
+    q0_count = float(features[2])
+    priority = int(np.clip((log_size - 6.0) * 2.5, 0.0, N_QUEUES - 2))
+    if q0_count >= 4.0:
+        priority += 1
+    return int(np.clip(priority, 0, N_QUEUES - 1))
+
+
+def _pretrain_lrla(
+    lrla: SoftmaxPolicy,
+    teacher: AutoTeacher,
+    workload: FlowSizeDistribution,
+    load: float,
+    window_s: float,
+    rng: np.random.Generator,
+    windows: int = 10,
+    epochs: int = 600,
+) -> None:
+    """Behavior-clone lRLA onto the SJF rule over simulated states."""
+    states: List[np.ndarray] = []
+    for _ in range(windows):
+        outcome = _run_window(
+            teacher, workload, MLFQConfig(), load, window_s, rng,
+            greedy=False,
+        )
+        states.extend(d[0] for d in outcome.decisions)
+    if not states:
+        return
+    feats = np.asarray(states)
+    labels = np.asarray([sjf_priority(s) for s in feats], dtype=int)
+    norm = lrla_normalize(feats)
+    opt = Adam(lr=3e-3)
+    ones = np.ones(len(labels))
+    for _ in range(epochs):
+        # advantage == 1 turns the policy-gradient step into plain
+        # cross-entropy on the labels.
+        lrla.policy_gradient_step(norm, labels, ones, opt, entropy_coef=0.0)
+
+
+def train_auto(
+    workload: FlowSizeDistribution = WEB_SEARCH,
+    episodes: int = 120,
+    load: float = 0.7,
+    window_s: float = 1.5,
+    capacity_bps: float = 1e9,
+    seed: SeedLike = 0,
+    use_cache: bool = True,
+) -> AutoTeacher:
+    """Train (or load) the AuTO agent pair.
+
+    Each episode simulates one window: sRLA picks thresholds from the
+    previous window's short-flow statistics, lRLA schedules the window's
+    long flows, and both receive REINFORCE updates.
+    """
+    recipe = {
+        "workload": workload.name,
+        "episodes": episodes,
+        "load": load,
+        "window": window_s,
+        "capacity": capacity_bps,
+        "seed": int(seed) if isinstance(seed, int) else str(seed),
+    }
+    key = recipe_key("auto", recipe)
+    lrla = SoftmaxPolicy(LRLA_STATE_DIM, N_QUEUES, hidden=(64, 32), seed=as_rng(seed))
+    srla = GaussianPolicy(
+        SRLA_STATE_DIM, SRLA_ACTION_DIM, SRLA_LOW, SRLA_HIGH,
+        hidden=(32, 16), seed=as_rng(seed),
+    )
+    teacher = AutoTeacher(lrla=lrla, srla=srla, capacity_bps=capacity_bps)
+
+    if use_cache:
+        cached = load_weights(key)
+        if cached is not None:
+            n_l = len(lrla.net.params())
+            lrla.net.set_weights(cached[:n_l])
+            srla.net.set_weights(cached[n_l:-1])
+            srla.log_std[...] = cached[-1]
+            return teacher
+
+    rng = as_rng(seed)
+    _pretrain_lrla(lrla, teacher, workload, load, window_s, rng)
+    lrla_opt = Adam(lr=1e-4)
+    srla_opt = Adam(lr=3e-3)
+    reward_baseline = None
+    srla_baseline = None
+    state = srla_state([], load, capacity_bps)
+    for _ in range(episodes):
+        action = srla.act(state, rng)
+        mlfq = MLFQConfig.from_log2(action)
+        outcome = _run_window(
+            teacher, workload, mlfq, load, window_s, rng, greedy=False
+        )
+        # --- lRLA update (per-decision credit) -------------------------
+        if outcome.decisions:
+            feats = lrla_normalize(np.asarray([d[0] for d in outcome.decisions]))
+            acts = np.asarray([d[1] for d in outcome.decisions], dtype=int)
+            rewards = np.asarray([d[2] for d in outcome.decisions])
+            if reward_baseline is None:
+                reward_baseline = rewards.mean()
+            reward_baseline = 0.9 * reward_baseline + 0.1 * rewards.mean()
+            adv = rewards - reward_baseline
+            if adv.std() > 1e-8:
+                adv = adv / adv.std()
+            lrla.policy_gradient_step(feats, acts, adv, lrla_opt)
+        # --- sRLA update (windowed bandit credit) -----------------------
+        srla_reward = -np.log10(max(outcome.mean_short_slowdown, 1.0))
+        if srla_baseline is None:
+            srla_baseline = srla_reward
+        srla_baseline = 0.9 * srla_baseline + 0.1 * srla_reward
+        srla.policy_gradient_step(
+            np.atleast_2d(state),
+            np.atleast_2d(action),
+            np.asarray([srla_reward - srla_baseline]),
+            srla_opt,
+        )
+        state = srla_state(outcome.short_flows, load, capacity_bps)
+
+    if use_cache:
+        save_weights(
+            key,
+            lrla.net.get_weights() + srla.net.get_weights() + [srla.log_std],
+        )
+    return teacher
+
+
+def collect_auto_dataset(
+    teacher: AutoTeacher,
+    workload: FlowSizeDistribution = WEB_SEARCH,
+    windows: int = 20,
+    load: float = 0.7,
+    window_s: float = 1.5,
+    seed: SeedLike = 1,
+):
+    """Collect (state, action, reward) decisions and sRLA (state, action)
+    pairs under the trained teacher — the distillation dataset."""
+    rng = as_rng(seed)
+    lrla_states, lrla_actions, lrla_rewards = [], [], []
+    srla_states, srla_actions = [], []
+    state = srla_state([], load, teacher.capacity_bps)
+    for _ in range(windows):
+        thresholds = teacher.srla.mean_action(np.atleast_2d(state))[0]
+        srla_states.append(state)
+        srla_actions.append(np.sort(thresholds))
+        mlfq = MLFQConfig.from_log2(thresholds)
+        outcome = _run_window(
+            teacher, workload, mlfq, load, window_s, rng, greedy=True
+        )
+        for features, action, reward in outcome.decisions:
+            lrla_states.append(features)
+            lrla_actions.append(action)
+            lrla_rewards.append(reward)
+        state = srla_state(outcome.short_flows, load, teacher.capacity_bps)
+    return (
+        np.asarray(lrla_states),
+        np.asarray(lrla_actions, dtype=int),
+        np.asarray(lrla_rewards),
+        np.asarray(srla_states),
+        np.asarray(srla_actions),
+    )

@@ -1,0 +1,53 @@
+"""On-disk weight cache for trained teachers.
+
+Training the teacher DNNs takes tens of seconds; experiments and
+benchmarks re-use trained weights through this cache so the suite stays
+fast and deterministic.  Cache entries are ``.npz`` files under
+``<repo>/.cache/teachers`` keyed by a stable hash of the training recipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def cache_dir() -> Path:
+    """Directory for cached weights (created on demand).
+
+    Override with the ``REPRO_CACHE_DIR`` environment variable.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".cache" / "teachers"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def recipe_key(name: str, recipe: Dict) -> str:
+    """Stable short hash of a training recipe dictionary."""
+    blob = json.dumps(recipe, sort_keys=True, default=str).encode()
+    return f"{name}-{hashlib.sha256(blob).hexdigest()[:16]}"
+
+
+def save_weights(key: str, arrays: Sequence[np.ndarray]) -> Path:
+    """Persist a list of arrays under ``key``; returns the file path."""
+    path = cache_dir() / f"{key}.npz"
+    np.savez(path, *arrays)
+    return path
+
+
+def load_weights(key: str) -> Optional[List[np.ndarray]]:
+    """Load arrays previously saved under ``key`` (None on miss)."""
+    path = cache_dir() / f"{key}.npz"
+    if not path.exists():
+        return None
+    with np.load(path) as data:
+        return [data[k] for k in data.files]

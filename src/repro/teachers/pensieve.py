@@ -1,0 +1,219 @@
+"""The Pensieve teacher: an A2C-trained bitrate-adaptation DNN.
+
+Pensieve [Mao et al., SIGCOMM'17] learns a softmax policy over the bitrate
+ladder from network observations.  This module trains a numpy
+reimplementation on the synthetic trace sets and exposes it both as an RL
+agent (for distillation: probabilities, value, Q) and as an
+:class:`~repro.envs.abr.baselines.ABRPolicy` (for head-to-head QoE runs).
+
+It also implements the §6.2 "modified structure": the last-bitrate feature
+``r_t`` is wired straight to the output layer (Fig. 10b), which the paper
+shows trains faster and reaches higher QoE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.envs.abr.env import (
+    ABREnv,
+    IDX_BUFFER,
+    IDX_CHUNKS_LEFT,
+    IDX_LAST_BITRATE,
+    DOWNLOAD_TIME_SLICE,
+    NEXT_SIZES_SLICE,
+    STATE_DIM,
+    THROUGHPUT_SLICE,
+)
+from repro.envs.abr.video import Video
+from repro.nn.a2c import A2CTrainer, Trajectory, rollout
+from repro.nn.policy import SoftmaxPolicy, ValueNet
+from repro.nn.qeval import QEstimator
+from repro.teachers.cache import load_weights, recipe_key, save_weights
+from repro.utils.rng import SeedLike, as_rng
+
+#: Per-feature normalization applied before the network (natural units in,
+#: roughly unit-scale activations out).
+STATE_SCALE = np.ones(STATE_DIM)
+STATE_SCALE[IDX_LAST_BITRATE] = 1.0 / 4.3
+STATE_SCALE[IDX_BUFFER] = 1.0 / 20.0
+STATE_SCALE[THROUGHPUT_SLICE] = 1.0 / 5.0
+STATE_SCALE[DOWNLOAD_TIME_SLICE] = 1.0 / 10.0
+STATE_SCALE[NEXT_SIZES_SLICE] = 1.0 / 2.0
+STATE_SCALE[IDX_CHUNKS_LEFT] = 1.0
+
+
+class _NormalizedEnv:
+    """Expose an ABR env to the trainer with normalized observations."""
+
+    def __init__(self, env: ABREnv) -> None:
+        self.env = env
+
+    def reset(self, rng=None):
+        return self.env.reset(rng) * STATE_SCALE
+
+    def step(self, action):
+        state, reward, done, info = self.env.step(action)
+        return state * STATE_SCALE, reward, done, info
+
+
+@dataclass
+class PensieveTeacher:
+    """A trained Pensieve agent.
+
+    Attributes:
+        policy: softmax policy over the 6-rung ladder (normalized inputs).
+        value: critic from A2C training.
+        qest: fitted-Q evaluator (populated by :func:`fit_q`), used by
+            Metis' advantage resampling.
+        modified: whether this is the Fig. 10b structure.
+    """
+
+    policy: SoftmaxPolicy
+    value: ValueNet
+    qest: Optional[QEstimator] = None
+    modified: bool = False
+    name: str = "Pensieve"
+
+    @property
+    def n_actions(self) -> int:
+        """Size of the bitrate ladder (distillation needs the full action
+        space even when the trained policy has abandoned some rungs)."""
+        return self.policy.n_actions
+
+    # -- RL-agent interface (normalized-state in) -----------------------
+    def normalize(self, states: np.ndarray) -> np.ndarray:
+        return np.atleast_2d(states) * STATE_SCALE
+
+    def action_probabilities(self, states: np.ndarray) -> np.ndarray:
+        """pi(a|s) for *natural-unit* states, shape (n, 6)."""
+        return self.policy.probabilities(self.normalize(states))
+
+    def act_greedy(self, state: np.ndarray) -> int:
+        return int(np.argmax(self.action_probabilities(state)[0]))
+
+    def act_greedy_batch(self, states: np.ndarray) -> np.ndarray:
+        return np.argmax(self.action_probabilities(states), axis=1)
+
+    def state_values(self, states: np.ndarray) -> np.ndarray:
+        return self.value.predict(self.normalize(states))
+
+    def q_values(self, states: np.ndarray) -> np.ndarray:
+        if self.qest is None:
+            raise RuntimeError("call fit_q() before requesting Q-values")
+        return self.qest.predict(self.normalize(states))
+
+    # -- ABRPolicy interface (so run_policy works unchanged) -------------
+    def reset(self) -> None:
+        """No per-session state (greedy deployment)."""
+
+    def select(self, state: np.ndarray, env: ABREnv) -> int:
+        return self.act_greedy(state)
+
+    def fit_q(
+        self,
+        env: ABREnv,
+        episodes: int = 24,
+        seed: SeedLike = None,
+        gamma: float = 0.99,
+    ) -> QEstimator:
+        """Fitted SARSA evaluation of this policy (for Eq. 1 resampling)."""
+        rng = as_rng(seed)
+        wrapped = _NormalizedEnv(env)
+        trajectories = [
+            rollout(wrapped, lambda s: self.policy.act(s, rng), rng)
+            for _ in range(episodes)
+        ]
+        qest = QEstimator(
+            STATE_DIM, self.policy.n_actions, gamma=gamma, seed=rng
+        )
+        qest.fit(trajectories)
+        self.qest = qest
+        return qest
+
+
+def train_pensieve(
+    env: ABREnv,
+    episodes: int = 3000,
+    seed: SeedLike = 0,
+    modified: bool = False,
+    entropy_schedule: Sequence[float] = (0.05, 0.01),
+    use_cache: bool = True,
+    return_history: bool = False,
+):
+    """Train (or load from cache) a Pensieve teacher on ``env``.
+
+    Args:
+        env: ABR environment whose trace set defines the training
+            distribution.
+        episodes: total A2C episodes, split evenly across the entropy
+            schedule phases (high entropy first, then low — the decay is
+            what lets the policy collapse onto a preferred action subset,
+            the §6.3 pathology).
+        seed: training seed (also the cache key component).
+        modified: build the Fig. 10b structure (``r_t`` skip connection).
+        entropy_schedule: entropy coefficients per phase.
+        use_cache: reuse cached weights when available.
+        return_history: also return the per-episode return curve.
+    """
+    recipe = {
+        "episodes": episodes,
+        "seed": int(seed) if isinstance(seed, int) else str(seed),
+        "modified": modified,
+        "entropy": list(entropy_schedule),
+        "n_chunks": env.video.n_chunks,
+        "n_traces": len(env.traces),
+        "trace0": env.traces[0].name,
+    }
+    key = recipe_key("pensieve", recipe)
+    skip = [IDX_LAST_BITRATE] if modified else None
+    policy = SoftmaxPolicy(
+        STATE_DIM, env.n_actions, hidden=(64, 32), skip_features=skip,
+        seed=as_rng(seed),
+    )
+    value = ValueNet(STATE_DIM, seed=as_rng(seed))
+    teacher = PensieveTeacher(policy=policy, value=value, modified=modified)
+
+    if use_cache:
+        cached = load_weights(key)
+        if cached is not None:
+            n_policy = len(policy.net.params())
+            policy.net.set_weights(cached[:n_policy])
+            value.net.set_weights(cached[n_policy:])
+            if return_history:
+                hist = load_weights(key + "-hist")
+                history = list(hist[0]) if hist else []
+                return teacher, history
+            return teacher
+
+    trainer = A2CTrainer(policy=policy, value=value)
+    wrapped = _NormalizedEnv(env)
+    rng = as_rng(seed)
+    per_phase = max(1, episodes // len(entropy_schedule))
+    for coef in entropy_schedule:
+        trainer.entropy_coef = coef
+        trainer.train(wrapped, per_phase, seed=rng)
+
+    if use_cache:
+        save_weights(key, policy.net.get_weights() + value.net.get_weights())
+        save_weights(key + "-hist", [np.asarray(trainer.history)])
+    if return_history:
+        return teacher, list(trainer.history)
+    return teacher
+
+
+def default_abr_env(
+    trace_kind: str = "hsdpa",
+    n_traces: int = 60,
+    n_chunks: int = 48,
+    seed: int = 7,
+) -> ABREnv:
+    """The canonical training environment used across experiments."""
+    from repro.envs.traces import trace_set
+
+    video = Video.synthetic(n_chunks=n_chunks, seed=seed)
+    traces = trace_set(trace_kind, n_traces, seed=seed + 1)
+    return ABREnv(video, traces)

@@ -1,0 +1,503 @@
+"""RouteNet-style path-link message passing and the RouteNet* optimizer.
+
+RouteNet [Rusek et al., SOSR'19] predicts per-path latency from the
+topology with a GNN that alternates *path updates* (paths aggregate the
+state of their links) and *link updates* (links aggregate the state of the
+paths crossing them).  RouteNet* (the paper's §5 close-loop variant)
+couples those predictions with routing decisions: candidate paths are
+scored by predicted latency and the best one is installed, which changes
+link loads, which changes predictions.
+
+This implementation is numpy with *manual backpropagation*, including
+gradients with respect to the path-link incidence weights ``W`` — that is
+the derivative Metis' hypergraph mask search (§4.2) needs, because the
+mask enters exactly where the incidence enters (Eq. 9: ``W = I ∘
+sigmoid(W')``).
+
+Shapes: ``E`` hyperedges (paths), ``V`` vertices (directed links), ``D``
+embedding width, ``T`` message-passing iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.envs.routing.delay import (
+    Routing,
+    routing_latencies,
+    shortest_path_routing,
+)
+from repro.envs.routing.demands import TrafficMatrix
+from repro.envs.routing.topology import Topology
+from repro.teachers.cache import load_weights, recipe_key, save_weights
+from repro.utils.rng import SeedLike, as_rng
+
+#: Feature scales: capacities/loads ~40 units, demands ~10, hops ~5.
+CAP_SCALE = 40.0
+DEMAND_SCALE = 10.0
+HOP_SCALE = 5.0
+
+
+def _softplus(z: np.ndarray) -> np.ndarray:
+    return np.log1p(np.exp(-np.abs(z))) + np.maximum(z, 0.0)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+
+@dataclass
+class _Cache:
+    """Forward activations needed by the backward pass."""
+
+    xv: np.ndarray
+    xe: np.ndarray
+    w: np.ndarray
+    hv: List[np.ndarray] = field(default_factory=list)
+    he: List[np.ndarray] = field(default_factory=list)
+    se: List[np.ndarray] = field(default_factory=list)
+    sv: List[np.ndarray] = field(default_factory=list)
+    z_out: Optional[np.ndarray] = None
+    probe_w: Optional[np.ndarray] = None
+    probe_xe: Optional[np.ndarray] = None
+    probe_he: Optional[np.ndarray] = None
+    probe_z: Optional[np.ndarray] = None
+
+
+class PathLinkNet:
+    """The message-passing latency predictor.
+
+    Args:
+        dim: embedding width.
+        iterations: message-passing rounds ``T``.
+        seed: weight initialization seed.
+    """
+
+    PARAM_NAMES = (
+        "wl", "bl", "wp", "bp", "a1", "a2", "ba", "b1", "b2", "bb", "r", "br",
+    )
+
+    def __init__(self, dim: int = 8, iterations: int = 3, seed: SeedLike = None):
+        rng = as_rng(seed)
+        d = dim
+        self.dim = d
+        self.iterations = iterations
+
+        def init(*shape):
+            return rng.normal(0.0, 1.0 / np.sqrt(shape[0]), size=shape)
+
+        self.wl = init(2, d)
+        self.bl = np.zeros(d)
+        self.wp = init(2, d)
+        self.bp = np.zeros(d)
+        self.a1 = init(d, d)
+        self.a2 = init(d, d)
+        self.ba = np.zeros(d)
+        self.b1 = init(d, d)
+        self.b2 = init(d, d)
+        self.bb = np.zeros(d)
+        self.r = init(d, 1)[:, 0]
+        self.br = np.zeros(1)
+        self._cache: Optional[_Cache] = None
+
+    # ------------------------------------------------------------------
+    def params(self) -> List[np.ndarray]:
+        return [getattr(self, n) for n in self.PARAM_NAMES]
+
+    def get_weights(self) -> List[np.ndarray]:
+        return [p.copy() for p in self.params()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        for name, w in zip(self.PARAM_NAMES, weights):
+            getattr(self, name)[...] = w
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.params()))
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        xv: np.ndarray,
+        xe: np.ndarray,
+        w: np.ndarray,
+        probe_w: Optional[np.ndarray] = None,
+        probe_xe: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Predict latencies.
+
+        Args:
+            xv: link features ``(V, 2)`` — [capacity, load], natural units.
+            xe: path features ``(E, 2)`` — [demand, hops], natural units.
+            w: weighted incidence ``(E, V)`` (the mask; 0/1 when unmasked).
+            probe_w: optional probe incidences ``(P, V)`` for candidate
+                paths that read link state but do not send messages.
+            probe_xe: probe path features ``(P, 2)``.
+
+        Returns:
+            (latencies for the E hyperedges, latencies for the P probes).
+        """
+        cache = _Cache(
+            xv=np.asarray(xv, dtype=float) / np.array([CAP_SCALE, CAP_SCALE]),
+            xe=np.asarray(xe, dtype=float) / np.array([DEMAND_SCALE, HOP_SCALE]),
+            w=np.asarray(w, dtype=float),
+        )
+        hv = np.tanh(cache.xv @ self.wl + self.bl)
+        he = np.tanh(cache.xe @ self.wp + self.bp)
+        cache.hv.append(hv)
+        cache.he.append(he)
+        for _ in range(self.iterations):
+            se = cache.w @ hv
+            he = np.tanh(he @ self.a1 + se @ self.a2 + self.ba)
+            sv = cache.w.T @ he
+            hv = np.tanh(hv @ self.b1 + sv @ self.b2 + self.bb)
+            cache.se.append(se)
+            cache.he.append(he)
+            cache.sv.append(sv)
+            cache.hv.append(hv)
+        z = he @ self.r + self.br
+        cache.z_out = z
+        latency = _softplus(z)
+
+        probe_latency = None
+        if probe_w is not None:
+            cache.probe_w = np.asarray(probe_w, dtype=float)
+            cache.probe_xe = (
+                np.asarray(probe_xe, dtype=float)
+                / np.array([DEMAND_SCALE, HOP_SCALE])
+            )
+            he0 = np.tanh(cache.probe_xe @ self.wp + self.bp)
+            sp = cache.probe_w @ hv
+            hp = np.tanh(he0 @ self.a1 + sp @ self.a2 + self.ba)
+            zp = hp @ self.r + self.br
+            cache.probe_he = hp
+            cache.probe_z = zp
+            probe_latency = _softplus(zp)
+        self._cache = cache
+        return latency, probe_latency
+
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        dlat: np.ndarray,
+        dlat_probe: Optional[np.ndarray] = None,
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Backpropagate loss gradients.
+
+        Args:
+            dlat: ``dL/d(latency)`` for the E hyperedges.
+            dlat_probe: ``dL/d(latency)`` for the probes (if any).
+
+        Returns:
+            ``(grads, dW, dxv)``: parameter gradients by name, ``dL/dW``
+            of shape (E, V) treating the link features as constants, and
+            ``dL/d(xv)`` in natural units.  When link loads are derived
+            from the mask (``xv[:, 1] = W.T @ demand``), the caller adds
+            the coupling ``dW += outer(demand, dxv[:, 1])``.  Probe
+            incidences are treated as constants.
+        """
+        c = self._cache
+        if c is None:
+            raise RuntimeError("backward called before forward")
+        grads = {n: np.zeros_like(getattr(self, n)) for n in self.PARAM_NAMES}
+        dw = np.zeros_like(c.w)
+        t_last = self.iterations
+
+        dhv = np.zeros_like(c.hv[t_last])
+        # --- probe head --------------------------------------------------
+        if dlat_probe is not None and c.probe_z is not None:
+            dzp = dlat_probe * _sigmoid(c.probe_z)
+            grads["r"] += c.probe_he.T @ dzp
+            grads["br"] += dzp.sum(keepdims=True)
+            dhp = np.outer(dzp, self.r)
+            dhp *= 1.0 - c.probe_he**2
+            he0 = np.tanh(c.probe_xe @ self.wp + self.bp)
+            sp = c.probe_w @ c.hv[t_last]
+            grads["a1"] += he0.T @ dhp
+            grads["a2"] += sp.T @ dhp
+            grads["ba"] += dhp.sum(axis=0)
+            dsp = dhp @ self.a2.T
+            dhv += c.probe_w.T @ dsp
+            dhe0 = dhp @ self.a1.T
+            dhe0 *= 1.0 - he0**2
+            grads["wp"] += c.probe_xe.T @ dhe0
+            grads["bp"] += dhe0.sum(axis=0)
+
+        # --- readout ------------------------------------------------------
+        dz = np.asarray(dlat, dtype=float) * _sigmoid(c.z_out)
+        grads["r"] += c.he[t_last].T @ dz
+        grads["br"] += dz.sum(keepdims=True)
+        dhe = np.outer(dz, self.r)
+
+        # --- unrolled message passing, reversed ---------------------------
+        for t in range(t_last, 0, -1):
+            # Link update: hv_t = tanh(hv_{t-1} B1 + Sv_t B2 + bb)
+            dzv = dhv * (1.0 - c.hv[t]**2)
+            grads["b1"] += c.hv[t - 1].T @ dzv
+            grads["b2"] += c.sv[t - 1].T @ dzv
+            grads["bb"] += dzv.sum(axis=0)
+            dhv_prev = dzv @ self.b1.T
+            dsv = dzv @ self.b2.T
+            # Sv_t = W.T @ he_t
+            dw += c.he[t] @ dsv.T
+            dhe += c.w @ dsv
+            # Path update: he_t = tanh(he_{t-1} A1 + Se_t A2 + ba)
+            dze = dhe * (1.0 - c.he[t]**2)
+            grads["a1"] += c.he[t - 1].T @ dze
+            grads["a2"] += c.se[t - 1].T @ dze
+            grads["ba"] += dze.sum(axis=0)
+            dhe = dze @ self.a1.T
+            dse = dze @ self.a2.T
+            # Se_t = W @ hv_{t-1}
+            dw += dse @ c.hv[t - 1].T
+            dhv_prev += c.w.T @ dse
+            dhv = dhv_prev
+
+        # --- encoders -----------------------------------------------------
+        dzv0 = dhv * (1.0 - c.hv[0]**2)
+        grads["wl"] += c.xv.T @ dzv0
+        grads["bl"] += dzv0.sum(axis=0)
+        dze0 = dhe * (1.0 - c.he[0]**2)
+        grads["wp"] += c.xe.T @ dze0
+        grads["bp"] += dze0.sum(axis=0)
+
+        # Gradient w.r.t. the natural-unit link features (callers that
+        # derive loads from the mask need column 1).
+        dxv = (dzv0 @ self.wl.T) / CAP_SCALE
+        return grads, dw, dxv
+
+    def apply_grads(self, grads: Dict[str, np.ndarray], lr: float) -> None:
+        """Plain SGD step (training uses Adam externally; this is for tests)."""
+        for name in self.PARAM_NAMES:
+            getattr(self, name)[...] -= lr * grads[name]
+
+
+# ----------------------------------------------------------------------
+def build_features(
+    topology: Topology,
+    routing: Routing,
+    traffic: TrafficMatrix,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, int]]]:
+    """Assemble (xv, xe, incidence, pair order) for a routing."""
+    pairs = routing.pairs()
+    inc = routing.incidence(topology)
+    demands = np.asarray([traffic.volume(*p) for p in pairs])
+    hops = inc.sum(axis=1)
+    xe = np.stack([demands, hops], axis=1)
+    loads = inc.T @ demands
+    xv = np.stack([topology.capacity_vector(), loads], axis=1)
+    return xv, xe, inc, pairs
+
+
+def train_routenet(
+    topology: Topology,
+    traffics: Sequence[TrafficMatrix],
+    epochs: int = 400,
+    samples_per_tm: int = 4,
+    lr: float = 3e-3,
+    seed: SeedLike = 0,
+    use_cache: bool = True,
+    dim: int = 8,
+    iterations: int = 3,
+) -> PathLinkNet:
+    """Fit the predictor to the M/M/1 ground truth over random routings."""
+    from repro.nn.optim import Adam
+
+    recipe = {
+        "topology": topology.name,
+        "n_tm": len(traffics),
+        "epochs": epochs,
+        "samples": samples_per_tm,
+        "lr": lr,
+        "dim": dim,
+        "iters": iterations,
+        "seed": int(seed) if isinstance(seed, int) else str(seed),
+    }
+    key = recipe_key("routenet", recipe)
+    net = PathLinkNet(dim=dim, iterations=iterations, seed=seed)
+    if use_cache:
+        cached = load_weights(key)
+        if cached is not None:
+            net.set_weights(cached)
+            return net
+
+    from repro.envs.routing.delay import link_delays, path_latency
+
+    rng = as_rng(seed)
+    candidates = {
+        pair: topology.candidate_paths(*pair) for pair in topology.node_pairs()
+    }
+    dataset = []
+    for tm in traffics:
+        for _ in range(samples_per_tm):
+            paths = {
+                pair: cands[int(rng.integers(len(cands)))]
+                for pair, cands in candidates.items()
+            }
+            routing = Routing(paths)
+            xv, xe, inc, pairs = build_features(topology, routing, tm)
+            truth = routing_latencies(topology, routing, tm)
+            y = np.asarray([truth[p] for p in pairs])
+            # Probe targets: candidate paths scored under this routing's
+            # link delays — the probe head must be trained on the same
+            # quantity the optimizer later asks it for.
+            delays = link_delays(topology, routing, tm)
+            probe_rows, probe_feats, probe_y = [], [], []
+            for _ in range(60):
+                pair = pairs[int(rng.integers(len(pairs)))]
+                pair_cands = candidates[pair]
+                cand = pair_cands[int(rng.integers(len(pair_cands)))]
+                row = np.zeros(topology.n_links)
+                for link in Topology.path_links(cand):
+                    row[topology.link_index(link)] = 1.0
+                probe_rows.append(row)
+                probe_feats.append([tm.volume(*pair), len(cand) - 1])
+                probe_y.append(path_latency(cand, delays, topology))
+            dataset.append((
+                xv, xe, inc, y,
+                np.asarray(probe_rows), np.asarray(probe_feats),
+                np.asarray(probe_y),
+            ))
+
+    opt = Adam(lr=lr)
+    order = list(net.PARAM_NAMES)
+    for _ in range(epochs):
+        idx = int(rng.integers(len(dataset)))
+        xv, xe, inc, y, pw, pxe, py = dataset[idx]
+        pred, probe_pred = net.forward(xv, xe, inc, probe_w=pw, probe_xe=pxe)
+        err = pred - y
+        perr = probe_pred - py
+        dlat = 2.0 * err / err.size
+        dprobe = 2.0 * perr / perr.size
+        grads, _, _ = net.backward(dlat, dprobe)
+        opt.step(net.params(), [grads[n] for n in order])
+    if use_cache:
+        save_weights(key, net.get_weights())
+    return net
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class RouteNetStar:
+    """The close-loop routing optimizer: predict latencies, pick paths.
+
+    Attributes:
+        topology: the network.
+        net: trained latency predictor.
+        temperature: Boltzmann temperature of the decision distribution
+            (the discrete output the mask search compares by KL).
+    """
+
+    topology: Topology
+    net: PathLinkNet
+    temperature: float = 0.1
+    name: str = "RouteNet*"
+
+    def candidates(self, pair: Tuple[int, int]) -> List[List[int]]:
+        return self.topology.candidate_paths(*pair)
+
+    def optimize(
+        self,
+        traffic: TrafficMatrix,
+        sweeps: int = 2,
+        seed: SeedLike = 0,
+    ) -> Routing:
+        """Sequential greedy candidate selection (close loop).
+
+        Pairs are visited in random order; after each reroute the link
+        loads are recomputed, so later decisions see the consequences of
+        earlier ones — this keeps the greedy loop from stampeding every
+        demand onto the same momentarily-idle links.
+        """
+        rng = as_rng(seed)
+        routing = shortest_path_routing(self.topology)
+        pairs = routing.pairs()
+        cands = {p: self.candidates(p) for p in pairs}
+        paths = dict(routing.paths)
+        for _ in range(sweeps):
+            order = list(range(len(pairs)))
+            rng.shuffle(order)
+            for i in order:
+                pair = pairs[i]
+                current = Routing(paths)
+                scores = self._candidate_latencies(
+                    current, traffic, {pair: cands[pair]}
+                )
+                paths[pair] = cands[pair][int(np.argmin(scores[pair]))]
+        return Routing(paths)
+
+    def _candidate_latencies(
+        self,
+        routing: Routing,
+        traffic: TrafficMatrix,
+        cands: Dict[Tuple[int, int], List[List[int]]],
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Predicted latency of every candidate, in current-load context."""
+        xv, xe, inc, pairs = build_features(self.topology, routing, traffic)
+        probe_rows = []
+        probe_feats = []
+        owners: List[Tuple[Tuple[int, int], int]] = []
+        for pair in sorted(cands):
+            demand = traffic.volume(*pair)
+            for ci, cand in enumerate(cands[pair]):
+                row = np.zeros(self.topology.n_links)
+                for link in Topology.path_links(cand):
+                    row[self.topology.link_index(link)] = 1.0
+                probe_rows.append(row)
+                probe_feats.append([demand, len(cand) - 1])
+                owners.append((pair, ci))
+        _, probe_lat = self.net.forward(
+            xv, xe, inc,
+            probe_w=np.asarray(probe_rows),
+            probe_xe=np.asarray(probe_feats),
+        )
+        out: Dict[Tuple[int, int], List[float]] = {p: [] for p in cands}
+        for (pair, _), lat in zip(owners, probe_lat):
+            out[pair].append(float(lat))
+        return {p: np.asarray(v) for p, v in out.items()}
+
+    def decision_distribution(
+        self,
+        routing: Routing,
+        traffic: TrafficMatrix,
+        mask: Optional[np.ndarray] = None,
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Boltzmann decision distribution over candidates per pair.
+
+        With ``mask`` (same shape as the routing incidence), the chosen
+        paths' link aggregation and link loads are weighted by the mask —
+        the ``Y_W`` of Eq. 5; ``mask=None`` gives ``Y_I``.
+        """
+        xv, xe, inc, pairs = build_features(self.topology, routing, traffic)
+        w = inc if mask is None else mask
+        if mask is not None:
+            loads = w.T @ xe[:, 0]
+            xv = np.stack([self.topology.capacity_vector(), loads], axis=1)
+        cands = {p: self.candidates(p) for p in pairs}
+        probe_rows, probe_feats, owners = [], [], []
+        for pair in pairs:
+            demand = traffic.volume(*pair)
+            for cand in cands[pair]:
+                row = np.zeros(self.topology.n_links)
+                for link in Topology.path_links(cand):
+                    row[self.topology.link_index(link)] = 1.0
+                probe_rows.append(row)
+                probe_feats.append([demand, len(cand) - 1])
+                owners.append(pair)
+        _, probe_lat = self.net.forward(
+            xv, xe, w,
+            probe_w=np.asarray(probe_rows),
+            probe_xe=np.asarray(probe_feats),
+        )
+        out: Dict[Tuple[int, int], List[float]] = {p: [] for p in pairs}
+        for pair, lat in zip(owners, probe_lat):
+            out[pair].append(float(lat))
+        dist = {}
+        for pair, lats in out.items():
+            z = -np.asarray(lats) / self.temperature
+            z -= z.max()
+            e = np.exp(z)
+            dist[pair] = e / e.sum()
+        return dist

@@ -1,0 +1,14 @@
+"""Shared utilities: RNG handling, running statistics, and result tables."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.stats import RunningStat, pearson_correlation, empirical_cdf
+from repro.utils.tables import ResultTable
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "RunningStat",
+    "pearson_correlation",
+    "empirical_cdf",
+    "ResultTable",
+]

@@ -1,0 +1,44 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+``numpy.random.Generator`` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Args:
+        seed: ``None`` (fresh entropy), an integer seed, or an existing
+            generator (returned unchanged).
+
+    Returns:
+        A ``numpy.random.Generator`` instance.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list:
+    """Derive ``count`` independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so the children are statistically
+    independent regardless of how many are requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        children = seed.bit_generator.seed_seq.spawn(count)
+        return [np.random.default_rng(c) for c in children]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(c) for c in seq.spawn(count)]

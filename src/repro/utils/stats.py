@@ -1,0 +1,74 @@
+"""Small statistics helpers used across experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+class RunningStat:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many observations."""
+        for value in values:
+            self.push(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson's r between two equal-length sequences.
+
+    Returns 0.0 when either sequence is constant (correlation undefined).
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError(f"shape mismatch: {xa.shape} vs {ya.shape}")
+    if xa.size < 2:
+        return 0.0
+    xs = xa.std()
+    ys = ya.std()
+    if xs == 0.0 or ys == 0.0:
+        return 0.0
+    return float(np.corrcoef(xa, ya)[0, 1])
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (sorted values, CDF levels in (0, 1]) for plotting/reporting."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        return v, v
+    levels = np.arange(1, v.size + 1) / v.size
+    return v, levels
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Convenience wrapper with an explicit name for report rows."""
+    return float(np.percentile(np.asarray(values, dtype=float), q))

@@ -1,0 +1,58 @@
+"""Plain-text result tables for experiment harnesses.
+
+Each experiment prints the same rows/series the paper reports; this module
+keeps the formatting consistent and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class ResultTable:
+    """A minimal column-aligned table with a title.
+
+    Example:
+        >>> t = ResultTable("Demo", ["name", "value"])
+        >>> t.add_row(["alpha", 1.25])
+        >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append a row; values are stringified (floats get 4 significant digits)."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append([_format_cell(cell) for cell in row])
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        """Rows as dictionaries keyed by column name (for tests)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        lines.append(rule)
+        return "\n".join(lines)
+
+
+def _format_cell(cell: Any, digits: int = 4) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{digits}g}"
+    return str(cell)

@@ -1,0 +1,44 @@
+"""Shared fixtures: tiny environments and deterministic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.envs.abr import ABREnv, Video
+from repro.envs.traces import fixed_trace, trace_set
+
+
+@pytest.fixture(scope="session")
+def tiny_video():
+    return Video.synthetic(n_chunks=12, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_traces():
+    return trace_set("hsdpa", 4, duration_s=120, seed=2)
+
+
+@pytest.fixture()
+def tiny_env(tiny_video, tiny_traces):
+    return ABREnv(tiny_video, tiny_traces)
+
+
+@pytest.fixture()
+def fixed_env(tiny_video):
+    return ABREnv(tiny_video, [fixed_trace(3000.0)], random_start=False)
+
+
+@pytest.fixture(scope="session")
+def toy_classification():
+    """An axis-aligned 4-class problem trees should solve exactly."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (600, 5))
+    y = (x[:, 0] > 0.5).astype(int) * 2 + (x[:, 2] > 0.4).astype(int)
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def toy_regression():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, (500, 4))
+    y = np.stack([np.sign(x[:, 0]), x[:, 1] > 0.2], axis=1).astype(float)
+    return x, y

@@ -1,0 +1,212 @@
+"""Tests for the ABR substrate: video model, QoE, environment, baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.envs.abr import (
+    ABREnv,
+    ABRState,
+    Bola,
+    BufferBased,
+    Festive,
+    FixedLowest,
+    LinearQoE,
+    RateBased,
+    RobustMPC,
+    Video,
+    run_policy,
+)
+from repro.envs.abr.env import (
+    FEATURE_NAMES,
+    IDX_BUFFER,
+    IDX_LAST_BITRATE,
+    MAX_BUFFER_SECONDS,
+    STATE_DIM,
+)
+from repro.envs.traces import fixed_trace
+
+
+class TestVideo:
+    def test_synthetic_shape(self, tiny_video):
+        assert tiny_video.sizes_kbits.shape == (12, 6)
+
+    def test_sizes_scale_with_bitrate(self, tiny_video):
+        sizes = tiny_video.sizes_kbits
+        assert np.all(sizes[:, 1:] > sizes[:, :-1])
+
+    def test_duration(self, tiny_video):
+        assert tiny_video.duration_seconds == 48.0
+
+    def test_requires_ascending_ladder(self):
+        with pytest.raises(ValueError):
+            Video(bitrates_kbps=(750, 300), sizes_kbits=np.ones((2, 2)))
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            Video(bitrates_kbps=(300, 750),
+                  sizes_kbits=-np.ones((2, 2)))
+
+    def test_n_chunks_positive(self):
+        with pytest.raises(ValueError):
+            Video.synthetic(n_chunks=0)
+
+
+class TestLinearQoE:
+    def test_reward_components(self):
+        qoe = LinearQoE()
+        # 1 Mbps chunk, no change, no stall: reward = 1.
+        assert qoe.reward(1000, 1000, 0.0) == pytest.approx(1.0)
+
+    def test_rebuffer_penalty(self):
+        qoe = LinearQoE()
+        assert qoe.reward(1000, 1000, 1.0) == pytest.approx(1.0 - 4.3)
+
+    def test_smoothness_penalty(self):
+        qoe = LinearQoE()
+        assert qoe.reward(2000, 1000, 0.0) == pytest.approx(2.0 - 1.0)
+
+    def test_negative_rebuffer_rejected(self):
+        with pytest.raises(ValueError):
+            LinearQoE().reward(1000, 1000, -0.1)
+
+    @given(st.floats(0, 10), st.floats(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_rebuffer(self, r1, r2):
+        qoe = LinearQoE()
+        lo, hi = sorted([r1, r2])
+        assert qoe.reward(1000, 1000, hi) <= qoe.reward(1000, 1000, lo)
+
+
+class TestABREnv:
+    def test_state_dim(self, tiny_env):
+        state = tiny_env.reset(rng=0)
+        assert state.shape == (STATE_DIM,)
+        assert len(FEATURE_NAMES) == STATE_DIM
+
+    def test_episode_length(self, tiny_env):
+        tiny_env.reset(rng=0)
+        steps = 0
+        done = False
+        while not done:
+            _, _, done, _ = tiny_env.step(0)
+            steps += 1
+        assert steps == tiny_env.video.n_chunks
+
+    def test_step_before_reset_rejected(self, tiny_video, tiny_traces):
+        env = ABREnv(tiny_video, tiny_traces)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_invalid_action_rejected(self, tiny_env):
+        tiny_env.reset(rng=0)
+        with pytest.raises(ValueError):
+            tiny_env.step(99)
+
+    def test_buffer_capped(self, fixed_env):
+        state = fixed_env.reset(rng=0)
+        done = False
+        while not done:
+            state, _, done, info = fixed_env.step(0)
+            assert info["buffer_s"] <= MAX_BUFFER_SECONDS + 1e-9
+
+    def test_download_time_positive(self, fixed_env):
+        fixed_env.reset(rng=0)
+        _, _, _, info = fixed_env.step(3)
+        assert info["download_time_s"] > 0
+
+    def test_throughput_reflects_link(self, fixed_env):
+        # On a 3000 kbps link, measured goodput must be close to it.
+        fixed_env.reset(rng=0)
+        _, _, _, info = fixed_env.step(4)
+        assert 1500 < info["throughput_mbps"] * 1000 < 3100
+
+    def test_last_bitrate_tracked(self, fixed_env):
+        fixed_env.reset(rng=0)
+        state, _, _, _ = fixed_env.step(2)
+        assert state[IDX_LAST_BITRATE] == pytest.approx(1.2)
+
+    def test_rebuffer_on_oversized_chunk(self, tiny_video):
+        env = ABREnv(tiny_video, [fixed_trace(200.0)], random_start=False)
+        env.reset(rng=0)
+        _, _, _, info = env.step(5)  # 4300 kbps on a 200 kbps link
+        assert info["rebuffer_s"] > 0
+
+    def test_structured_view_roundtrip(self, tiny_env):
+        state = tiny_env.reset(rng=0)
+        view = ABRState.from_vector(state)
+        assert view.buffer_seconds == state[IDX_BUFFER]
+
+    def test_requires_traces(self, tiny_video):
+        with pytest.raises(ValueError):
+            ABREnv(tiny_video, [])
+
+    def test_upcoming_sizes_clipped_at_end(self, tiny_env):
+        tiny_env.reset(rng=0)
+        for _ in range(tiny_env.video.n_chunks - 1):
+            tiny_env.step(0)
+        assert tiny_env.upcoming_sizes_kbits(5).shape[0] == 1
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("policy", [
+        FixedLowest(), BufferBased(), RateBased(), Festive(), Bola(),
+        RobustMPC(horizon=3),
+    ])
+    def test_actions_in_range(self, policy, tiny_env):
+        result = run_policy(policy, tiny_env, trace=tiny_env.traces[0], rng=0)
+        assert result.actions.min() >= 0
+        assert result.actions.max() < tiny_env.n_actions
+
+    def test_fixed_lowest_always_zero(self, tiny_env):
+        result = run_policy(FixedLowest(), tiny_env,
+                            trace=tiny_env.traces[0], rng=0)
+        assert np.all(result.actions == 0)
+
+    def test_bb_low_buffer_low_bitrate(self, tiny_env):
+        state = np.zeros(STATE_DIM)
+        state[IDX_BUFFER] = 1.0
+        assert BufferBased().select(state, tiny_env) == 0
+
+    def test_bb_high_buffer_high_bitrate(self, tiny_env):
+        state = np.zeros(STATE_DIM)
+        state[IDX_BUFFER] = 30.0
+        assert BufferBased().select(state, tiny_env) == tiny_env.n_actions - 1
+
+    def test_rb_follows_throughput(self, tiny_env):
+        from repro.envs.abr.env import THROUGHPUT_SLICE
+
+        state = np.zeros(STATE_DIM)
+        state[THROUGHPUT_SLICE] = 3.0  # 3 Mbps history
+        level = RateBased().select(state, tiny_env)
+        assert tiny_env.video.bitrates_kbps[level] <= 3000
+
+    def test_festive_steps_one_level(self, tiny_env):
+        from repro.envs.abr.env import THROUGHPUT_SLICE
+
+        policy = Festive(patience=1)
+        policy.reset()
+        state = np.zeros(STATE_DIM)
+        state[IDX_LAST_BITRATE] = 0.3
+        state[THROUGHPUT_SLICE] = 10.0
+        assert policy.select(state, tiny_env) == 1  # one rung up only
+
+    def test_mpc_converges_on_fixed_link(self, tiny_video):
+        env = ABREnv(tiny_video, [fixed_trace(3000.0)], random_start=False)
+        result = run_policy(RobustMPC(), env, trace=env.traces[0], rng=0)
+        # After warm-up it should settle at 2850 kbps.
+        tail = result.bitrates_kbps[3:]
+        assert np.median(tail) == 2850
+
+    def test_rmpc_beats_fixed(self, tiny_env):
+        q_mpc = run_policy(RobustMPC(), tiny_env,
+                           trace=tiny_env.traces[0], rng=0).qoe_mean
+        q_fixed = run_policy(FixedLowest(), tiny_env,
+                             trace=tiny_env.traces[0], rng=0).qoe_mean
+        assert q_mpc > q_fixed
+
+    def test_episode_result_totals(self, tiny_env):
+        result = run_policy(BufferBased(), tiny_env,
+                            trace=tiny_env.traces[0], rng=0)
+        assert result.qoe_total == pytest.approx(result.rewards.sum())
+        assert len(result.actions) == tiny_env.video.n_chunks

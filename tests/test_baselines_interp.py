@@ -1,0 +1,123 @@
+"""Tests for the interpretation baselines: k-means, LIME, LEMNA."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import LemnaInterpreter, LimeInterpreter, kmeans
+from repro.core.baselines.clustering import assign_clusters
+
+
+class TestKMeans:
+    def test_k_clusters_returned(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 2))
+        centroids, assign = kmeans(x, 4, seed=0)
+        assert centroids.shape == (4, 2)
+        assert set(np.unique(assign)) == {0, 1, 2, 3}
+
+    def test_separable_clusters_found(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 0.1, size=(50, 2))
+        b = rng.normal(5, 0.1, size=(50, 2))
+        x = np.concatenate([a, b])
+        _, assign = kmeans(x, 2, seed=0)
+        # All of a in one cluster, all of b in the other.
+        assert len(set(assign[:50])) == 1
+        assert len(set(assign[50:])) == 1
+        assert assign[0] != assign[-1]
+
+    def test_k_clipped_to_n(self):
+        x = np.zeros((3, 2))
+        centroids, _ = kmeans(x, 10, seed=0)
+        assert centroids.shape[0] == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)
+
+    def test_assign_clusters_nearest(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        out = assign_clusters(np.array([[1.0, 1.0], [9.0, 9.0]]), centroids)
+        assert list(out) == [0, 1]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(60, 3))
+        _, a = kmeans(x, 3, seed=7)
+        _, b = kmeans(x, 3, seed=7)
+        assert np.array_equal(a, b)
+
+
+def _linear_problem(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    w = np.array([[1.0, -1.0], [0.5, 0.5], [0.0, 2.0]])
+    y = x @ w
+    return x, y
+
+
+class TestLime:
+    def test_fits_linear_map_exactly(self):
+        x, y = _linear_problem()
+        lime = LimeInterpreter(n_clusters=1).fit(x, y, seed=0)
+        pred = lime.predict_outputs(x)
+        assert np.sqrt(((pred - y) ** 2).mean()) < 0.01
+
+    def test_predict_argmax(self):
+        x, y = _linear_problem()
+        lime = LimeInterpreter(n_clusters=3).fit(x, y, seed=0)
+        actions = lime.predict(x)
+        assert set(np.unique(actions)) <= {0, 1}
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LimeInterpreter().predict_outputs(np.zeros((2, 3)))
+
+    def test_piecewise_function_needs_clusters(self):
+        # y = |x| is badly fit by one global line, better with clusters.
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=(500, 1))
+        y = np.abs(x)
+        one = LimeInterpreter(n_clusters=1).fit(x, y, seed=0)
+        many = LimeInterpreter(n_clusters=8).fit(x, y, seed=0)
+        err_one = np.abs(one.predict_outputs(x) - y).mean()
+        err_many = np.abs(many.predict_outputs(x) - y).mean()
+        assert err_many < err_one
+
+    def test_1d_outputs_accepted(self):
+        x, y = _linear_problem()
+        lime = LimeInterpreter(n_clusters=2).fit(x, y[:, 0], seed=0)
+        assert lime.predict_outputs(x).shape == (x.shape[0], 1)
+
+
+class TestLemna:
+    def test_fits_mixture_of_lines(self):
+        # Two regimes: y = +2x and y = -2x depending on a hidden switch
+        # correlated with x[1]; mixture regression should beat one line.
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(600, 2))
+        switch = x[:, 1] > 0
+        y = np.where(switch, 2 * x[:, 0], -2 * x[:, 0])[:, None]
+        lemna = LemnaInterpreter(
+            n_clusters=4, components=2, em_iterations=20
+        ).fit(x, y, seed=0)
+        lime = LimeInterpreter(n_clusters=1).fit(x, y, seed=0)
+        err_lemna = np.abs(lemna.predict_outputs(x) - y).mean()
+        err_lime = np.abs(lime.predict_outputs(x) - y).mean()
+        assert err_lemna < err_lime
+
+    def test_small_cluster_fallback(self):
+        x = np.zeros((3, 2))
+        y = np.ones((3, 1))
+        lemna = LemnaInterpreter(n_clusters=1, components=4).fit(x, y, seed=0)
+        pred = lemna.predict_outputs(x)
+        assert np.allclose(pred, 1.0, atol=0.2)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LemnaInterpreter().predict_outputs(np.zeros((2, 3)))
+
+    def test_predict_argmax_shape(self):
+        x, y = _linear_problem()
+        lemna = LemnaInterpreter(n_clusters=2, components=2).fit(x, y, seed=0)
+        assert lemna.predict(x).shape == (x.shape[0],)

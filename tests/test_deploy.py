@@ -1,0 +1,101 @@
+"""Tests for the deployment cost models and micro-benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import DecisionTreeClassifier
+from repro.deploy import (
+    SERVER_DNN,
+    SERVER_TREE,
+    SMARTNIC_TREE,
+    DeviceProfile,
+    decision_latency_dnn,
+    decision_latency_tree,
+    dnn_bundle_bytes,
+    dnn_runtime_memory_bytes,
+    measure_wallclock_latency,
+    page_load_seconds,
+    tree_bundle_bytes,
+    tree_runtime_memory_bytes,
+)
+from repro.nn.mlp import MLP
+
+
+@pytest.fixture(scope="module")
+def fitted_tree(toy_classification=None):
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (500, 5))
+    y = (x[:, 0] > 0.5).astype(int)
+    return DecisionTreeClassifier(max_leaf_nodes=32).fit(x, y)
+
+
+class TestDeviceProfile:
+    def test_latency_affine(self):
+        profile = DeviceProfile("test", overhead_s=1.0, per_op_s=0.5)
+        assert profile.latency(4) == pytest.approx(3.0)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            SERVER_DNN.latency(-1)
+
+    def test_dnn_much_slower_than_tree(self, fitted_tree):
+        net = MLP(12, (64, 32), 5, seed=0)
+        dnn = decision_latency_dnn(net, SERVER_DNN)
+        tree = decision_latency_tree(fitted_tree, SERVER_TREE)
+        assert dnn / tree > 10.0
+
+    def test_smartnic_microseconds(self, fitted_tree):
+        lat = decision_latency_tree(fitted_tree, SMARTNIC_TREE)
+        assert lat < 1e-4
+
+    def test_jitter_varies(self, fitted_tree):
+        rng = np.random.default_rng(0)
+        a = decision_latency_tree(fitted_tree, SERVER_TREE, jitter_rng=rng)
+        b = decision_latency_tree(fitted_tree, SERVER_TREE, jitter_rng=rng)
+        assert a != b
+
+
+class TestResources:
+    def test_dnn_bundle_dominated_by_runtime(self):
+        net = MLP(25, (64, 32), 6, seed=0)
+        assert dnn_bundle_bytes(net) > 1_000_000
+
+    def test_tree_bundle_small(self, fitted_tree):
+        assert tree_bundle_bytes(fitted_tree) < 10_000
+
+    def test_bundle_ratio_large(self, fitted_tree):
+        net = MLP(25, (64, 32), 6, seed=0)
+        assert dnn_bundle_bytes(net) / tree_bundle_bytes(fitted_tree) > 50
+
+    def test_page_load_linear_in_bytes(self):
+        a = page_load_seconds(1_000_000, 1200.0)
+        b = page_load_seconds(2_000_000, 1200.0)
+        assert b == pytest.approx(2 * a)
+
+    def test_page_load_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            page_load_seconds(1000, 0.0)
+
+    def test_memory_models_ordered(self, fitted_tree):
+        net = MLP(25, (64, 32), 6, seed=0)
+        assert (
+            dnn_runtime_memory_bytes(net)
+            > tree_runtime_memory_bytes(fitted_tree)
+        )
+
+
+class TestWallclock:
+    def test_measures_positive_latency(self, fitted_tree):
+        states = np.random.default_rng(0).uniform(0, 1, (20, 5))
+        lat = measure_wallclock_latency(
+            lambda s: fitted_tree.predict_one(s[0]), states, repeats=50
+        )
+        assert lat > 0
+
+    def test_tree_predict_one_fast(self, fitted_tree):
+        # A single tree decision should be well under a millisecond.
+        states = np.random.default_rng(0).uniform(0, 1, (20, 5))
+        lat = measure_wallclock_latency(
+            lambda s: fitted_tree.predict_one(s[0]), states, repeats=200
+        )
+        assert lat < 1e-3

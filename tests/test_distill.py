@@ -1,0 +1,232 @@
+"""Tests for the distillation pipeline: dataset ops, VIPER loop, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MetisConfig
+from repro.core.distill import (
+    DistillDataset,
+    DistilledPolicy,
+    distill_from_dataset,
+    distill_from_env,
+    distill_regressor,
+    fidelity_accuracy,
+    fidelity_rmse,
+    oversample_rare_actions,
+)
+from repro.core.distill.viper import (
+    collect_student_states,
+    collect_teacher_dataset,
+)
+
+
+class _RuleTeacher:
+    """A deterministic 'DNN': bitrate follows the buffer level."""
+
+    n_actions = 6
+
+    def act_greedy(self, state):
+        return int(np.clip(state[1] / 5.0, 0, 5))
+
+    def act_greedy_batch(self, states):
+        return np.clip(states[:, 1] / 5.0, 0, 5).astype(int)
+
+    def q_values(self, states):
+        # Peaked at the greedy action.
+        n = states.shape[0]
+        q = np.zeros((n, self.n_actions))
+        q[np.arange(n), self.act_greedy_batch(states)] = 1.0
+        return q
+
+
+class TestDistillDataset:
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            DistillDataset(states=np.zeros((3, 2)), actions=np.zeros(2))
+
+    def test_merge_concatenates(self):
+        a = DistillDataset(states=np.zeros((2, 3)), actions=np.zeros(2))
+        b = DistillDataset(states=np.ones((3, 3)), actions=np.ones(3))
+        merged = a.merge(b)
+        assert len(merged) == 5
+        assert merged.weights.shape == (5,)
+
+    def test_resample_preserves_size(self):
+        ds = DistillDataset(states=np.arange(10)[:, None],
+                            actions=np.arange(10) % 2)
+        out = ds.resample(np.ones(10), rng=0)
+        assert len(out) == 10
+
+    def test_resample_follows_probabilities(self):
+        ds = DistillDataset(states=np.arange(4)[:, None],
+                            actions=np.array([0, 0, 1, 1]))
+        p = np.array([0.0, 0.0, 0.0, 1.0])
+        out = ds.resample(p, rng=0)
+        assert np.all(out.states == 3)
+
+    def test_resample_zero_weights_fall_back_to_uniform(self):
+        ds = DistillDataset(states=np.arange(5)[:, None],
+                            actions=np.zeros(5))
+        out = ds.resample(np.zeros(5), rng=0)
+        assert len(out) == 5
+
+    def test_resample_negative_rejected(self):
+        ds = DistillDataset(states=np.zeros((2, 1)), actions=np.zeros(2))
+        with pytest.raises(ValueError):
+            ds.resample(np.array([-1.0, 1.0]))
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_resample_actions_stay_paired(self, seed):
+        # Resampling must keep (state, action) rows together.
+        states = np.arange(20)[:, None].astype(float)
+        actions = np.arange(20) % 3
+        ds = DistillDataset(states=states, actions=actions)
+        rng = np.random.default_rng(seed)
+        out = ds.resample(rng.random(20), rng=seed)
+        assert np.array_equal(
+            out.actions, out.states[:, 0].astype(int) % 3
+        )
+
+
+class TestOversampling:
+    def _dataset(self):
+        rng = np.random.default_rng(0)
+        actions = np.concatenate([np.zeros(990), np.ones(10)]).astype(int)
+        states = rng.normal(size=(1000, 3))
+        return DistillDataset(states=states, actions=actions)
+
+    def test_rare_action_reaches_target(self):
+        out = oversample_rare_actions(self._dataset(), 0.05, rng=1)
+        freq = (out.actions == 1).mean()
+        assert freq >= 0.045
+
+    def test_common_action_untouched(self):
+        ds = self._dataset()
+        out = oversample_rare_actions(ds, 0.005, rng=1)
+        assert len(out) == len(ds)
+
+    def test_never_seen_action_ignored(self):
+        ds = DistillDataset(states=np.zeros((10, 2)),
+                            actions=np.zeros(10, dtype=int))
+        out = oversample_rare_actions(ds, 0.01, rng=1)
+        assert set(np.unique(out.actions)) == {0}
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            oversample_rare_actions(self._dataset(), 1.5)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert fidelity_accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+
+    def test_rmse(self):
+        assert fidelity_rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fidelity_accuracy([1], [1, 2])
+
+
+class TestViperLoop:
+    def test_collect_teacher_dataset(self, tiny_env):
+        teacher = _RuleTeacher()
+        ds = collect_teacher_dataset(tiny_env, teacher, 3, rng=0)
+        assert len(ds) == 3 * tiny_env.video.n_chunks
+        assert np.array_equal(
+            ds.actions, teacher.act_greedy_batch(ds.states)
+        )
+
+    def test_distill_recovers_rule_teacher(self, tiny_env):
+        teacher = _RuleTeacher()
+        student = distill_from_env(
+            tiny_env, teacher,
+            MetisConfig(leaf_nodes=50, dagger_iterations=3, resample=False),
+            episodes_per_iteration=6, seed=0,
+        )
+        ds = collect_teacher_dataset(tiny_env, teacher, 4, rng=9)
+        acc = fidelity_accuracy(
+            ds.actions, student.act_greedy_batch(ds.states)
+        )
+        assert acc > 0.9
+
+    def test_resampling_path_runs(self, tiny_env):
+        teacher = _RuleTeacher()
+        student = distill_from_env(
+            tiny_env, teacher,
+            MetisConfig(leaf_nodes=20, dagger_iterations=2, resample=True),
+            episodes_per_iteration=4, seed=0,
+        )
+        assert student.tree.n_leaves <= 20
+
+    def test_custom_resample_weights(self, tiny_env):
+        teacher = _RuleTeacher()
+        calls = []
+
+        def weights(states):
+            calls.append(len(states))
+            return np.ones(states.shape[0])
+
+        distill_from_env(
+            tiny_env, teacher,
+            MetisConfig(leaf_nodes=20, dagger_iterations=2, resample=True),
+            episodes_per_iteration=4, seed=0, resample_weights=weights,
+        )
+        assert calls  # the hook was used
+
+    def test_student_states_collected(self, tiny_env):
+        teacher = _RuleTeacher()
+        student = distill_from_env(
+            tiny_env, teacher,
+            MetisConfig(leaf_nodes=20, dagger_iterations=1, resample=False),
+            episodes_per_iteration=3, seed=0,
+        )
+        visited = collect_student_states(tiny_env, student, 2, rng=1)
+        assert visited.shape[1] == 25
+
+    def test_distilled_policy_interfaces(self, tiny_env):
+        teacher = _RuleTeacher()
+        student = distill_from_env(
+            tiny_env, teacher,
+            MetisConfig(leaf_nodes=20, dagger_iterations=1, resample=False),
+            episodes_per_iteration=3, seed=0,
+        )
+        state = tiny_env.reset(rng=0)
+        assert 0 <= student.select(state, tiny_env) < 6
+        probs = student.action_probabilities(state[None, :])
+        assert probs.shape == (1, 6)
+
+
+class TestDatasetDistillers:
+    def test_classification_from_dataset(self):
+        rng = np.random.default_rng(0)
+        states = rng.normal(size=(400, 4))
+        actions = (states[:, 0] > 0).astype(int)
+        ds = DistillDataset(states=states, actions=actions)
+        policy = distill_from_dataset(ds, leaf_nodes=10, n_classes=2)
+        assert fidelity_accuracy(
+            actions, policy.act_greedy_batch(states)
+        ) > 0.95
+
+    def test_pruned_variant(self):
+        rng = np.random.default_rng(0)
+        states = rng.normal(size=(400, 4))
+        actions = ((states[:, 0] > 0) * 2 + (states[:, 1] > 0)).astype(int)
+        ds = DistillDataset(states=states, actions=actions)
+        policy = distill_from_dataset(
+            ds, leaf_nodes=64, n_classes=4, prune_leaves=4
+        )
+        assert policy.tree.n_leaves <= 4
+
+    def test_regressor_multi_output(self):
+        rng = np.random.default_rng(0)
+        states = rng.normal(size=(300, 3))
+        targets = np.stack([states[:, 0], -states[:, 0]], axis=1)
+        reg = distill_regressor(states, targets, leaf_nodes=64)
+        pred = reg.predict(states)
+        assert pred.shape == targets.shape
+        assert fidelity_rmse(targets, pred) < 0.5

@@ -1,0 +1,40 @@
+"""Registry and result-container tests for the experiment harness."""
+
+import importlib
+
+import pytest
+
+from repro.experiments import REGISTRY, ExperimentResult, run_experiment
+from repro.utils.tables import ResultTable
+
+
+class TestRegistry:
+    def test_all_modules_importable(self):
+        for name, module_path in REGISTRY.items():
+            module = importlib.import_module(module_path)
+            assert callable(module.run), name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig999")
+
+    def test_expected_experiments_present(self):
+        expected = {
+            "fig7", "table3", "fig9", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "fig20", "fig27", "fig28",
+            "fig29", "fig31",
+        }
+        assert expected == set(REGISTRY)
+
+
+class TestExperimentResult:
+    def test_render_includes_metrics(self):
+        table = ResultTable("T", ["a"])
+        table.add_row([1])
+        result = ExperimentResult(
+            experiment="x", title="demo", tables=[table],
+            metrics={"speedup": 26.8},
+        )
+        out = result.render()
+        assert "demo" in out
+        assert "26.8" in out

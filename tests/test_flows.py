@@ -1,0 +1,202 @@
+"""Tests for the flow-scheduling substrate: workloads, MLFQ, simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.envs.flows import (
+    DATA_MINING,
+    FabricSimulator,
+    Flow,
+    MLFQConfig,
+    WEB_SEARCH,
+    generate_flows,
+)
+from repro.envs.flows.workloads import FlowSizeDistribution
+
+
+class TestFlowSizeDistribution:
+    def test_sample_range(self):
+        sizes = WEB_SEARCH.sample(np.random.default_rng(0), 1000)
+        assert sizes.min() >= 1
+        assert sizes.max() <= 20_000_000
+
+    def test_quantile_monotone(self):
+        u = np.linspace(0.01, 0.99, 50)
+        q = WEB_SEARCH.quantile(u)
+        assert np.all(np.diff(q) >= 0)
+
+    def test_datamining_heavier_tail(self):
+        rng = np.random.default_rng(1)
+        ws = WEB_SEARCH.sample(rng, 20_000)
+        dm = DATA_MINING.sample(rng, 20_000)
+        assert np.percentile(dm, 99) > np.percentile(ws, 99)
+
+    def test_invalid_knots_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bad", ((100, 0.5), (50, 1.0)))
+
+    def test_must_end_at_one(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bad", ((100, 0.5),))
+
+    @given(st.floats(0.001, 0.999))
+    @settings(max_examples=30, deadline=None)
+    def test_quantile_within_support(self, u):
+        q = float(DATA_MINING.quantile(np.array([u]))[0])
+        assert 1.0 <= q <= 1_000_000_000
+
+
+class TestGenerateFlows:
+    def test_load_bounds_checked(self):
+        with pytest.raises(ValueError):
+            generate_flows(WEB_SEARCH, load=1.5, capacity_bps=1e9,
+                           duration_s=1.0)
+
+    def test_arrivals_sorted_and_within_duration(self):
+        flows = generate_flows(WEB_SEARCH, load=0.5, capacity_bps=1e9,
+                               duration_s=2.0, seed=0)
+        arrivals = [f.arrival for f in flows]
+        assert arrivals == sorted(arrivals)
+        assert max(arrivals) <= 2.0
+
+    def test_offered_load_close_to_target(self):
+        flows = generate_flows(WEB_SEARCH, load=0.6, capacity_bps=1e9,
+                               duration_s=60.0, seed=1)
+        offered = sum(f.size_bytes for f in flows) * 8 / 60.0
+        assert 0.3e9 < offered < 0.9e9
+
+
+class TestMLFQConfig:
+    def test_queue_of(self):
+        config = MLFQConfig((100.0, 1000.0))
+        assert config.queue_of(0) == 0
+        assert config.queue_of(100) == 1
+        assert config.queue_of(5000) == 2
+
+    def test_n_queues(self):
+        assert MLFQConfig((1.0, 2.0, 3.0)).n_queues == 4
+
+    def test_bytes_to_demotion(self):
+        config = MLFQConfig((100.0, 1000.0))
+        assert config.bytes_to_demotion(40.0) == 60.0
+        assert config.bytes_to_demotion(5000.0) == float("inf")
+
+    def test_requires_increasing(self):
+        with pytest.raises(ValueError):
+            MLFQConfig((100.0, 100.0))
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            MLFQConfig((0.0, 10.0))
+
+    def test_from_log2_sorts_and_separates(self):
+        config = MLFQConfig.from_log2([12.0, 10.0, 10.0, 14.0])
+        t = config.thresholds_bytes
+        assert all(t[i] < t[i + 1] for i in range(len(t) - 1))
+        assert t[0] == pytest.approx(2**10)
+
+
+class TestFabricSimulator:
+    def _flows(self, sizes, arrivals=None):
+        arrivals = arrivals or [0.0] * len(sizes)
+        return [
+            Flow(flow_id=i, arrival=a, size_bytes=s)
+            for i, (a, s) in enumerate(zip(arrivals, sizes))
+        ]
+
+    def test_all_flows_complete(self):
+        flows = generate_flows(WEB_SEARCH, load=0.5, capacity_bps=1e9,
+                               duration_s=1.0, seed=2)
+        result = FabricSimulator(capacity_bps=1e9).run(flows)
+        assert len(result.flows) == len(flows)
+
+    def test_fct_at_least_ideal(self):
+        flows = generate_flows(WEB_SEARCH, load=0.6, capacity_bps=1e9,
+                               duration_s=1.0, seed=3)
+        result = FabricSimulator(capacity_bps=1e9).run(flows)
+        for f in result.flows:
+            assert f.fct >= f.ideal_fct(1e9) * 0.999
+
+    def test_single_flow_gets_full_capacity(self):
+        sim = FabricSimulator(capacity_bps=1e9)
+        result = sim.run(self._flows([1_000_000]))
+        assert result.flows[0].fct == pytest.approx(0.008, rel=1e-3)
+
+    def test_short_flow_preempts_long(self):
+        # A short flow arriving mid-transfer of a long flow should finish
+        # almost as fast as on an idle link (it has higher MLFQ priority).
+        sim = FabricSimulator(capacity_bps=1e9)
+        flows = self._flows([50_000_000, 10_000], arrivals=[0.0, 0.05])
+        result = sim.run(flows)
+        short = [f for f in result.flows if f.flow_id == 1][0]
+        assert short.fct < 3 * short.ideal_fct(1e9) + 1e-4
+
+    def test_priority_decision_respected(self):
+        # Pin the long flow to top priority: now it blocks the short flow.
+        def decide(flow, snapshot):
+            return 0
+
+        sim = FabricSimulator(
+            capacity_bps=1e9, decision_fn=decide,
+            decision_latency_s=0.0, decision_min_bytes=1_000_000,
+        )
+        flows = self._flows([50_000_000, 200_000], arrivals=[0.0, 0.01])
+        result = sim.run(flows)
+        short = [f for f in result.flows if f.flow_id == 1][0]
+        # The short flow shares with / waits behind the pinned long flow.
+        assert short.fct > 2 * short.ideal_fct(1e9)
+
+    def test_decision_latency_gates_coverage(self):
+        calls = []
+
+        def decide(flow, snapshot):
+            calls.append(flow.flow_id)
+            return 0
+
+        # With a huge decision latency, flows finish before any decision.
+        sim = FabricSimulator(
+            capacity_bps=1e9, decision_fn=decide,
+            decision_latency_s=10.0, decision_min_bytes=0.0,
+        )
+        sim.run(self._flows([10_000, 20_000]))
+        assert calls == []
+
+    def test_decision_log_records_features(self):
+        def decide(flow, snapshot):
+            return 1
+
+        sim = FabricSimulator(
+            capacity_bps=1e9, decision_fn=decide,
+            decision_min_bytes=1_000_000,
+        )
+        sim.run(self._flows([5_000_000]))
+        assert len(sim.decision_log) == 1
+        features, priority = sim.decision_log[0]
+        assert priority == 1
+        assert features.shape == (12,)
+
+    def test_work_conservation(self):
+        # Total service time equals total bytes / capacity when the link
+        # never idles (all flows at t=0).
+        sizes = [1_000_000, 2_000_000, 3_000_000]
+        sim = FabricSimulator(capacity_bps=1e9)
+        result = sim.run(self._flows(sizes))
+        makespan = max(f.completion for f in result.flows)
+        assert makespan == pytest.approx(sum(sizes) * 8 / 1e9, rel=1e-3)
+
+    def test_slowdowns_at_least_one(self):
+        flows = generate_flows(DATA_MINING, load=0.5, capacity_bps=1e9,
+                               duration_s=1.0, seed=4)
+        result = FabricSimulator(capacity_bps=1e9).run(flows)
+        assert np.all(result.slowdowns() >= 0.999)
+
+    def test_subset_filtering(self):
+        sim = FabricSimulator(capacity_bps=1e9)
+        result = sim.run(self._flows([10_000, 5_000_000]))
+        big = result.subset(lambda f: f.size_bytes > 1_000_000)
+        assert len(big.flows) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FabricSimulator(capacity_bps=0)

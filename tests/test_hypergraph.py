@@ -1,0 +1,235 @@
+"""Tests for the hypergraph core: structure, search, formulations, adjust."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hypergraph import (
+    ClusterSchedulingSystem,
+    CriticalConnectionSearch,
+    Hypergraph,
+    MaskedSystem,
+    NFVPlacementSystem,
+    UDNAssociationSystem,
+    cluster_scheduling_hypergraph,
+    nfv_placement_hypergraph,
+    udn_hypergraph,
+)
+from repro.core.hypergraph.search import (
+    MaskResult,
+    _entropy_grad,
+    _mask_entropy,
+)
+
+
+class TestHypergraph:
+    def _simple(self):
+        return Hypergraph(
+            vertex_labels=["v0", "v1", "v2"],
+            edge_labels=["e0", "e1"],
+            incidence=np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]]),
+        )
+
+    def test_counts(self):
+        hg = self._simple()
+        assert hg.n_vertices == 3
+        assert hg.n_edges == 2
+
+    def test_connections(self):
+        assert set(self._simple().connections()) == {
+            (0, 0), (0, 1), (1, 1), (1, 2)
+        }
+
+    def test_degrees(self):
+        hg = self._simple()
+        assert list(hg.degree_vertices()) == [1.0, 2.0, 1.0]
+        assert list(hg.degree_edges()) == [2.0, 2.0]
+
+    def test_rejects_non_binary_incidence(self):
+        with pytest.raises(ValueError):
+            Hypergraph(["v"], ["e"], np.array([[0.5]]))
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError):
+            Hypergraph(["v0"], ["e0"], np.ones((1, 2)))
+
+    def test_feature_shape_checked(self):
+        with pytest.raises(ValueError):
+            Hypergraph(
+                ["v0", "v1"], ["e0"], np.ones((1, 2)),
+                vertex_features=np.ones((3, 1)),
+            )
+
+    def test_connection_label(self):
+        assert self._simple().connection_label(0, 1) == "e0 | v1"
+
+
+class TestEntropyMath:
+    def test_entropy_max_at_half(self):
+        support = np.array([[True]])
+        mid = _mask_entropy(np.array([[0.5]]), support)
+        edge = _mask_entropy(np.array([[0.99]]), support)
+        assert mid > edge
+
+    def test_entropy_grad_zero_at_half(self):
+        support = np.array([[True]])
+        g = _entropy_grad(np.array([[0.5]]), support)
+        assert g[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_entropy_grad_sign(self):
+        support = np.array([[True, True]])
+        g = _entropy_grad(np.array([[0.9, 0.1]]), support)
+        assert g[0, 0] < 0  # pushing higher reduces entropy
+        assert g[0, 1] > 0
+
+    @given(st.floats(0.01, 0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_entropy_nonnegative(self, w):
+        support = np.array([[True]])
+        assert _mask_entropy(np.array([[w]]), support) >= 0
+
+
+class _PlantedSystem(MaskedSystem):
+    """Divergence punishes suppressing a planted subset of connections."""
+
+    def __init__(self, incidence, critical_mask, strength=20.0):
+        self.hypergraph = Hypergraph(
+            vertex_labels=[f"v{i}" for i in range(incidence.shape[1])],
+            edge_labels=[f"e{i}" for i in range(incidence.shape[0])],
+            incidence=incidence,
+        )
+        self.critical = critical_mask
+        self.strength = strength
+
+    def divergence_and_grad(self, w):
+        diff = (1.0 - w) * self.critical
+        div = self.strength * float(np.sum(diff**2))
+        grad = -2.0 * self.strength * diff
+        return div, grad
+
+    def divergence(self, w):
+        return self.divergence_and_grad(w)[0]
+
+
+class TestCriticalConnectionSearch:
+    def _planted(self, seed=0):
+        rng = np.random.default_rng(seed)
+        incidence = (rng.random((6, 8)) < 0.5).astype(float)
+        incidence[0, 0] = 1.0
+        critical = np.zeros_like(incidence)
+        es, vs = np.nonzero(incidence)
+        picks = rng.choice(len(es), size=4, replace=False)
+        critical[es[picks], vs[picks]] = 1.0
+        return _PlantedSystem(incidence, critical), critical
+
+    def test_recovers_planted_connections(self):
+        system, critical = self._planted()
+        result = CriticalConnectionSearch(
+            lambda1=0.2, lambda2=0.5, steps=300, lr=0.1
+        ).run(system, seed=1)
+        crit_values = result.mask[critical > 0]
+        other = result.mask[(critical == 0) & (system.hypergraph.incidence > 0)]
+        assert crit_values.min() > 0.8
+        assert other.max() < 0.2
+
+    def test_mask_within_incidence(self):
+        system, _ = self._planted()
+        result = CriticalConnectionSearch(steps=50).run(system, seed=0)
+        inc = system.hypergraph.incidence
+        assert np.all(result.mask <= inc + 1e-12)
+        assert np.all(result.mask >= 0)
+
+    def test_loss_history_recorded(self):
+        system, _ = self._planted()
+        result = CriticalConnectionSearch(steps=40).run(system, seed=0)
+        assert len(result.loss_history) == 40
+
+    def test_lambda1_suppresses_mass(self):
+        # lambda1 large enough to overpower the planted divergence term
+        # must suppress even the critical connections.
+        system, _ = self._planted()
+        low = CriticalConnectionSearch(
+            lambda1=0.01, lambda2=0.1, steps=200
+        ).run(system, seed=0)
+        high = CriticalConnectionSearch(
+            lambda1=60.0, lambda2=0.1, steps=200
+        ).run(system, seed=0)
+        assert high.l1 < 0.5 * low.l1
+
+    def test_top_connections_sorted(self):
+        system, _ = self._planted()
+        result = CriticalConnectionSearch(steps=100).run(system, seed=0)
+        tops = result.top_connections(5)
+        values = [v for _, v, _, _ in tops]
+        assert values == sorted(values, reverse=True)
+
+    def test_vertex_mask_sums_shape(self):
+        system, _ = self._planted()
+        result = CriticalConnectionSearch(steps=30).run(system, seed=0)
+        assert result.vertex_mask_sums().shape == (8,)
+
+
+class TestFormulations:
+    def test_nfv_gradient_check(self):
+        hg = nfv_placement_hypergraph(seed=1)
+        system = NFVPlacementSystem(hg)
+        w = hg.incidence * 0.6
+        _, grad = system.divergence_and_grad(w)
+        eps = 1e-6
+        es, vs = np.nonzero(hg.incidence)
+        for k in range(min(6, len(es))):
+            e, v = es[k], vs[k]
+            w[e, v] += eps
+            fp = system.divergence(w)
+            w[e, v] -= 2 * eps
+            fm = system.divergence(w)
+            w[e, v] += eps
+            assert grad[e, v] == pytest.approx(
+                (fp - fm) / (2 * eps), abs=1e-5
+            )
+
+    def test_nfv_divergence_zero_at_identity(self):
+        hg = nfv_placement_hypergraph(seed=2)
+        system = NFVPlacementSystem(hg)
+        assert system.divergence(hg.incidence) == pytest.approx(0.0)
+
+    def test_nfv_masking_shifts_load(self):
+        hg = nfv_placement_hypergraph(seed=3)
+        system = NFVPlacementSystem(hg)
+        w = hg.incidence.copy()
+        es, vs = np.nonzero(w)
+        w[es[0], vs[0]] = 0.0
+        assert system.divergence(w) > 0
+
+    def test_udn_every_user_served(self):
+        hg = udn_hypergraph(seed=4)
+        assert np.all(hg.incidence.sum(axis=0) >= 1)
+
+    def test_udn_rates_capped_by_demand(self):
+        hg = udn_hypergraph(seed=5)
+        system = UDNAssociationSystem(hg)
+        rates = system.output(hg.incidence)
+        assert np.all(rates <= system._demand + 1e-9)
+
+    def test_udn_spsa_search_runs(self):
+        hg = udn_hypergraph(n_users=8, n_stations=3, seed=6)
+        system = UDNAssociationSystem(hg)
+        result = CriticalConnectionSearch(
+            lambda1=0.05, lambda2=0.1, steps=30
+        ).run(system, seed=0)
+        assert isinstance(result, MaskResult)
+
+    def test_cluster_dag_finish_times_ordered(self):
+        hg = cluster_scheduling_hypergraph(n_nodes=8, seed=7)
+        system = ClusterSchedulingSystem(hg)
+        finish = system.output(hg.incidence)
+        # Every child finishes no earlier than its own work.
+        assert np.all(finish >= system._work - 1e-9)
+
+    def test_cluster_masking_shortens_critical_path(self):
+        hg = cluster_scheduling_hypergraph(n_nodes=8, seed=8)
+        system = ClusterSchedulingSystem(hg)
+        zero = np.zeros_like(hg.incidence)
+        relaxed = system.output(zero)
+        full = system.output(hg.incidence)
+        assert relaxed.sum() <= full.sum() + 1e-9

@@ -1,0 +1,298 @@
+"""Tests for the numpy NN substrate: layers, MLP, optimizers, heads."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    GaussianPolicy,
+    MLP,
+    QEstimator,
+    ReLU,
+    SGD,
+    Sigmoid,
+    SoftmaxPolicy,
+    Tanh,
+    ValueNet,
+)
+from repro.nn.a2c import A2CTrainer, Trajectory, rollout
+from repro.nn.layers import softmax
+from repro.nn.optim import clip_gradients
+from repro.nn.policy import evaluate_return
+
+
+def numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        x[idx] += eps
+        fp = f()
+        x[idx] -= 2 * eps
+        fm = f()
+        x[idx] += eps
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLayers:
+    def test_dense_shapes(self):
+        layer = Dense(3, 4, seed=0)
+        out = layer.forward(np.ones((5, 3)))
+        assert out.shape == (5, 4)
+
+    def test_dense_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, seed=1)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        layer.dw[...] = 0
+        layer.db[...] = 0
+        layer.backward(out - target)
+        assert np.allclose(layer.dw, numeric_grad(loss, layer.w), atol=1e-6)
+        assert np.allclose(layer.db, numeric_grad(loss, layer.b), atol=1e-6)
+
+    def test_dense_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid])
+    def test_activation_gradient(self, cls):
+        rng = np.random.default_rng(2)
+        layer = cls()
+        x = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        grad_in = layer.backward(out - target)
+        assert np.allclose(grad_in, numeric_grad(loss, x), atol=1e-5)
+
+    def test_softmax_rows_sum_one(self):
+        p = softmax(np.random.default_rng(0).normal(size=(6, 4)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_softmax_stable_large_logits(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(p, 0.5)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        net = MLP(5, (8,), 3, seed=0)
+        assert net.forward(np.zeros((2, 5))).shape == (2, 3)
+
+    def test_input_dim_checked(self):
+        net = MLP(5, (8,), 3, seed=0)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((2, 4)))
+
+    def test_gradient_check_full(self):
+        rng = np.random.default_rng(3)
+        net = MLP(4, (6,), 2, seed=1)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 2))
+
+        def loss():
+            return 0.5 * np.sum((net.forward(x) - target) ** 2)
+
+        out = net.forward(x)
+        net.zero_grads()
+        net.backward(out - target)
+        for p, g in zip(net.params(), net.grads()):
+            assert np.allclose(g, numeric_grad(loss, p), atol=1e-5)
+
+    def test_skip_feature_gradient(self):
+        rng = np.random.default_rng(4)
+        net = MLP(4, (6,), 2, skip_features=[0, 2], seed=1)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 2))
+
+        def loss():
+            return 0.5 * np.sum((net.forward(x) - target) ** 2)
+
+        out = net.forward(x)
+        net.zero_grads()
+        net.backward(out - target)
+        for p, g in zip(net.params(), net.grads()):
+            assert np.allclose(g, numeric_grad(loss, p), atol=1e-5)
+
+    def test_skip_feature_reaches_output(self):
+        # With a skip connection, changing the skipped input must change
+        # the output even when all body weights are zeroed.
+        net = MLP(3, (4,), 1, skip_features=[1], seed=0)
+        for layer in net.body:
+            for p in layer.params():
+                p[...] = 0.0
+        a = net.forward(np.array([[0.0, 1.0, 0.0]]))
+        b = net.forward(np.array([[0.0, 2.0, 0.0]]))
+        assert not np.allclose(a, b)
+
+    def test_skip_feature_out_of_range(self):
+        with pytest.raises(ValueError):
+            MLP(3, (4,), 1, skip_features=[5])
+
+    def test_weights_roundtrip(self):
+        net = MLP(3, (4,), 2, seed=0)
+        other = MLP(3, (4,), 2, seed=99)
+        other.set_weights(net.get_weights())
+        x = np.ones((1, 3))
+        assert np.allclose(net.forward(x), other.forward(x))
+
+    def test_num_parameters(self):
+        net = MLP(3, (4,), 2, seed=0)
+        assert net.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, opt):
+        x = np.array([5.0])
+        for _ in range(200):
+            opt.step([x], [2 * x])
+        return abs(float(x[0]))
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(SGD(lr=0.1)) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(Adam(lr=0.2)) < 1e-3
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0)
+
+    def test_clip_gradients(self):
+        g = [np.array([3.0, 4.0])]
+        norm = clip_gradients(g, 1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(g[0]) == pytest.approx(1.0)
+
+
+class TestSoftmaxPolicy:
+    def test_probabilities_valid(self):
+        policy = SoftmaxPolicy(4, 3, seed=0)
+        p = policy.probabilities(np.zeros((2, 4)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_act_in_range(self):
+        policy = SoftmaxPolicy(4, 3, seed=0)
+        actions = {policy.act(np.zeros(4), rng=i) for i in range(20)}
+        assert actions <= {0, 1, 2}
+
+    def test_cross_entropy_training_fits_labels(self):
+        # advantage=1 policy-gradient steps implement cross-entropy.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = (x[:, 0] > 0).astype(int)
+        policy = SoftmaxPolicy(3, 2, hidden=(16,), seed=1)
+        opt = Adam(lr=5e-3)
+        for _ in range(300):
+            policy.policy_gradient_step(
+                x, y, np.ones(len(y)), opt, entropy_coef=0.0
+            )
+        acc = (policy.act_greedy_batch(x) == y).mean()
+        assert acc > 0.95
+
+
+class TestGaussianPolicy:
+    def test_actions_within_bounds(self):
+        policy = GaussianPolicy(3, 2, low=0.0, high=1.0, seed=0)
+        for i in range(10):
+            a = policy.act(np.zeros(3), rng=i)
+            assert np.all(a >= 0.0) and np.all(a <= 1.0)
+
+    def test_mean_action_deterministic(self):
+        policy = GaussianPolicy(3, 2, low=-1.0, high=1.0, seed=0)
+        s = np.zeros((1, 3))
+        assert np.allclose(policy.mean_action(s), policy.mean_action(s))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            GaussianPolicy(3, 2, low=1.0, high=0.0)
+
+    def test_reinforce_moves_mean_toward_rewarded_action(self):
+        policy = GaussianPolicy(2, 1, low=0.0, high=10.0,
+                                hidden=(8,), seed=3)
+        opt = Adam(lr=1e-2)
+        rng = np.random.default_rng(0)
+        state = np.ones((1, 2))
+        for _ in range(400):
+            action = policy.act(state[0], rng)
+            reward = -abs(float(action[0]) - 7.0)
+            policy.policy_gradient_step(
+                state, action[None, :], np.array([reward + 3.0]), opt
+            )
+        assert abs(float(policy.mean_action(state)[0, 0]) - 7.0) < 1.5
+
+
+class TestValueNet:
+    def test_regression_converges(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 3))
+        y = x[:, 0] * 2.0
+        net = ValueNet(3, hidden=(16,), seed=0)
+        opt = Adam(lr=5e-3)
+        losses = [net.fit_step(x, y, opt) for _ in range(400)]
+        assert losses[-1] < losses[0] * 0.1
+
+
+class TestReturns:
+    def test_evaluate_return(self):
+        out = evaluate_return([1.0, 1.0, 1.0], gamma=0.5)
+        assert out[-1] == pytest.approx(1.0)
+        assert out[0] == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_rollout_records_trajectory(self, tiny_env):
+        traj = rollout(tiny_env, lambda s: 0, rng=0)
+        assert len(traj) == tiny_env.video.n_chunks
+        assert traj.states.shape[1] == 25
+
+
+class TestQEstimator:
+    def test_one_step_regression(self):
+        # gamma=0 fitted Q is per-action reward regression.
+        rng = np.random.default_rng(0)
+        states = rng.normal(size=(300, 2))
+        actions = rng.integers(0, 2, 300)
+        rewards = np.where(actions == 0, states[:, 0], -states[:, 0])
+        trajs = [
+            Trajectory(states=s[None], actions=np.array([a]),
+                       rewards=np.array([r]))
+            for s, a, r in zip(states, actions, rewards)
+        ]
+        qest = QEstimator(2, 2, gamma=0.0, seed=0)
+        qest.fit(trajs, sweeps=1, epochs_per_sweep=300)
+        q = qest.predict(np.array([[2.0, 0.0]]))
+        assert q[0, 0] > q[0, 1]
+
+    def test_resampling_weights_nonnegative(self):
+        qest = QEstimator(2, 3, seed=0)
+        w = qest.resampling_weights(np.zeros((5, 2)))
+        assert np.all(w >= 0)
+
+
+class TestA2C:
+    def test_training_improves_tiny_env(self, tiny_env):
+        policy = SoftmaxPolicy(25, tiny_env.n_actions, hidden=(16,), seed=0)
+        trainer = A2CTrainer(policy=policy, gamma=0.9)
+
+        class Normalized:
+            def reset(self, rng=None):
+                return tiny_env.reset(rng) * 0.1
+
+            def step(self, a):
+                s, r, d, i = tiny_env.step(a)
+                return s * 0.1, r, d, i
+
+        returns = trainer.train(Normalized(), episodes=200, seed=1)
+        assert np.mean(returns[-30:]) > np.mean(returns[:30])

@@ -1,0 +1,226 @@
+"""Tests for the routing substrate: topology, demands, delay, RouteNet."""
+
+import numpy as np
+import pytest
+
+from repro.envs.routing import (
+    Routing,
+    TrafficMatrix,
+    gravity_demands,
+    link_delays,
+    nsfnet,
+    routing_latencies,
+)
+from repro.envs.routing.delay import (
+    delays_from_loads,
+    link_loads,
+    path_latency,
+    shortest_path_routing,
+)
+from repro.envs.routing.topology import NSFNET_EDGES, Topology
+from repro.teachers.routenet import PathLinkNet, build_features
+
+
+class TestNSFNet:
+    def test_size(self):
+        topo = nsfnet()
+        assert topo.n_nodes == 14
+        assert topo.n_links == 42  # 21 fibers, both directions
+
+    def test_paper_fig8_paths_exist(self):
+        # The example paths of Fig. 8 / Table 3 must be walkable.
+        topo = nsfnet()
+        for path in ([6, 7, 10, 9], [1, 7, 10, 9], [7, 10, 9, 12],
+                     [8, 3, 0, 2], [6, 4, 3, 0]):
+            for u, v in Topology.path_links(path):
+                assert topo.graph.has_edge(u, v)
+
+    def test_capacities_directional(self):
+        topo = nsfnet()
+        assert topo.capacities[(7, 10)] == topo.capacities[(10, 7)]
+
+    def test_candidate_paths_loop_free(self):
+        topo = nsfnet()
+        for path in topo.candidate_paths(0, 9):
+            assert len(set(path)) == len(path)
+
+    def test_candidate_paths_bounded_length(self):
+        import networkx as nx
+
+        topo = nsfnet()
+        shortest = nx.shortest_path_length(topo.graph, 0, 9)
+        for path in topo.candidate_paths(0, 9, extra_hops=1):
+            assert len(path) - 1 <= shortest + 1
+
+    def test_node_pairs(self):
+        topo = nsfnet()
+        assert len(topo.node_pairs()) == 14 * 13
+
+
+class TestDemands:
+    def test_all_pairs_present(self):
+        topo = nsfnet()
+        tm = gravity_demands(topo, seed=0)[0]
+        assert len(tm.pairs()) == 14 * 13
+
+    def test_positive_volumes(self):
+        topo = nsfnet()
+        tm = gravity_demands(topo, seed=0)[0]
+        assert all(v > 0 for v in tm.demands.values())
+
+    def test_utilization_anchored(self):
+        topo = nsfnet()
+        tm = gravity_demands(topo, utilization=0.5, seed=0)[0]
+        routing = shortest_path_routing(topo)
+        util = link_loads(topo, routing, tm) / topo.capacity_vector()
+        assert util.mean() == pytest.approx(0.5, rel=1e-6)
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            gravity_demands(nsfnet(), utilization=1.5)
+
+    def test_samples_differ(self):
+        topo = nsfnet()
+        a, b = gravity_demands(topo, seed=0, count=2)
+        assert a.demands != b.demands
+
+
+class TestDelayModel:
+    def test_delays_increase_with_load(self):
+        caps = np.array([40.0, 40.0])
+        low = delays_from_loads(np.array([10.0, 10.0]), caps)
+        high = delays_from_loads(np.array([30.0, 30.0]), caps)
+        assert np.all(high > low)
+
+    def test_delays_finite_at_overload(self):
+        caps = np.array([40.0])
+        d = delays_from_loads(np.array([100.0]), caps)
+        assert np.isfinite(d[0])
+
+    def test_routing_validates_endpoints(self):
+        with pytest.raises(ValueError):
+            Routing({(0, 5): [1, 2, 5]})
+
+    def test_incidence_matches_paths(self):
+        topo = nsfnet()
+        routing = shortest_path_routing(topo)
+        inc = routing.incidence(topo)
+        pairs = routing.pairs()
+        for row, pair in enumerate(pairs):
+            hops = len(routing.paths[pair]) - 1
+            assert inc[row].sum() == hops
+
+    def test_latency_sums_links(self):
+        topo = nsfnet()
+        tm = gravity_demands(topo, seed=1)[0]
+        routing = shortest_path_routing(topo)
+        lat = routing_latencies(topo, routing, tm)
+        delays = link_delays(topo, routing, tm)
+        pair = (0, 2)
+        manual = path_latency(routing.paths[pair], delays, topo)
+        assert lat[pair] == pytest.approx(manual)
+
+    def test_rerouting_changes_loads(self):
+        topo = nsfnet()
+        tm = gravity_demands(topo, seed=2)[0]
+        base = shortest_path_routing(topo)
+        loads_a = link_loads(topo, base, tm)
+        paths = dict(base.paths)
+        cands = topo.candidate_paths(0, 9)
+        alt = next(c for c in cands if c != paths[(0, 9)])
+        paths[(0, 9)] = alt
+        loads_b = link_loads(topo, Routing(paths), tm)
+        assert not np.allclose(loads_a, loads_b)
+
+
+class TestPathLinkNet:
+    def _setup(self):
+        rng = np.random.default_rng(0)
+        E, V = 4, 6
+        net = PathLinkNet(dim=5, iterations=2, seed=1)
+        xv = np.abs(rng.normal(30, 5, (V, 2)))
+        xe = np.abs(rng.normal(5, 2, (E, 2)))
+        w = (rng.random((E, V)) < 0.5).astype(float)
+        return net, xv, xe, w
+
+    def test_forward_shapes(self):
+        net, xv, xe, w = self._setup()
+        lat, probes = net.forward(xv, xe, w)
+        assert lat.shape == (4,)
+        assert probes is None
+
+    def test_latencies_positive(self):
+        net, xv, xe, w = self._setup()
+        lat, _ = net.forward(xv, xe, w)
+        assert np.all(lat > 0)
+
+    def test_probe_output(self):
+        net, xv, xe, w = self._setup()
+        _, probes = net.forward(xv, xe, w, probe_w=w[:2], probe_xe=xe[:2])
+        assert probes.shape == (2,)
+
+    def test_param_gradient_check(self):
+        net, xv, xe, w = self._setup()
+        target = np.ones(4)
+
+        def loss():
+            lat, _ = net.forward(xv, xe, w)
+            return 0.5 * np.sum((lat - target) ** 2)
+
+        lat, _ = net.forward(xv, xe, w)
+        grads, _, _ = net.backward(lat - target)
+        eps = 1e-6
+        for name in ("a1", "b2", "wl", "r"):
+            p = getattr(net, name)
+            idx = tuple(0 for _ in p.shape)
+            p[idx] += eps
+            fp = loss()
+            p[idx] -= 2 * eps
+            fm = loss()
+            p[idx] += eps
+            assert grads[name][idx] == pytest.approx(
+                (fp - fm) / (2 * eps), abs=1e-6
+            )
+
+    def test_mask_gradient_check_with_load_coupling(self):
+        net, xv, xe, w = self._setup()
+        caps = xv[:, 0].copy()
+        demand = xe[:, 0].copy()
+        target = np.ones(4)
+
+        def loss():
+            features = np.stack([caps, w.T @ demand], axis=1)
+            lat, _ = net.forward(features, xe, w)
+            return 0.5 * np.sum((lat - target) ** 2)
+
+        features = np.stack([caps, w.T @ demand], axis=1)
+        lat, _ = net.forward(features, xe, w)
+        grads, dw, dxv = net.backward(lat - target)
+        dw = dw + np.outer(demand, dxv[:, 1])
+        eps = 1e-6
+        es, vs = np.nonzero(w)
+        e, v = es[0], vs[0]
+        w[e, v] += eps
+        fp = loss()
+        w[e, v] -= 2 * eps
+        fm = loss()
+        w[e, v] += eps
+        assert dw[e, v] == pytest.approx((fp - fm) / (2 * eps), abs=1e-6)
+
+    def test_weights_roundtrip(self):
+        net, xv, xe, w = self._setup()
+        other = PathLinkNet(dim=5, iterations=2, seed=9)
+        other.set_weights(net.get_weights())
+        a, _ = net.forward(xv, xe, w)
+        b, _ = other.forward(xv, xe, w)
+        assert np.allclose(a, b)
+
+    def test_build_features_shapes(self):
+        topo = nsfnet()
+        tm = gravity_demands(topo, seed=3)[0]
+        routing = shortest_path_routing(topo)
+        xv, xe, inc, pairs = build_features(topo, routing, tm)
+        assert xv.shape == (42, 2)
+        assert xe.shape == (182, 2)
+        assert inc.shape == (182, 42)
+        assert len(pairs) == 182

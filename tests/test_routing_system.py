@@ -1,0 +1,117 @@
+"""Tests for the RouteNet* masked system and rerouting adjustment."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import RoutingMaskedSystem
+from repro.core.hypergraph.adjust import (
+    ReroutePoint,
+    _divert_connection,
+    quadrant_fractions,
+)
+from repro.envs.routing import gravity_demands, nsfnet
+from repro.teachers.routenet import RouteNetStar, train_routenet
+
+
+@pytest.fixture(scope="module")
+def routing_setup():
+    topo = nsfnet()
+    tms = gravity_demands(topo, utilization=0.5, seed=11, count=3)
+    net = train_routenet(topo, tms[:2], epochs=300, use_cache=False, seed=0)
+    star = RouteNetStar(topo, net, temperature=0.5)
+    routing = star.optimize(tms[2], sweeps=1, seed=0)
+    return topo, tms[2], star, routing
+
+
+class TestRoutingMaskedSystem:
+    def test_hypergraph_shape(self, routing_setup):
+        topo, tm, star, routing = routing_setup
+        system = RoutingMaskedSystem(star, routing, tm)
+        assert system.hypergraph.incidence.shape == (182, 42)
+
+    def test_divergence_zero_at_identity(self, routing_setup):
+        topo, tm, star, routing = routing_setup
+        for kind in ("decisions", "latency"):
+            system = RoutingMaskedSystem(star, routing, tm, output_kind=kind)
+            assert system.divergence(
+                system.hypergraph.incidence
+            ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_divergence_positive_when_masked(self, routing_setup):
+        topo, tm, star, routing = routing_setup
+        system = RoutingMaskedSystem(star, routing, tm, output_kind="latency")
+        w = system.hypergraph.incidence * 0.3
+        assert system.divergence(w) > 0
+
+    @pytest.mark.parametrize("kind", ["decisions", "latency"])
+    def test_gradient_check(self, routing_setup, kind):
+        topo, tm, star, routing = routing_setup
+        system = RoutingMaskedSystem(star, routing, tm, output_kind=kind)
+        w = system.hypergraph.incidence * 0.7
+        _, grad = system.divergence_and_grad(w)
+        eps = 1e-5
+        es, vs = np.nonzero(system.hypergraph.incidence)
+        rng = np.random.default_rng(0)
+        for k in rng.choice(len(es), 4, replace=False):
+            e, v = es[k], vs[k]
+            w[e, v] += eps
+            fp = system.divergence(w)
+            w[e, v] -= 2 * eps
+            fm = system.divergence(w)
+            w[e, v] += eps
+            assert grad[e, v] == pytest.approx(
+                (fp - fm) / (2 * eps), abs=1e-5
+            )
+
+    def test_gradient_respects_support(self, routing_setup):
+        topo, tm, star, routing = routing_setup
+        system = RoutingMaskedSystem(star, routing, tm, output_kind="latency")
+        _, grad = system.divergence_and_grad(
+            system.hypergraph.incidence * 0.5
+        )
+        assert np.all(grad[system.hypergraph.incidence == 0] == 0)
+
+    def test_invalid_output_kind(self, routing_setup):
+        topo, tm, star, routing = routing_setup
+        with pytest.raises(ValueError):
+            RoutingMaskedSystem(star, routing, tm, output_kind="bogus")
+
+
+class TestDivertConnection:
+    def test_finds_divergence_point(self):
+        info = _divert_connection([0, 1, 2, 3], [0, 1, 4, 3])
+        assert info == (1, (1, 2))
+
+    def test_same_source_required(self):
+        assert _divert_connection([0, 1, 2], [5, 1, 2]) is None
+
+    def test_identical_paths_none(self):
+        assert _divert_connection([0, 1, 2], [0, 1, 2]) is None
+
+
+class TestQuadrantFractions:
+    def _point(self, w, l):
+        return ReroutePoint(pair=(0, 1), w_delta=w, l_delta=l,
+                            p1=[0, 1], p2=[0, 2])
+
+    def test_consistent_point(self):
+        f = quadrant_fractions([self._point(1.0, 1.0)])
+        assert f["consistent"] == 1.0
+
+    def test_violation_point(self):
+        f = quadrant_fractions([self._point(1.0, -1.0)])
+        assert f["violations"] == 1.0
+
+    def test_near_axis(self):
+        f = quadrant_fractions([self._point(0.0, 1.0)], w_tolerance=0.1)
+        assert f["near_axis"] == 1.0
+
+    def test_empty(self):
+        f = quadrant_fractions([])
+        assert f == {"consistent": 0.0, "near_axis": 0.0, "violations": 0.0}
+
+    def test_fractions_sum_to_one(self):
+        points = [self._point(1.0, 1.0), self._point(-1.0, 1.0),
+                  self._point(0.0, 0.0)]
+        f = quadrant_fractions(points)
+        assert sum(f.values()) == pytest.approx(1.0)

@@ -1,0 +1,198 @@
+"""Tests for the teacher systems (tiny training budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.envs.abr import ABREnv, Video
+from repro.envs.flows import MLFQConfig
+from repro.envs.routing import gravity_demands, nsfnet
+from repro.envs.routing.delay import routing_latencies, shortest_path_routing
+from repro.envs.traces import trace_set
+from repro.teachers.auto import (
+    AutoTeacher,
+    LRLA_FEATURE_NAMES,
+    LRLA_STATE_DIM,
+    SRLA_FEATURE_NAMES,
+    SRLA_STATE_DIM,
+    collect_auto_dataset,
+    sjf_priority,
+    srla_state,
+    train_auto,
+)
+from repro.teachers.cache import load_weights, recipe_key, save_weights
+from repro.teachers.pensieve import (
+    PensieveTeacher,
+    STATE_SCALE,
+    default_abr_env,
+    train_pensieve,
+)
+from repro.teachers.routenet import RouteNetStar, train_routenet
+
+
+@pytest.fixture(scope="module")
+def mini_abr_env():
+    video = Video.synthetic(n_chunks=10, seed=3)
+    traces = trace_set("hsdpa", 3, duration_s=100, seed=4)
+    return ABREnv(video, traces)
+
+
+class TestCache:
+    def test_recipe_key_stable(self):
+        assert recipe_key("x", {"a": 1}) == recipe_key("x", {"a": 1})
+
+    def test_recipe_key_differs(self):
+        assert recipe_key("x", {"a": 1}) != recipe_key("x", {"a": 2})
+
+    def test_save_load_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        arrays = [np.arange(3.0), np.eye(2)]
+        save_weights("unit-test-key", arrays)
+        loaded = load_weights("unit-test-key")
+        assert all(np.array_equal(a, b) for a, b in zip(arrays, loaded))
+
+    def test_load_missing_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert load_weights("nope") is None
+
+
+class TestPensieveTeacher:
+    def test_training_smoke(self, mini_abr_env):
+        teacher = train_pensieve(
+            mini_abr_env, episodes=20, seed=0, use_cache=False
+        )
+        assert isinstance(teacher, PensieveTeacher)
+        assert teacher.n_actions == 6
+
+    def test_probabilities_shape(self, mini_abr_env):
+        teacher = train_pensieve(
+            mini_abr_env, episodes=5, seed=0, use_cache=False
+        )
+        state = mini_abr_env.reset(rng=0)
+        probs = teacher.action_probabilities(state[None, :])
+        assert probs.shape == (1, 6)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_modified_structure_has_skip(self, mini_abr_env):
+        teacher = train_pensieve(
+            mini_abr_env, episodes=5, seed=0, modified=True, use_cache=False
+        )
+        assert teacher.policy.net.skip_features == [0]
+
+    def test_state_scale_covers_all_features(self):
+        assert STATE_SCALE.shape == (25,)
+        assert np.all(STATE_SCALE > 0)
+
+    def test_fit_q_enables_q_values(self, mini_abr_env):
+        teacher = train_pensieve(
+            mini_abr_env, episodes=5, seed=0, use_cache=False
+        )
+        with pytest.raises(RuntimeError):
+            teacher.q_values(np.zeros((1, 25)))
+        teacher.fit_q(mini_abr_env, episodes=2, seed=1)
+        q = teacher.q_values(np.zeros((2, 25)))
+        assert q.shape == (2, 6)
+
+    def test_cache_roundtrip(self, mini_abr_env, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = train_pensieve(mini_abr_env, episodes=5, seed=0, use_cache=True)
+        b = train_pensieve(mini_abr_env, episodes=5, seed=0, use_cache=True)
+        state = mini_abr_env.reset(rng=0)[None, :]
+        assert np.allclose(
+            a.action_probabilities(state), b.action_probabilities(state)
+        )
+
+    def test_default_env_constructor(self):
+        env = default_abr_env(n_traces=3, n_chunks=8)
+        assert env.video.n_chunks == 8
+        assert len(env.traces) == 3
+
+
+class TestAutoTeacher:
+    def test_feature_names_match_dims(self):
+        assert len(LRLA_FEATURE_NAMES) == LRLA_STATE_DIM
+        assert len(SRLA_FEATURE_NAMES) == SRLA_STATE_DIM
+
+    def test_srla_state_shape(self):
+        state = srla_state([], load=0.7, capacity_bps=1e9)
+        assert state.shape == (SRLA_STATE_DIM,)
+
+    def test_sjf_rule_monotone_in_size(self):
+        small = np.zeros(LRLA_STATE_DIM)
+        small[0] = 6.0
+        big = np.zeros(LRLA_STATE_DIM)
+        big[0] = 9.0
+        assert sjf_priority(big) >= sjf_priority(small)
+
+    def test_training_smoke(self):
+        teacher = train_auto(episodes=5, use_cache=False, seed=0)
+        assert isinstance(teacher, AutoTeacher)
+
+    def test_decision_fn_returns_valid_priority(self):
+        teacher = train_auto(episodes=5, use_cache=False, seed=0)
+        from repro.envs.flows.simulator import FabricSnapshot
+        from repro.envs.flows.workloads import Flow
+
+        snapshot = FabricSnapshot(
+            time=0.0,
+            queue_counts=np.zeros(5),
+            queue_remaining_bytes=np.zeros(5),
+            flow_bytes_sent=0.0,
+            flow_size_bytes=2e6,
+        )
+        fn = teacher.lrla_decision_fn(greedy=True)
+        priority = fn(Flow(0, 0.0, 2e6), snapshot)
+        assert 0 <= priority < 5
+
+    def test_srla_thresholds_valid(self):
+        teacher = train_auto(episodes=5, use_cache=False, seed=0)
+        state = srla_state([], load=0.7, capacity_bps=1e9)
+        config = teacher.srla_thresholds(state)
+        assert isinstance(config, MLFQConfig)
+
+    def test_dataset_collection(self):
+        teacher = train_auto(episodes=5, use_cache=False, seed=0)
+        ls, la, lr, ss, sa = collect_auto_dataset(teacher, windows=3, seed=1)
+        assert ls.shape[1] == LRLA_STATE_DIM
+        assert ss.shape[1] == SRLA_STATE_DIM
+        assert sa.shape[1] == 4
+
+
+class TestRouteNetStar:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        topo = nsfnet()
+        tms = gravity_demands(topo, utilization=0.5, seed=9, count=4)
+        net = train_routenet(
+            topo, tms[:2], epochs=1500, use_cache=False, seed=0
+        )
+        return topo, tms, net
+
+    def test_prediction_correlates_with_truth(self, setup):
+        topo, tms, net = setup
+        from repro.teachers.routenet import build_features
+
+        routing = shortest_path_routing(topo)
+        xv, xe, inc, pairs = build_features(topo, routing, tms[3])
+        pred, _ = net.forward(xv, xe, inc)
+        truth = routing_latencies(topo, routing, tms[3])
+        y = np.array([truth[p] for p in pairs])
+        assert np.corrcoef(pred, y)[0, 1] > 0.5
+
+    def test_optimizer_improves_latency(self, setup):
+        topo, tms, net = setup
+        star = RouteNetStar(topo, net)
+        base = shortest_path_routing(topo)
+        optimized = star.optimize(tms[3], sweeps=2, seed=0)
+        lat_base = np.mean(list(routing_latencies(topo, base, tms[3]).values()))
+        lat_opt = np.mean(
+            list(routing_latencies(topo, optimized, tms[3]).values())
+        )
+        assert lat_opt < lat_base
+
+    def test_decision_distribution_normalized(self, setup):
+        topo, tms, net = setup
+        star = RouteNetStar(topo, net)
+        routing = star.optimize(tms[3], sweeps=1, seed=0)
+        dist = star.decision_distribution(routing, tms[3])
+        for probs in dist.values():
+            assert probs.sum() == pytest.approx(1.0)

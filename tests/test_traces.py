@@ -1,0 +1,90 @@
+"""Tests for the synthetic bandwidth trace generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.envs.traces import (
+    BandwidthTrace,
+    fcc_like_trace,
+    fixed_trace,
+    hsdpa_like_trace,
+    trace_set,
+)
+
+
+class TestBandwidthTrace:
+    def test_wraps_around(self):
+        trace = BandwidthTrace(np.array([1.0, 2.0, 3.0]))
+        assert trace.bandwidth_at(4.5) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([1.0, 0.0]))
+
+    def test_mean(self):
+        assert BandwidthTrace(np.array([1.0, 3.0])).mean_kbps() == 2.0
+
+
+class TestFixedTrace:
+    def test_constant(self):
+        trace = fixed_trace(3000.0, duration_s=10)
+        assert np.all(trace.bandwidths_kbps == 3000.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fixed_trace(0.0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("maker,lo,hi", [
+        (hsdpa_like_trace, 80.0, 6500.0),
+        (fcc_like_trace, 200.0, 9500.0),
+    ])
+    def test_within_declared_bounds(self, maker, lo, hi):
+        trace = maker(duration_s=300, seed=0)
+        assert trace.bandwidths_kbps.min() >= lo
+        assert trace.bandwidths_kbps.max() <= hi
+
+    def test_deterministic_per_seed(self):
+        a = hsdpa_like_trace(seed=5)
+        b = hsdpa_like_trace(seed=5)
+        assert np.array_equal(a.bandwidths_kbps, b.bandwidths_kbps)
+
+    def test_different_seeds_differ(self):
+        a = hsdpa_like_trace(seed=5)
+        b = hsdpa_like_trace(seed=6)
+        assert not np.array_equal(a.bandwidths_kbps, b.bandwidths_kbps)
+
+    def test_hsdpa_autocorrelated(self):
+        # Cellular traces must be temporally smooth: lag-1 autocorrelation
+        # well above zero.
+        trace = hsdpa_like_trace(duration_s=300, seed=1)
+        x = trace.bandwidths_kbps
+        r = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r > 0.5
+
+    def test_trace_set_count_and_names(self):
+        traces = trace_set("fcc", 5, seed=0)
+        assert len(traces) == 5
+        assert len({t.name for t in traces}) == 5
+
+    def test_trace_set_unknown_kind(self):
+        with pytest.raises(ValueError):
+            trace_set("dialup", 3)
+
+    def test_trace_set_reproducible(self):
+        a = trace_set("hsdpa", 3, seed=9)
+        b = trace_set("hsdpa", 3, seed=9)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.bandwidths_kbps, y.bandwidths_kbps)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_fcc_positive_property(self, seed):
+        trace = fcc_like_trace(duration_s=50, seed=seed)
+        assert np.all(trace.bandwidths_kbps > 0)

@@ -1,0 +1,239 @@
+"""Tests for CART trees, CCP pruning, and export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    cost_complexity_path,
+    prune_to_leaves,
+    render_text,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+class TestClassifier:
+    def test_solves_axis_aligned(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        assert (tree.predict(x) == y).mean() == 1.0
+
+    def test_probabilities_sum_one(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        p = tree.predict_proba(x)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_leaf_budget_respected(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=3).fit(x, y)
+        assert tree.n_leaves <= 3
+
+    def test_max_depth_respected(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=64, max_depth=2)
+        tree.fit(x, y)
+        assert tree.depth <= 2
+
+    def test_sample_weights_steer_fit(self, toy_classification):
+        x, y = toy_classification
+        # Weight one class overwhelmingly: the stump must predict it.
+        w = np.where(y == 3, 1000.0, 0.001)
+        tree = DecisionTreeClassifier(max_leaf_nodes=2).fit(
+            x, y, sample_weight=w
+        )
+        assert (tree.predict(x) == 3).mean() > 0.4
+
+    def test_min_samples_leaf(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(
+            max_leaf_nodes=200, min_samples_leaf=50
+        ).fit(x, y)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert node.n_samples >= 50
+
+    def test_explicit_n_classes(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        tree = DecisionTreeClassifier(n_classes=5, max_leaf_nodes=2)
+        tree.fit(x, y)
+        assert tree.predict_proba(x).shape == (2, 5)
+
+    def test_labels_out_of_range_rejected(self):
+        tree = DecisionTreeClassifier(n_classes=2)
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 1)), np.array([0, 1, 5]))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.array([]))
+
+    def test_negative_weights_rejected(self, toy_classification):
+        x, y = toy_classification
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(x, y, sample_weight=-np.ones(len(y)))
+
+    def test_constant_features_yield_stump(self):
+        x = np.ones((50, 3))
+        y = np.array([0, 1] * 25)
+        tree = DecisionTreeClassifier(max_leaf_nodes=10).fit(x, y)
+        assert tree.n_leaves == 1
+
+    def test_predict_one_matches_predict(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y)
+        batch = tree.predict_proba(x[:10])
+        for i in range(10):
+            assert np.allclose(tree.predict_one(x[i]), batch[i])
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_leaf_budget_property(self, budget):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_leaf_nodes=budget).fit(x, y)
+        assert 1 <= tree.n_leaves <= budget
+
+    def test_predictions_are_seen_labels(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=32).fit(x, y)
+        assert set(np.unique(tree.predict(x))) <= set(np.unique(y))
+
+
+class TestRegressor:
+    def test_single_output(self, toy_regression):
+        x, y = toy_regression
+        tree = DecisionTreeRegressor(max_leaf_nodes=32).fit(x, y[:, 0])
+        pred = tree.predict(x)
+        assert pred.shape == (x.shape[0],)
+        assert np.sqrt(((pred - y[:, 0]) ** 2).mean()) < 0.2
+
+    def test_multi_output(self, toy_regression):
+        x, y = toy_regression
+        tree = DecisionTreeRegressor(max_leaf_nodes=32).fit(x, y)
+        pred = tree.predict(x)
+        assert pred.shape == y.shape
+
+    def test_predictions_within_target_hull(self, toy_regression):
+        x, y = toy_regression
+        tree = DecisionTreeRegressor(max_leaf_nodes=16).fit(x, y)
+        pred = tree.predict(x)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    def test_stump_predicts_mean(self, toy_regression):
+        x, y = toy_regression
+        tree = DecisionTreeRegressor(max_leaf_nodes=2, min_samples_leaf=10**6)
+        tree.fit(x, y)
+        assert np.allclose(tree.predict(x)[0], y.mean(axis=0))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_hull_property(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        tree = DecisionTreeRegressor(max_leaf_nodes=8).fit(x, y)
+        pred = tree.predict(x)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestPruning:
+    def _fitted(self, toy_classification):
+        x, y = toy_classification
+        noisy = y.copy()
+        noisy[::17] = (noisy[::17] + 1) % 4
+        return DecisionTreeClassifier(max_leaf_nodes=40).fit(x, noisy), x, noisy
+
+    def test_path_starts_at_zero_alpha(self, toy_classification):
+        tree, _, _ = self._fitted(toy_classification)
+        path = cost_complexity_path(tree)
+        assert path[0][0] == 0.0
+        assert path[0][1] == tree.n_leaves
+
+    def test_path_ends_at_stump(self, toy_classification):
+        tree, _, _ = self._fitted(toy_classification)
+        path = cost_complexity_path(tree)
+        assert path[-1][1] == 1
+
+    def test_path_leaves_decreasing(self, toy_classification):
+        tree, _, _ = self._fitted(toy_classification)
+        leaves = [n for _, n in cost_complexity_path(tree)]
+        assert all(a > b for a, b in zip(leaves, leaves[1:]))
+
+    def test_prune_to_budget(self, toy_classification):
+        tree, x, y = self._fitted(toy_classification)
+        pruned = prune_to_leaves(tree, 5)
+        assert pruned.n_leaves <= 5
+
+    def test_prune_does_not_mutate_original(self, toy_classification):
+        tree, _, _ = self._fitted(toy_classification)
+        before = tree.n_leaves
+        prune_to_leaves(tree, 2)
+        assert tree.n_leaves == before
+
+    def test_prune_keeps_strong_structure(self, toy_classification):
+        # The 4-leaf pruned tree should still solve the clean problem.
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=40).fit(x, y)
+        pruned = prune_to_leaves(tree, 4)
+        assert (pruned.predict(x) == y).mean() > 0.95
+
+    def test_prune_budget_one_gives_stump(self, toy_classification):
+        tree, _, _ = self._fitted(toy_classification)
+        assert prune_to_leaves(tree, 1).n_leaves == 1
+
+    def test_invalid_budget(self, toy_classification):
+        tree, _, _ = self._fitted(toy_classification)
+        with pytest.raises(ValueError):
+            prune_to_leaves(tree, 0)
+
+
+class TestExport:
+    def test_render_contains_feature_names(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        text = render_text(tree, feature_names=["buffer", "b", "rate", "d", "e"])
+        assert "buffer" in text or "rate" in text
+
+    def test_render_visit_fractions(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        text = render_text(tree, visit_states=x, max_depth=2)
+        assert "visits 100.0%" in text
+
+    def test_render_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            render_text(DecisionTreeClassifier())
+
+    def test_dict_roundtrip_classifier(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y)
+        clone = tree_from_dict(tree_to_dict(tree))
+        assert np.array_equal(clone.predict(x), tree.predict(x))
+
+    def test_dict_roundtrip_regressor(self, toy_regression):
+        x, y = toy_regression
+        tree = DecisionTreeRegressor(max_leaf_nodes=16).fit(x, y)
+        clone = tree_from_dict(tree_to_dict(tree))
+        assert np.allclose(clone.predict(x), tree.predict(x))
+
+    def test_json_serializable(self, toy_classification):
+        import json
+
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=4).fit(x, y)
+        blob = json.dumps(tree_to_dict(tree))
+        assert "threshold" in blob
+
+    def test_decision_path_length_bounded_by_depth(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y)
+        lengths = tree.decision_path_length(x[:20])
+        assert lengths.max() <= tree.depth

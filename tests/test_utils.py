@@ -1,0 +1,122 @@
+"""Tests for repro.utils: RNG plumbing, statistics, result tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.stats import (
+    RunningStat,
+    empirical_cdf,
+    pearson_correlation,
+    percentile,
+)
+from repro.utils.tables import ResultTable
+
+
+class TestAsRng:
+    def test_int_seed_deterministic(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic(self):
+        x = [r.random() for r in spawn_rngs(3, 4)]
+        y = [r.random() for r in spawn_rngs(3, 4)]
+        assert x == y
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 3)
+        assert len(children) == 3
+
+
+class TestRunningStat:
+    def test_mean(self):
+        s = RunningStat()
+        s.extend([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+
+    def test_variance_matches_numpy(self):
+        data = [1.5, 2.5, 0.5, 4.0, -1.0]
+        s = RunningStat()
+        s.extend(data)
+        assert s.variance == pytest.approx(np.var(data, ddof=1))
+
+    def test_single_value_variance_zero(self):
+        s = RunningStat()
+        s.push(5.0)
+        assert s.variance == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_matches_numpy_property(self, data):
+        s = RunningStat()
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data), abs=1e-6)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_short_input(self):
+        assert pearson_correlation([1.0], [2.0]) == 0.0
+
+
+class TestEmpiricalCdf:
+    def test_sorted_levels(self):
+        values, levels = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert levels[-1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        values, levels = empirical_cdf([])
+        assert values.size == 0
+
+    def test_percentile_wrapper(self):
+        assert percentile([0, 10], 50) == pytest.approx(5.0)
+
+
+class TestResultTable:
+    def test_render_contains_cells(self):
+        t = ResultTable("Demo", ["a", "b"])
+        t.add_row(["x", 1.23456])
+        out = t.render()
+        assert "Demo" in out and "x" in out and "1.235" in out
+
+    def test_row_length_checked(self):
+        t = ResultTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_to_dicts(self):
+        t = ResultTable("Demo", ["a", "b"])
+        t.add_row([1, 2])
+        assert t.to_dicts() == [{"a": "1", "b": "2"}]
