@@ -36,6 +36,26 @@ class DistillDataset:
     def __len__(self) -> int:
         return int(self.actions.shape[0])
 
+    @classmethod
+    def from_policy(cls, states: np.ndarray, policy) -> "DistillDataset":
+        """Label ``states`` with one batched policy query (DAgger relabel).
+
+        ``policy`` is anything exposing ``act_greedy_batch`` — a teacher
+        or a distilled tree; the whole state matrix goes through a single
+        vectorized call instead of a per-row loop.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.asarray(policy.act_greedy_batch(states))
+        return cls(states=states, actions=actions)
+
+    def agreement_with(self, policy) -> float:
+        """Fraction of rows where ``policy``'s batched greedy action
+        matches the recorded action (tree-vs-teacher fidelity)."""
+        if len(self) == 0:
+            return 0.0
+        predicted = np.asarray(policy.act_greedy_batch(self.states))
+        return float((predicted == self.actions).mean())
+
     def merge(self, other: "DistillDataset") -> "DistillDataset":
         """Concatenate two datasets (weights default to 1 where missing)."""
         w_self = self.weights if self.weights is not None else np.ones(len(self))

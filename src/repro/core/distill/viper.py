@@ -43,7 +43,10 @@ class DistilledPolicy:
         """Stateless."""
 
     def select(self, state: np.ndarray, env=None) -> int:
-        return int(self.tree.predict(np.atleast_2d(state))[0])
+        # Single decision: plain traversal beats the vectorized engine's
+        # numpy dispatch overhead; argmax over the same leaf value vector
+        # keeps it exactly equivalent to ``predict``.
+        return int(np.argmax(self.tree.predict_one(state)))
 
     # -- batch interfaces -------------------------------------------------
     def act_greedy_batch(self, states: np.ndarray) -> np.ndarray:
@@ -56,11 +59,9 @@ class DistilledPolicy:
         """Adapter for the fabric simulator's central-decision hook."""
 
         def decide(flow, snapshot):
-            return int(
-                self.tree.predict(
-                    np.atleast_2d(snapshot.feature_vector())
-                )[0]
-            )
+            return int(np.argmax(self.tree.predict_one(
+                snapshot.feature_vector()
+            )))
 
         return decide
 
@@ -150,10 +151,8 @@ def distill_from_env(
         visited = collect_student_states(
             env, student, episodes_per_iteration, rng
         )
-        relabeled = DistillDataset(
-            states=visited,
-            actions=teacher.act_greedy_batch(visited),
-        )
+        # One batched teacher query relabels the whole student rollout.
+        relabeled = DistillDataset.from_policy(visited, teacher)
         dataset = dataset.merge(relabeled)
         student = _fit_student(dataset, teacher, config, rng, resample_weights)
     return student

@@ -1,17 +1,53 @@
 """Decision trees from scratch: CART growth, cost-complexity pruning,
-and human-readable export (the paper's Fig. 7 rendering)."""
+flat-array inference, and human-readable export (the paper's Fig. 7
+rendering).
+
+Two representations, two jobs:
+
+* **Linked ``Node`` objects** — the *build-time* structure.  Best-first
+  growth (``cart.py``) and weakest-link pruning (``pruning.py``) mutate
+  nodes in place; nothing else should traverse them on a hot path.
+* **``FlatTree``** — the *inference engine*.  ``fit()`` flattens the
+  finished tree into contiguous numpy arrays (sklearn ``tree_`` style)
+  and every ``predict`` / ``predict_proba`` / ``apply`` /
+  ``decision_path_length`` call runs level-wise vectorized index
+  propagation over them; serialization and code generation emit straight
+  from the arrays.
+
+``FlatTree`` layout — all arrays have length ``node_count`` and use
+**preorder** ids (a node is followed by its whole left subtree, then its
+right subtree; the root is id 0):
+
+====================  =================================================
+``feature``           split feature per node; ``-1`` marks a leaf
+``threshold``         split point; ``x[feature] < threshold`` goes left
+``children_left``     left-child node id (``-1`` for leaves)
+``children_right``    right-child node id (``-1`` for leaves)
+``value``             ``(node_count, n_outputs)`` class distribution or
+                      mean output per node
+``n_samples``         weighted sample count reaching each node
+``impurity``          weighted impurity per node
+``depths``            derived: comparisons from the root to each node
+====================  =================================================
+
+Code that mutates the linked nodes after ``fit`` (pruning, manual
+surgery) must call ``tree.invalidate_flat()`` so the arrays are rebuilt
+in sync on the next inference call.
+"""
 
 from repro.core.tree.cart import (
     DecisionTreeClassifier,
     DecisionTreeRegressor,
     Node,
 )
+from repro.core.tree.flat import FlatTree
 from repro.core.tree.pruning import cost_complexity_path, prune_to_leaves
 from repro.core.tree.export import render_text, tree_to_dict, tree_from_dict
 
 __all__ = [
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
+    "FlatTree",
     "Node",
     "cost_complexity_path",
     "prune_to_leaves",

@@ -23,6 +23,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.tree.flat import FlatTree
+
 
 @dataclass
 class Node:
@@ -52,18 +54,32 @@ class Node:
         return self.feature < 0
 
     def copy(self) -> "Node":
-        """Deep copy of the subtree rooted here."""
-        node = Node(
-            feature=self.feature,
-            threshold=self.threshold,
-            value=self.value.copy(),
-            n_samples=self.n_samples,
-            impurity=self.impurity,
-        )
-        if not self.is_leaf:
-            node.left = self.left.copy()
-            node.right = self.right.copy()
-        return node
+        """Deep copy of the subtree rooted here.
+
+        Iterative: degenerate (chain-shaped) trees can be deeper than
+        Python's recursion limit, so the copy walks an explicit stack.
+        """
+
+        def clone(node: "Node") -> "Node":
+            return Node(
+                feature=node.feature,
+                threshold=node.threshold,
+                value=node.value.copy(),
+                n_samples=node.n_samples,
+                impurity=node.impurity,
+            )
+
+        new_root = clone(self)
+        stack = [(self, new_root)]
+        while stack:
+            src, dst = stack.pop()
+            if src.is_leaf:
+                continue
+            dst.left = clone(src.left)
+            dst.right = clone(src.right)
+            stack.append((src.left, dst.left))
+            stack.append((src.right, dst.right))
+        return new_root
 
 
 class _BaseTree:
@@ -86,6 +102,33 @@ class _BaseTree:
         self.max_depth = max_depth
         self.root: Optional[Node] = None
         self.n_features: int = 0
+        self._flat: Optional[FlatTree] = None
+
+    # -- flat engine -----------------------------------------------------
+    @property
+    def flat(self) -> FlatTree:
+        """The array-based inference engine (built lazily from ``root``).
+
+        ``fit`` builds it eagerly; code that mutates the linked ``Node``
+        structure afterwards (pruning, deserialization) must call
+        :meth:`invalidate_flat` so the arrays are rebuilt in sync.
+        """
+        if self.root is None:
+            raise RuntimeError("fit must be called first")
+        if self._flat is None:
+            self._flat = FlatTree.from_node(self.root)
+        return self._flat
+
+    def invalidate_flat(self) -> None:
+        """Drop the cached flat form after mutating the node structure."""
+        self._flat = None
+
+    def _check_features(self, x: np.ndarray) -> None:
+        if self.n_features and x.shape[-1] != self.n_features:
+            raise ValueError(
+                f"x has {x.shape[-1]} features, but this tree was fitted "
+                f"with {self.n_features}"
+            )
 
     # -- criterion hooks (subclass responsibility) -----------------------
     def _encode_targets(self, y: np.ndarray) -> np.ndarray:
@@ -119,11 +162,22 @@ class _BaseTree:
         else:
             weights = np.asarray(sample_weight, dtype=float)
             if weights.shape != (n,):
-                raise ValueError("sample_weight shape mismatch")
+                raise ValueError(
+                    f"sample_weight shape {weights.shape} does not match "
+                    f"the {n} training rows"
+                )
+            if not np.all(np.isfinite(weights)):
+                raise ValueError("sample weights must be finite")
             if np.any(weights < 0):
-                raise ValueError("sample weights must be non-negative")
+                raise ValueError(
+                    "sample weights must be non-negative: negative weights "
+                    "corrupt the impurity sums"
+                )
             if weights.sum() <= 0:
-                raise ValueError("sample weights must not all be zero")
+                raise ValueError(
+                    "sample weights must not all be zero: the tree would "
+                    "have no mass to split on"
+                )
         self.n_features = x.shape[1]
 
         idx_all = np.arange(n)
@@ -154,6 +208,9 @@ class _BaseTree:
                 depth + 1,
             )
         self.root = root
+        # Flatten once: the linked nodes stay as the build-time structure,
+        # all inference goes through the array engine.
+        self._flat = FlatTree.from_node(root)
         return self
 
     def _make_node(
@@ -264,7 +321,16 @@ class _BaseTree:
 
     # -- prediction --------------------------------------------------------
     def _leaf_values(self, x: np.ndarray) -> np.ndarray:
-        """Value vector of the leaf each row lands in."""
+        """Value vector of the leaf each row lands in (flat engine)."""
+        if self.root is None:
+            raise RuntimeError("fit must be called first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._check_features(x)
+        return self.flat.leaf_values(x)
+
+    def _leaf_values_nodes(self, x: np.ndarray) -> np.ndarray:
+        """Legacy node-walking traversal, kept as the equivalence oracle
+        for the vectorized engine (see ``tests/test_flat_equivalence``)."""
         if self.root is None:
             raise RuntimeError("fit must be called first")
         x = np.asarray(x, dtype=float)
@@ -291,6 +357,13 @@ class _BaseTree:
         and comparisons, no numpy dispatch — the micro-benchmarks in
         ``repro.deploy`` measure this path against MLP inference.
         """
+        if self.root is None:
+            raise RuntimeError("fit must be called first")
+        if self.n_features and len(x) != self.n_features:
+            raise ValueError(
+                f"sample has {len(x)} features, but this tree was fitted "
+                f"with {self.n_features}"
+            )
         node = self.root
         while not node.is_leaf:
             if x[node.feature] < node.threshold:
@@ -300,7 +373,13 @@ class _BaseTree:
         return node.value
 
     def apply(self, x: np.ndarray) -> np.ndarray:
-        """Leaf id (preorder index) each row lands in."""
+        """Leaf id (preorder index) each row lands in (flat engine)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._check_features(x)
+        return self.flat.apply(x).astype(int)
+
+    def _apply_nodes(self, x: np.ndarray) -> np.ndarray:
+        """Legacy per-row node walk (equivalence oracle / benchmarks)."""
         ids = {}
         for i, node in enumerate(self.iter_nodes()):
             ids[id(node)] = i
@@ -331,25 +410,30 @@ class _BaseTree:
 
     @property
     def node_count(self) -> int:
-        return sum(1 for _ in self.iter_nodes())
+        if self.root is None:
+            return 0
+        return self.flat.node_count
 
     @property
     def n_leaves(self) -> int:
-        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+        if self.root is None:
+            return 0
+        return self.flat.n_leaves
 
     @property
     def depth(self) -> int:
-        def walk(node: Node) -> int:
-            if node.is_leaf:
-                return 0
-            return 1 + max(walk(node.left), walk(node.right))
-
         if self.root is None:
             return 0
-        return walk(self.root)
+        return self.flat.max_depth
 
     def decision_path_length(self, x: np.ndarray) -> np.ndarray:
         """Comparisons needed per row (the deployment latency proxy)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._check_features(x)
+        return self.flat.decision_path_length(x)
+
+    def _decision_path_length_nodes(self, x: np.ndarray) -> np.ndarray:
+        """Legacy per-row walk (equivalence oracle)."""
         x = np.atleast_2d(np.asarray(x, dtype=float))
         out = np.zeros(x.shape[0], dtype=int)
         for row in range(x.shape[0]):
@@ -402,7 +486,11 @@ class DecisionTreeClassifier(_BaseTree):
         return self._leaf_values(x)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        return np.argmax(self.predict_proba(x), axis=1)
+        if self.root is None:
+            raise RuntimeError("fit must be called first")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._check_features(x)
+        return self.flat.predict_class(x)
 
 
 class DecisionTreeRegressor(_BaseTree):

@@ -5,6 +5,10 @@
 policy deployable on a Netronome SmartNIC in ~1,000 LoC.  This module
 emits that artifact: a self-contained C function (or Python function)
 implementing the tree as nested ``if``/``else``.
+
+Emission walks the flat array form (``tree.flat``) with an explicit
+stack, so pathologically deep trees compile without hitting Python's
+recursion limit.
 """
 
 from __future__ import annotations
@@ -13,7 +17,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.tree.cart import DecisionTreeClassifier, Node, _BaseTree
+from repro.core.tree.cart import DecisionTreeClassifier, _BaseTree
+from repro.core.tree.flat import FlatTree
 
 
 def tree_to_c(
@@ -30,31 +35,14 @@ def tree_to_c(
         raise TypeError("code generation targets classification trees")
     if tree.root is None:
         raise RuntimeError("tree is not fitted")
+    flat = tree.flat
     lines: List[str] = [
-        f"/* generated from a {tree.n_leaves}-leaf decision tree */",
+        f"/* generated from a {flat.n_leaves}-leaf decision tree */",
         f"int {function_name}(const double *x) {{",
     ]
-    _emit_c(tree.root, lines, indent=1, feature_names=feature_names)
+    _emit(flat, lines, style="c", feature_names=feature_names)
     lines.append("}")
     return "\n".join(lines)
-
-
-def _emit_c(node: Node, lines: List[str], indent: int, feature_names) -> None:
-    pad = "    " * indent
-    if node.is_leaf:
-        action = int(np.argmax(node.value))
-        lines.append(f"{pad}return {action};")
-        return
-    comment = ""
-    if feature_names is not None and node.feature < len(feature_names):
-        comment = f"  /* {feature_names[node.feature]} */"
-    lines.append(
-        f"{pad}if (x[{node.feature}] < {node.threshold!r}) {{{comment}"
-    )
-    _emit_c(node.left, lines, indent + 1, feature_names)
-    lines.append(f"{pad}}} else {{")
-    _emit_c(node.right, lines, indent + 1, feature_names)
-    lines.append(f"{pad}}}")
 
 
 def tree_to_python(
@@ -70,19 +58,57 @@ def tree_to_python(
     if tree.root is None:
         raise RuntimeError("tree is not fitted")
     lines = [f"def {function_name}(x):"]
-    _emit_python(tree.root, lines, indent=1)
+    _emit(tree.flat, lines, style="python", feature_names=None)
     return "\n".join(lines)
 
 
-def _emit_python(node: Node, lines: List[str], indent: int) -> None:
-    pad = "    " * indent
-    if node.is_leaf:
-        lines.append(f"{pad}return {int(np.argmax(node.value))}")
-        return
-    lines.append(f"{pad}if x[{node.feature}] < {node.threshold!r}:")
-    _emit_python(node.left, lines, indent + 1)
-    lines.append(f"{pad}else:")
-    _emit_python(node.right, lines, indent + 1)
+def _emit(
+    flat: FlatTree,
+    lines: List[str],
+    style: str,
+    feature_names: Optional[Sequence[str]],
+) -> None:
+    """Append the nested if/else body, iteratively over the flat arrays.
+
+    The stack holds ("node", idx, indent) frames interleaved with
+    ("text", literal, 0) frames for the closing/else lines, which keeps
+    the exact output shape of the old recursive emitter.
+    """
+    stack: List[tuple] = [("node", 0, 1)]
+    while stack:
+        op, payload, indent = stack.pop()
+        if op == "text":
+            lines.append(payload)
+            continue
+        i = payload
+        pad = "    " * indent
+        if flat.feature[i] < 0:
+            action = int(np.argmax(flat.value[i]))
+            if style == "c":
+                lines.append(f"{pad}return {action};")
+            else:
+                lines.append(f"{pad}return {action}")
+            continue
+        feature = int(flat.feature[i])
+        threshold = float(flat.threshold[i])
+        left = int(flat.children_left[i])
+        right = int(flat.children_right[i])
+        if style == "c":
+            comment = ""
+            if feature_names is not None and feature < len(feature_names):
+                comment = f"  /* {feature_names[feature]} */"
+            lines.append(
+                f"{pad}if (x[{feature}] < {threshold!r}) {{{comment}"
+            )
+            stack.append(("text", f"{pad}}}", 0))
+            stack.append(("node", right, indent + 1))
+            stack.append(("text", f"{pad}}} else {{", 0))
+            stack.append(("node", left, indent + 1))
+        else:
+            lines.append(f"{pad}if x[{feature}] < {threshold!r}:")
+            stack.append(("node", right, indent + 1))
+            stack.append(("text", f"{pad}else:", 0))
+            stack.append(("node", left, indent + 1))
 
 
 def compile_python(tree: _BaseTree, function_name: str = "decide"):

@@ -3,11 +3,16 @@
 ``render_text`` reproduces the paper's Fig. 7 view: the top layers of the
 distilled tree with decision variables in natural units, annotated with
 how often each node is visited and which actions dominate beneath it.
+
+Serialization emits the flat array form (``FlatTree``): a handful of
+contiguous lists instead of a nested dict, so deep trees serialize
+without recursion and deserialize straight into the inference engine.
+The legacy nested ``{"root": {...}}`` format is still read.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +22,7 @@ from repro.core.tree.cart import (
     Node,
     _BaseTree,
 )
+from repro.core.tree.flat import FlatTree
 
 
 def render_text(
@@ -39,9 +45,11 @@ def render_text(
     """
     if tree.root is None:
         raise RuntimeError("tree is not fitted")
-    visits: Optional[Dict[int, float]] = None
+    flat = tree.flat
+    visits: Optional[np.ndarray] = None
     if visit_states is not None:
-        visits = _visit_fractions(tree, np.atleast_2d(visit_states))
+        states = np.atleast_2d(np.asarray(visit_states, dtype=float))
+        visits = flat.visit_counts(states) / max(states.shape[0], 1)
 
     lines: List[str] = []
 
@@ -50,8 +58,8 @@ def render_text(
             return feature_names[idx]
         return f"x[{idx}]"
 
-    def describe_leaf(node: Node) -> str:
-        value = node.value
+    def describe_leaf(i: int) -> str:
+        value = flat.value[i]
         if isinstance(tree, DecisionTreeClassifier):
             top = np.argsort(value)[::-1][:2]
             parts = []
@@ -67,57 +75,40 @@ def render_text(
             return "predict " + ", ".join(parts) if parts else "predict ?"
         return "predict [" + ", ".join(f"{v:.3g}" for v in value) + "]"
 
-    def walk(node: Node, depth: int, prefix: str) -> None:
+    # Explicit preorder stack (right pushed first) so the output order
+    # matches the old recursive walk but deep trees cannot overflow.
+    stack = [(0, 0, "")]
+    while stack:
+        i, depth, prefix = stack.pop()
         note = ""
         if visits is not None:
-            note = f"  (visits {visits.get(id(node), 0.0):.1%})"
-        if node.is_leaf or (max_depth is not None and depth >= max_depth):
-            suffix = "" if node.is_leaf else "  [subtree pruned from view]"
-            lines.append(f"{prefix}{describe_leaf(node)}{note}{suffix}")
-            return
+            note = f"  (visits {visits[i]:.1%})"
+        is_leaf = flat.feature[i] < 0
+        if is_leaf or (max_depth is not None and depth >= max_depth):
+            suffix = "" if is_leaf else "  [subtree pruned from view]"
+            lines.append(f"{prefix}{describe_leaf(i)}{note}{suffix}")
+            continue
         lines.append(
-            f"{prefix}{name_of(node.feature)} < {node.threshold:.3g}?{note}"
+            f"{prefix}{name_of(int(flat.feature[i]))} < "
+            f"{flat.threshold[i]:.3g}?{note}"
         )
-        walk(node.left, depth + 1, prefix + "| yes: ")
-        walk(node.right, depth + 1, prefix + "| no:  ")
-
-    walk(tree.root, 0, "")
+        stack.append((int(flat.children_right[i]), depth + 1,
+                      prefix + "| no:  "))
+        stack.append((int(flat.children_left[i]), depth + 1,
+                      prefix + "| yes: "))
     return "\n".join(lines)
-
-
-def _visit_fractions(tree: _BaseTree, x: np.ndarray) -> Dict[int, float]:
-    total = x.shape[0]
-    counts: Dict[int, int] = {}
-    for row in range(total):
-        node = tree.root
-        while True:
-            counts[id(node)] = counts.get(id(node), 0) + 1
-            if node.is_leaf:
-                break
-            if x[row, node.feature] < node.threshold:
-                node = node.left
-            else:
-                node = node.right
-    return {k: v / max(total, 1) for k, v in counts.items()}
 
 
 # ----------------------------------------------------------------------
 def tree_to_dict(tree: _BaseTree) -> dict:
-    """JSON-serializable representation (for on-device deployment)."""
+    """JSON-serializable representation (for on-device deployment).
 
-    def encode(node: Node) -> dict:
-        out = {
-            "feature": node.feature,
-            "threshold": node.threshold,
-            "value": node.value.tolist(),
-            "n_samples": node.n_samples,
-            "impurity": node.impurity,
-        }
-        if not node.is_leaf:
-            out["left"] = encode(node.left)
-            out["right"] = encode(node.right)
-        return out
-
+    Emits the flat array layout (see ``repro.core.tree.flat``) — the
+    same arrays the inference engine uses, so a deployment target can
+    mmap/load them without touching the linked-node form.
+    """
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
     kind = (
         "classifier" if isinstance(tree, DecisionTreeClassifier) else "regressor"
     )
@@ -126,12 +117,26 @@ def tree_to_dict(tree: _BaseTree) -> dict:
         meta["n_classes"] = tree.n_classes
     else:
         meta["n_outputs"] = getattr(tree, "n_outputs", 1)
-    return {"meta": meta, "root": encode(tree.root)}
+    return {"meta": meta, "format": "flat-v1", "arrays": tree.flat.to_arrays()}
 
 
 def tree_from_dict(data: dict) -> _BaseTree:
-    """Inverse of :func:`tree_to_dict`."""
+    """Inverse of :func:`tree_to_dict` (reads flat and legacy formats)."""
+    meta = data["meta"]
+    if meta["kind"] == "classifier":
+        tree: _BaseTree = DecisionTreeClassifier(n_classes=meta["n_classes"])
+    else:
+        tree = DecisionTreeRegressor()
+        tree.n_outputs = meta.get("n_outputs", 1)
+    tree.n_features = meta["n_features"]
 
+    if "arrays" in data:
+        flat = FlatTree.from_arrays(data["arrays"])
+        tree.root = flat.to_node()
+        tree._flat = flat
+        return tree
+
+    # Legacy nested format.
     def decode(obj: dict) -> Node:
         node = Node(
             feature=obj["feature"],
@@ -145,12 +150,6 @@ def tree_from_dict(data: dict) -> _BaseTree:
             node.right = decode(obj["right"])
         return node
 
-    meta = data["meta"]
-    if meta["kind"] == "classifier":
-        tree: _BaseTree = DecisionTreeClassifier(n_classes=meta["n_classes"])
-    else:
-        tree = DecisionTreeRegressor()
-        tree.n_outputs = meta.get("n_outputs", 1)
-    tree.n_features = meta["n_features"]
     tree.root = decode(data["root"])
+    tree.invalidate_flat()
     return tree

@@ -15,12 +15,20 @@ from repro.core.tree.cart import Node, _BaseTree
 
 
 def _subtree_stats(node: Node) -> Tuple[float, int]:
-    """(total leaf impurity, leaf count) of the subtree."""
-    if node.is_leaf:
-        return node.impurity, 1
-    left_r, left_n = _subtree_stats(node.left)
-    right_r, right_n = _subtree_stats(node.right)
-    return left_r + right_r, left_n + right_n
+    """(total leaf impurity, leaf count) of the subtree (iterative, so
+    degenerate chain trees deeper than the recursion limit are fine)."""
+    total_r = 0.0
+    total_n = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            total_r += current.impurity
+            total_n += 1
+        else:
+            stack.append(current.left)
+            stack.append(current.right)
+    return total_r, total_n
 
 
 def _weakest_link(node: Node) -> Tuple[float, Node]:
@@ -73,9 +81,13 @@ def prune_to_leaves(tree: _BaseTree, max_leaves: int) -> _BaseTree:
 
     pruned = copy.copy(tree)
     pruned.root = tree.root.copy()
+    # The shallow copy shares the original's flat arrays; drop them before
+    # mutating the node structure, then rebuild once pruning settles.
+    pruned.invalidate_flat()
     while _subtree_stats(pruned.root)[1] > max_leaves:
         _, node = _weakest_link(pruned.root)
         node.feature = -1
         node.left = None
         node.right = None
+    _ = pruned.flat  # rebuild eagerly so the engine is in sync
     return pruned

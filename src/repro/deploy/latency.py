@@ -103,3 +103,28 @@ def measure_wallclock_latency(
     for i in range(repeats):
         predict_fn(states[i % n:i % n + 1])
     return (time.perf_counter() - start) / repeats
+
+
+def measure_batch_throughput(
+    predict_fn,
+    states: np.ndarray,
+    repeats: int = 3,
+) -> float:
+    """Measured rows/second for one-shot batch prediction.
+
+    The serving-side counterpart of :func:`measure_wallclock_latency`:
+    the whole state matrix goes through ``predict_fn`` in a single call
+    (the flat-tree engine's vectorized path) and the best of ``repeats``
+    runs is reported, so transient interference does not understate
+    throughput.
+    """
+    states = np.atleast_2d(states)
+    if states.shape[0] == 0:
+        raise ValueError("states must contain at least one row")
+    predict_fn(states)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        predict_fn(states)
+        best = min(best, time.perf_counter() - start)
+    return states.shape[0] / best

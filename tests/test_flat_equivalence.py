@@ -1,0 +1,156 @@
+"""Property-style equivalence: the vectorized FlatTree engine must match
+the legacy node-walking traversal bit-for-bit.
+
+The legacy walkers (``_leaf_values_nodes``, ``_apply_nodes``,
+``_decision_path_length_nodes``) are kept in ``cart.py`` exactly as the
+seed wrote them, as the oracle for these tests: random classification
+and multi-output regression trees, weighted and unweighted, queried on
+in-distribution rows, perturbed rows, and NaN-laced rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    prune_to_leaves,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def _queries(rng, n_features):
+    """Query rows that stress the comparison semantics: training-like
+    values, large perturbations, exact-threshold-ish ties, and NaNs."""
+    q = rng.normal(size=(300, n_features))
+    q[:40] *= 10.0
+    q[40:60] = np.round(q[40:60], 1)  # encourage exact ties
+    q[60:70, 0] = np.nan  # NaN compares false -> must go right
+    return q
+
+
+def _assert_engines_match(tree, q):
+    assert np.array_equal(tree.apply(q), tree._apply_nodes(q))
+    # predict_proba / leaf values must be bit-for-bit, not just close.
+    assert np.array_equal(tree.predict_proba(q)
+                          if isinstance(tree, DecisionTreeClassifier)
+                          else tree._leaf_values(q),
+                          tree._leaf_values_nodes(q))
+    assert np.array_equal(
+        tree.decision_path_length(q), tree._decision_path_length_nodes(q)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("weighted", [False, True])
+def test_classifier_equivalence(seed, weighted):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(500, 6))
+    y = (
+        (x[:, 0] > 0).astype(int) * 2
+        + (x[:, 1] * x[:, 2] > 0.1).astype(int)
+        + (x[:, 3] > 0.5).astype(int)
+    )
+    w = rng.uniform(0.1, 5.0, size=500) if weighted else None
+    tree = DecisionTreeClassifier(max_leaf_nodes=64).fit(
+        x, y, sample_weight=w
+    )
+    q = _queries(rng, 6)
+    _assert_engines_match(tree, q)
+    legacy_classes = np.argmax(tree._leaf_values_nodes(q), axis=1)
+    assert np.array_equal(tree.predict(q), legacy_classes)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("weighted", [False, True])
+def test_regressor_multi_output_equivalence(seed, weighted):
+    rng = np.random.default_rng(100 + seed)
+    x = rng.normal(size=(400, 5))
+    y = np.stack(
+        [np.sin(x[:, 0]), x[:, 1] * x[:, 2], np.abs(x[:, 3])], axis=1
+    )
+    w = rng.uniform(0.05, 2.0, size=400) if weighted else None
+    tree = DecisionTreeRegressor(max_leaf_nodes=48).fit(
+        x, y, sample_weight=w
+    )
+    q = _queries(rng, 5)
+    _assert_engines_match(tree, q)
+    assert np.array_equal(tree.predict(q), tree._leaf_values_nodes(q))
+
+
+def test_pruned_tree_stays_equivalent(toy_classification):
+    x, y = toy_classification
+    tree = DecisionTreeClassifier(max_leaf_nodes=40).fit(x, y)
+    pruned = prune_to_leaves(tree, 6)
+    _assert_engines_match(pruned, x)
+    # Pruning a copy must not desync the original's flat engine either.
+    _assert_engines_match(tree, x)
+
+
+def test_deserialized_tree_equivalent(toy_classification):
+    x, y = toy_classification
+    tree = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y)
+    clone = tree_from_dict(tree_to_dict(tree))
+    assert np.array_equal(clone.predict(x), tree.predict(x))
+    assert np.array_equal(clone.apply(x), tree.apply(x))
+    _assert_engines_match(clone, x)
+
+
+def test_flat_ids_match_preorder(toy_classification):
+    """Flat node ids are the legacy ``iter_nodes`` preorder ids."""
+    x, y = toy_classification
+    tree = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y)
+    flat = tree.flat
+    for i, node in enumerate(tree.iter_nodes()):
+        expected = node.feature if not node.is_leaf else -1
+        assert flat.feature[i] == expected
+        assert flat.threshold[i] == node.threshold
+        assert np.array_equal(flat.value[i], node.value)
+
+
+def test_flat_structure_invariants(toy_classification):
+    x, y = toy_classification
+    flat = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y).flat
+    internal = flat.feature >= 0
+    assert np.all(flat.children_left[internal] > 0)
+    assert np.all(flat.children_right[internal] > 0)
+    assert np.all(flat.children_left[~internal] == -1)
+    assert np.all(flat.children_right[~internal] == -1)
+    assert flat.n_leaves + int(internal.sum()) == flat.node_count
+    # Preorder: the left child immediately follows its parent.
+    parents = np.nonzero(internal)[0]
+    assert np.array_equal(flat.children_left[parents], parents + 1)
+
+
+def test_deep_tree_uses_compacting_path():
+    """A degenerate chain deeper than the dense-walk cutoff still
+    matches the legacy traversal."""
+    from repro.core.tree import Node
+
+    depth = 200
+    # Chain: node at level i splits on x[0] < i + 0.5; left is a leaf
+    # predicting i, right continues down.
+    root = Node(feature=0, threshold=0.5, value=np.array([0.0]))
+    cur = root
+    for i in range(depth):
+        cur.left = Node(value=np.array([float(i)]))
+        last = i == depth - 1
+        cur.right = Node(
+            feature=-1 if last else 0,
+            threshold=float(i) + 1.5,
+            value=np.array([float(i + 1)]),
+        )
+        cur = cur.right
+    tree = DecisionTreeRegressor()
+    tree.n_features = 1
+    tree.n_outputs = 1
+    tree.root = root
+    assert tree.depth == depth  # deep enough for the compacting walk
+    rng = np.random.default_rng(9)
+    q = rng.uniform(-5.0, depth + 5.0, size=(300, 1))
+    _assert_engines_match(tree, q)
+    expected = np.clip(np.floor(q[:, 0] + 0.5), 0, depth)
+    assert np.array_equal(tree.predict(q), expected)

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.tree import (
     DecisionTreeClassifier,
     DecisionTreeRegressor,
+    Node,
     cost_complexity_path,
     prune_to_leaves,
     render_text,
@@ -74,8 +75,27 @@ class TestClassifier:
 
     def test_negative_weights_rejected(self, toy_classification):
         x, y = toy_classification
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="non-negative"):
             DecisionTreeClassifier().fit(x, y, sample_weight=-np.ones(len(y)))
+
+    def test_all_zero_weights_rejected(self, toy_classification):
+        x, y = toy_classification
+        with pytest.raises(ValueError, match="all be zero"):
+            DecisionTreeClassifier().fit(x, y, sample_weight=np.zeros(len(y)))
+
+    def test_nan_weights_rejected(self, toy_classification):
+        x, y = toy_classification
+        w = np.ones(len(y))
+        w[3] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            DecisionTreeClassifier().fit(x, y, sample_weight=w)
+
+    def test_weight_shape_mismatch_rejected(self, toy_classification):
+        x, y = toy_classification
+        with pytest.raises(ValueError, match="rows"):
+            DecisionTreeClassifier().fit(
+                x, y, sample_weight=np.ones(len(y) + 5)
+            )
 
     def test_constant_features_yield_stump(self):
         x = np.ones((50, 3))
@@ -237,3 +257,105 @@ class TestExport:
         tree = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y)
         lengths = tree.decision_path_length(x[:20])
         assert lengths.max() <= tree.depth
+
+
+def _degenerate_chain(depth: int) -> Node:
+    """A pathological chain tree ``depth`` internal nodes deep."""
+    root = Node(feature=0, threshold=0.5, value=np.array([1.0, 0.0]))
+    cur = root
+    for i in range(depth):
+        cur.left = Node(value=np.array([1.0, 0.0]))
+        last = i == depth - 1
+        cur.right = Node(
+            feature=-1 if last else 0,
+            threshold=float(i) + 1.5,
+            value=np.array([0.0, 1.0]),
+        )
+        cur = cur.right
+    return root
+
+
+class TestInputValidation:
+    """A transposed matrix must raise, not silently produce garbage."""
+
+    def test_predict_rejects_wrong_width(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(x.T)
+
+    def test_predict_proba_rejects_wrong_width(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict_proba(np.zeros((4, x.shape[1] + 2)))
+
+    def test_predict_one_rejects_wrong_length(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict_one(x[0][:3])
+
+    def test_apply_rejects_wrong_width(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.apply(x[:, :2])
+
+    def test_path_length_rejects_wrong_width(self, toy_classification):
+        x, y = toy_classification
+        tree = DecisionTreeClassifier(max_leaf_nodes=8).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.decision_path_length(x[:, :3])
+
+    def test_regressor_predict_rejects_wrong_width(self, toy_regression):
+        x, y = toy_regression
+        tree = DecisionTreeRegressor(max_leaf_nodes=8).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(x.T)
+
+
+class TestDeepTrees:
+    """Regression tests for recursion-limit crashes on degenerate trees."""
+
+    def test_node_copy_depth_2000(self):
+        # The old recursive Node.copy() blew Python's recursion limit
+        # well before depth 2000.
+        root = _degenerate_chain(2000)
+        clone = root.copy()
+        n_src = n_clone = 0
+        stack = [(root, clone)]
+        while stack:
+            a, b = stack.pop()
+            assert a is not b
+            assert a.feature == b.feature and a.threshold == b.threshold
+            n_src += 1
+            n_clone += 1
+            if not a.is_leaf:
+                stack.append((a.left, b.left))
+                stack.append((a.right, b.right))
+        assert n_src == n_clone == 2 * 2000 + 1
+
+    def test_copy_is_deep(self):
+        root = _degenerate_chain(3)
+        clone = root.copy()
+        clone.right.feature = 7
+        clone.right.value[0] = 99.0
+        assert root.right.feature == 0
+        assert root.right.value[0] == 0.0
+
+    def test_flat_engine_handles_depth_2000(self):
+        tree = DecisionTreeClassifier(n_classes=2)
+        tree.n_features = 1
+        tree.root = _degenerate_chain(2000)
+        assert tree.depth == 2000
+        assert tree.node_count == 2 * 2000 + 1
+        pred = tree.predict(np.array([[0.0], [1.0], [2500.0]]))
+        assert pred.tolist() == [0, 0, 1]
+
+    def test_pruning_handles_depth_2000(self):
+        tree = DecisionTreeClassifier(n_classes=2)
+        tree.n_features = 1
+        tree.root = _degenerate_chain(2000)
+        pruned = prune_to_leaves(tree, 10)
+        assert pruned.n_leaves <= 10
