@@ -1,0 +1,211 @@
+"""Micro-benchmark: tree *fitting* and DAgger *collection* throughput.
+
+PR 1 made tree inference ~20-35x faster, which left the §3.2 conversion
+loop dominated by (a) CART fitting — the seed re-argsorted every feature
+at every node — and (b) trace collection — one Python ``env.step`` and
+one single-state teacher query per chunk.  This benchmark guards the
+training-side engines that replaced both:
+
+* **fit**: 100k rows x 8 features, 200 leaves.  The ``presorted`` exact
+  engine (argsort once, bit-identical trees) must beat the seed's
+  ``legacy`` splitter; the ``hist`` engine (quantile bins, the
+  configured choice for large fits) is the >= 5x headline.
+* **rollout**: 64 lockstep ABR episodes with an MLP (Pensieve-shaped)
+  teacher against the seed's per-episode scalar loop, >= 5x.
+
+Results append to ``BENCH_fit.json`` at the repo root (same trajectory
+format as ``BENCH_tree.json``).  Set ``BENCH_REPORT_ONLY=1`` to record
+without asserting (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.distill.rollout import collect_teacher_dataset_batch
+from repro.core.distill.viper import collect_teacher_dataset
+from repro.core.tree import DecisionTreeClassifier
+from repro.envs.abr import ABREnv, Video
+from repro.envs.abr.env import STATE_DIM
+from repro.envs.traces import trace_set
+from repro.nn.policy import SoftmaxPolicy, ValueNet
+from repro.teachers.pensieve import PensieveTeacher
+from repro.utils.rng import as_rng
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_fit.json"
+
+N_ROWS = 100_000
+N_FEATURES = 8
+N_LEAVES = 200
+N_EPISODES = 64
+N_CHUNKS = 48
+
+REPORT_ONLY = bool(os.environ.get("BENCH_REPORT_ONLY"))
+
+#: Floors asserted locally (CI runs report-only).  The hist engine is
+#: the large-n headline; presorted is exact/bit-identical so its win is
+#: structurally smaller (it saves the per-node sorts, not the scans).
+MIN_FIT_SPEEDUP = 5.0
+MIN_PRESORTED_SPEEDUP = 1.3
+MIN_ROLLOUT_SPEEDUP = 5.0
+
+
+def _time(fn, repeats: int = 3) -> float:
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class _ScalarOnlyEnv:
+    """Hide ``as_batch`` so collection takes the seed's scalar path."""
+
+    def __init__(self, env: ABREnv) -> None:
+        self._env = env
+
+    def reset(self, rng=None):
+        return self._env.reset(rng)
+
+    def step(self, action):
+        return self._env.step(action)
+
+
+def _record(record: dict) -> None:
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    history.append(record)
+    BENCH_PATH.write_text(
+        json.dumps({"runs": history[-50:], "latest": record}, indent=2)
+        + "\n"
+    )
+
+
+def test_bench_tree_fit_and_rollout():
+    # ------------------------------------------------------------------
+    # fit: legacy vs presorted vs hist on the canonical workload
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(N_ROWS, N_FEATURES))
+    y = (
+        (x[:, 0] > 0).astype(int) * 3
+        + (x[:, 1] + x[:, 2] > 0.3).astype(int)
+        + (x[:, 3] > 1.0).astype(int) * 2
+    )
+
+    fitted = {}
+
+    def fit_with(splitter: str):
+        # Keep the last fitted tree so accuracy probes below reuse it
+        # instead of paying for an extra 100k-row fit per engine.
+        fitted[splitter] = DecisionTreeClassifier(
+            max_leaf_nodes=N_LEAVES, splitter=splitter
+        ).fit(x, y)
+        return fitted[splitter]
+
+    # Correctness before timing: presorted must reproduce legacy
+    # bit-for-bit on a subsample (the full suite lives in
+    # tests/test_splitter_equivalence.py).
+    sub = slice(0, 5_000)
+    t_legacy = DecisionTreeClassifier(
+        max_leaf_nodes=64, splitter="legacy"
+    ).fit(x[sub], y[sub])
+    t_presorted = DecisionTreeClassifier(
+        max_leaf_nodes=64, splitter="presorted"
+    ).fit(x[sub], y[sub])
+    assert np.array_equal(t_legacy.flat.threshold, t_presorted.flat.threshold)
+    assert np.array_equal(t_legacy.flat.value, t_presorted.flat.value)
+
+    legacy_s = _time(lambda: fit_with("legacy"), repeats=1)
+    presorted_s = _time(lambda: fit_with("presorted"), repeats=2)
+    hist_s = _time(lambda: fit_with("hist"), repeats=2)
+    hist_acc = float((fitted["hist"].predict(x) == y).mean())
+    exact_acc = float((fitted["presorted"].predict(x) == y).mean())
+
+    presorted_speedup = legacy_s / presorted_s
+    hist_speedup = legacy_s / hist_s
+
+    # ------------------------------------------------------------------
+    # rollout collection: scalar per-episode loop vs lockstep batch
+    # ------------------------------------------------------------------
+    video = Video.synthetic(n_chunks=N_CHUNKS, seed=7)
+    traces = trace_set("hsdpa", 16, duration_s=120, seed=8)
+    env = ABREnv(video, traces)
+    teacher = PensieveTeacher(
+        policy=SoftmaxPolicy(
+            STATE_DIM, env.n_actions, hidden=(64, 32), seed=as_rng(0)
+        ),
+        value=ValueNet(STATE_DIM, seed=as_rng(0)),
+    )
+    scalar_env = _ScalarOnlyEnv(ABREnv(video, traces))
+
+    ds_scalar = collect_teacher_dataset(scalar_env, teacher, 4, rng=1)
+    ds_batch = collect_teacher_dataset_batch(env, teacher, 4, rng=1)
+    assert np.array_equal(ds_scalar.states, ds_batch.states)
+    assert np.array_equal(ds_scalar.actions, ds_batch.actions)
+
+    scalar_s = _time(
+        lambda: collect_teacher_dataset(scalar_env, teacher, N_EPISODES,
+                                        rng=1),
+        repeats=3,
+    )
+    batch_s = _time(
+        lambda: collect_teacher_dataset_batch(env, teacher, N_EPISODES,
+                                              rng=1),
+        repeats=3,
+    )
+    rollout_speedup = scalar_s / batch_s
+    n_rollout_rows = N_EPISODES * N_CHUNKS
+
+    record = {
+        "benchmark": "tree_fit_and_rollout",
+        "fit": {
+            "n_rows": N_ROWS,
+            "n_features": N_FEATURES,
+            "n_leaves": N_LEAVES,
+            "legacy_s": legacy_s,
+            "presorted_s": presorted_s,
+            "hist_s": hist_s,
+            "presorted_speedup": presorted_speedup,
+            "hist_speedup": hist_speedup,
+            "fit_speedup": hist_speedup,  # headline: large-n engine
+            "hist_train_accuracy": hist_acc,
+            "exact_train_accuracy": exact_acc,
+        },
+        "rollout": {
+            "episodes": N_EPISODES,
+            "n_rows": n_rollout_rows,
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "scalar_rows_per_s": n_rollout_rows / scalar_s,
+            "batch_rows_per_s": n_rollout_rows / batch_s,
+            "rollout_speedup": rollout_speedup,
+        },
+    }
+    _record(record)
+
+    if REPORT_ONLY:
+        return
+    assert hist_speedup >= MIN_FIT_SPEEDUP, (
+        f"hist fit only {hist_speedup:.1f}x over the legacy splitter "
+        f"({hist_s:.2f}s vs {legacy_s:.2f}s)"
+    )
+    assert presorted_speedup >= MIN_PRESORTED_SPEEDUP, (
+        f"presorted fit only {presorted_speedup:.2f}x over the legacy "
+        f"splitter ({presorted_s:.2f}s vs {legacy_s:.2f}s)"
+    )
+    assert rollout_speedup >= MIN_ROLLOUT_SPEEDUP, (
+        f"batch collection only {rollout_speedup:.1f}x over the scalar "
+        f"loop ({batch_s*1e3:.0f}ms vs {scalar_s*1e3:.0f}ms)"
+    )

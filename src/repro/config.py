@@ -39,6 +39,12 @@ class MetisConfig:
         lambda2: determinism weight on ``H(W)`` (global systems, Eq. 8).
         dagger_iterations: teacher-student relabeling rounds (Step 1, §3.2).
         resample: whether to apply advantage resampling (Step 2, §3.2).
+        splitter: CART split-search engine — ``"presorted"`` (exact,
+            argsort-once; the default), ``"legacy"`` (exact, per-node
+            re-sorting; the seed algorithm kept as the equivalence
+            oracle), or ``"hist"`` (quantile-binned, approximate; the
+            fast choice for very large DAgger datasets).
+        hist_bins: bin budget per feature for the ``"hist"`` splitter.
     """
 
     leaf_nodes: int = PENSIEVE_LEAF_NODES
@@ -46,6 +52,8 @@ class MetisConfig:
     lambda2: float = ROUTENET_LAMBDA2
     dagger_iterations: int = 4
     resample: bool = True
+    splitter: str = "presorted"
+    hist_bins: int = 256
 
 
 #: Table 4 presets, keyed by the system name used throughout the paper.

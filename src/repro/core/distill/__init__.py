@@ -4,6 +4,11 @@ from repro.core.distill.dataset import (
     DistillDataset,
     oversample_rare_actions,
 )
+from repro.core.distill.rollout import (
+    collect_rollouts_batch,
+    collect_student_states_batch,
+    collect_teacher_dataset_batch,
+)
 from repro.core.distill.viper import (
     DistilledPolicy,
     DistilledRegressor,
@@ -18,6 +23,9 @@ __all__ = [
     "oversample_rare_actions",
     "DistilledPolicy",
     "DistilledRegressor",
+    "collect_rollouts_batch",
+    "collect_student_states_batch",
+    "collect_teacher_dataset_batch",
     "distill_from_env",
     "distill_from_dataset",
     "distill_regressor",

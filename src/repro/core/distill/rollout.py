@@ -1,0 +1,115 @@
+"""Vectorized DAgger rollout collection (lockstep batch episodes).
+
+The seed collected traces one episode at a time, one ``env.step`` and one
+policy query per chunk — thousands of single-row numpy dispatches per
+DAgger round.  This engine instead runs all requested episodes *in
+lockstep* on a batch environment (``env.as_batch(n)``): each wall-clock
+step advances every live episode at once and issues **one** batched
+policy call (``act_greedy_batch`` — for a distilled tree that is a single
+``FlatTree.predict``) across all live states.
+
+Ordering contract: the returned dataset lists episode 0's states in step
+order, then episode 1's, and so on — exactly the order the serial loop
+produced — and the batch environment draws its reset randomness per
+episode in episode order, so collection is bit-for-bit reproducible
+against the serial path under the same seed (``tests/test_rollout.py``
+pins this).
+
+Duck-typed requirements: the environment must expose ``as_batch(n)``
+(see :class:`repro.envs.abr.env.BatchABREnv` for the contract) and the
+policy a batched greedy query.  ``repro.core.distill.viper`` falls back
+to the scalar per-step loop when either half is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.core.distill.dataset import DistillDataset
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = [
+    "collect_rollouts_batch",
+    "collect_teacher_dataset_batch",
+    "collect_student_states_batch",
+]
+
+
+def collect_rollouts_batch(
+    env,
+    act_batch: Callable[[np.ndarray], np.ndarray],
+    episodes: int,
+    rng: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Roll ``episodes`` lockstep episodes greedily under ``act_batch``.
+
+    Args:
+        env: an environment exposing ``as_batch(n)``.
+        act_batch: maps a ``(m, state_dim)`` matrix of live states to
+            ``(m,)`` greedy actions; called once per lockstep step.
+        episodes: number of parallel episodes.
+        rng: seed or generator for the per-episode resets.
+
+    Returns:
+        ``(states, actions)`` in episode-major order (episode 0's steps
+        first), matching the serial collection loop's layout.
+    """
+    rng = as_rng(rng)
+    batch = env.as_batch(episodes)
+    obs = batch.reset(rng)
+    live = ~batch.done
+    step_states = []
+    step_actions = []
+    step_live = []
+    while live.any():
+        if live.all():
+            actions = np.asarray(act_batch(obs), dtype=int)
+        else:
+            actions = np.zeros(episodes, dtype=int)
+            actions[live] = np.asarray(act_batch(obs[live]), dtype=int)
+        step_states.append(obs)
+        step_actions.append(actions)
+        step_live.append(live)
+        obs, _, done, _ = batch.step(actions)
+        live = ~done
+    states = np.stack(step_states)  # (T, n, state_dim)
+    acts = np.stack(step_actions)  # (T, n)
+    mask = np.stack(step_live)  # (T, n)
+    # Re-interleave lockstep (step-major) records into episode-major
+    # order so batched and serial collection yield identical datasets.
+    states_out = np.concatenate(
+        [states[mask[:, e], e] for e in range(episodes)]
+    )
+    actions_out = np.concatenate(
+        [acts[mask[:, e], e] for e in range(episodes)]
+    )
+    return states_out, actions_out
+
+
+def collect_teacher_dataset_batch(
+    env,
+    teacher,
+    episodes: int,
+    rng: SeedLike = None,
+) -> DistillDataset:
+    """Batched Step-1 trace collection: teacher rollouts as a dataset."""
+    states, actions = collect_rollouts_batch(
+        env, teacher.act_greedy_batch, episodes, rng
+    )
+    return DistillDataset(states=states, actions=actions)
+
+
+def collect_student_states_batch(
+    env,
+    student,
+    episodes: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Batched DAgger visitation: states the student's greedy policy
+    reaches (to be relabeled by the teacher in one batched query)."""
+    states, _ = collect_rollouts_batch(
+        env, student.act_greedy_batch, episodes, rng
+    )
+    return states

@@ -26,6 +26,10 @@ import numpy as np
 
 from repro.config import MetisConfig
 from repro.core.distill.dataset import DistillDataset
+from repro.core.distill.rollout import (
+    collect_student_states_batch,
+    collect_teacher_dataset_batch,
+)
 from repro.core.tree.cart import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.core.tree.pruning import prune_to_leaves
 from repro.utils.rng import SeedLike, as_rng
@@ -78,21 +82,47 @@ class DistilledRegressor:
 
 
 # ----------------------------------------------------------------------
+def _greedy_step_fn(policy):
+    """Per-step greedy query for the scalar fallback loop.
+
+    Prefers the scalar hook; a policy that only exposes the batched
+    interface is queried one row at a time.
+    """
+    act = getattr(policy, "act_greedy", None)
+    if act is not None:
+        return lambda state: int(act(state))
+    act_batch = policy.act_greedy_batch
+    return lambda state: int(
+        np.asarray(act_batch(np.asarray(state, dtype=float)[None, :]))[0]
+    )
+
+
 def collect_teacher_dataset(
     env,
     teacher,
     episodes: int,
     rng: SeedLike = None,
 ) -> DistillDataset:
-    """Roll the teacher greedily and record its (state, action) pairs."""
+    """Roll the teacher greedily and record its (state, action) pairs.
+
+    When the environment supports lockstep batching (``as_batch``) and
+    the teacher exposes ``act_greedy_batch``, collection runs through the
+    vectorized rollout engine — one batched teacher query per step across
+    all live episodes.  The per-step scalar loop is only the fallback for
+    environments or teachers without a batched interface; either path
+    yields the identical dataset under the same seed.
+    """
     rng = as_rng(rng)
+    if hasattr(env, "as_batch") and hasattr(teacher, "act_greedy_batch"):
+        return collect_teacher_dataset_batch(env, teacher, episodes, rng)
+    step_fn = _greedy_step_fn(teacher)
     states: List[np.ndarray] = []
     actions: List[int] = []
     for _ in range(episodes):
         state = env.reset(rng)
         done = False
         while not done:
-            action = teacher.act_greedy(state)
+            action = step_fn(state)
             states.append(np.asarray(state, dtype=float))
             actions.append(action)
             state, _, done, _ = env.step(action)
@@ -107,8 +137,15 @@ def collect_student_states(
     episodes: int,
     rng: SeedLike = None,
 ) -> np.ndarray:
-    """Roll the student and record the states it visits (for relabeling)."""
+    """Roll the student and record the states it visits (for relabeling).
+
+    Dispatches to the vectorized rollout engine whenever the environment
+    is batchable (distilled students always expose a batched greedy
+    query — it is one ``FlatTree.predict`` call).
+    """
     rng = as_rng(rng)
+    if hasattr(env, "as_batch") and hasattr(student, "act_greedy_batch"):
+        return collect_student_states_batch(env, student, episodes, rng)
     states: List[np.ndarray] = []
     for _ in range(episodes):
         state = env.reset(rng)
@@ -185,6 +222,8 @@ def _fit_student(
         n_classes=n_actions,
         max_leaf_nodes=config.leaf_nodes,
         min_samples_leaf=2,
+        splitter=config.splitter,
+        hist_bins=config.hist_bins,
     )
     tree.fit(train.states, train.actions.astype(int), sample_weight=train.weights)
     return DistilledPolicy(tree=tree)
@@ -196,10 +235,13 @@ def distill_from_dataset(
     leaf_nodes: int = 200,
     n_classes: Optional[int] = None,
     prune_leaves: Optional[int] = None,
+    splitter: str = "presorted",
+    hist_bins: int = 256,
 ) -> DistilledPolicy:
     """Fit a classification tree to a recorded teacher dataset (lRLA)."""
     tree = DecisionTreeClassifier(
-        n_classes=n_classes, max_leaf_nodes=leaf_nodes, min_samples_leaf=2
+        n_classes=n_classes, max_leaf_nodes=leaf_nodes, min_samples_leaf=2,
+        splitter=splitter, hist_bins=hist_bins,
     )
     tree.fit(dataset.states, dataset.actions.astype(int),
              sample_weight=dataset.weights)
@@ -213,12 +255,15 @@ def distill_regressor(
     targets: np.ndarray,
     leaf_nodes: int = 200,
     sample_weight: Optional[np.ndarray] = None,
+    splitter: str = "presorted",
+    hist_bins: int = 256,
 ) -> DistilledRegressor:
     """Fit a (multi-output) regression tree to continuous teacher outputs
     (sRLA thresholds; the paper's regression-tree design for continuous
     outputs, §3.2 Step 3)."""
     tree = DecisionTreeRegressor(
-        max_leaf_nodes=leaf_nodes, min_samples_leaf=2
+        max_leaf_nodes=leaf_nodes, min_samples_leaf=2, splitter=splitter,
+        hist_bins=hist_bins,
     )
     tree.fit(states, targets, sample_weight=sample_weight)
     return DistilledRegressor(tree=tree)

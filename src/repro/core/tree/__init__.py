@@ -5,8 +5,10 @@ rendering).
 Two representations, two jobs:
 
 * **Linked ``Node`` objects** — the *build-time* structure.  Best-first
-  growth (``cart.py``) and weakest-link pruning (``pruning.py``) mutate
-  nodes in place; nothing else should traverse them on a hot path.
+  growth (``cart.py``, split search pluggable via ``splitter.py``:
+  presorted exact, legacy exact, or quantile-binned histogram) and
+  weakest-link pruning (``pruning.py``) mutate nodes in place; nothing
+  else should traverse them on a hot path.
 * **``FlatTree``** — the *inference engine*.  ``fit()`` flattens the
   finished tree into contiguous numpy arrays (sklearn ``tree_`` style)
   and every ``predict`` / ``predict_proba`` / ``apply`` /
@@ -43,15 +45,18 @@ from repro.core.tree.cart import (
 from repro.core.tree.flat import FlatTree
 from repro.core.tree.pruning import cost_complexity_path, prune_to_leaves
 from repro.core.tree.export import render_text, tree_to_dict, tree_from_dict
+from repro.core.tree.splitter import SPLITTERS, safe_midpoint
 
 __all__ = [
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
     "FlatTree",
     "Node",
+    "SPLITTERS",
     "cost_complexity_path",
     "prune_to_leaves",
     "render_text",
+    "safe_midpoint",
     "tree_to_dict",
     "tree_from_dict",
 ]

@@ -5,7 +5,11 @@ into are implemented here from scratch:
 
 * weighted Gini impurity (classification) / weighted variance (regression,
   summed over output dimensions);
-* exact best-split search per feature via sorted cumulative statistics;
+* pluggable split search (``repro.core.tree.splitter``): the default
+  **presorted** engine argsorts each feature once and propagates sorted
+  order to children; ``"legacy"`` re-sorts per node (the seed algorithm,
+  kept as the bit-for-bit oracle); ``"hist"`` bins features into
+  quantiles for large fits;
 * **best-first growth** bounded by ``max_leaf_nodes`` — the node with the
   largest impurity *decrease* is expanded next, which is what makes a
   200-leaf budget spend its leaves where the policy is complicated
@@ -24,6 +28,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.tree.flat import FlatTree
+from repro.core.tree.splitter import SPLITTERS, make_splitter
 
 
 @dataclass
@@ -85,21 +90,33 @@ class Node:
 class _BaseTree:
     """Shared growth/predict machinery; subclasses define the criterion."""
 
+    #: Whether the criterion reads the squared-statistic channel
+    #: (variance does, Gini does not — splitters skip it when unused).
+    _needs_sq = True
+
     def __init__(
         self,
         max_leaf_nodes: int = 200,
         min_samples_leaf: int = 2,
         min_impurity_decrease: float = 1e-12,
         max_depth: Optional[int] = None,
+        splitter: str = "presorted",
+        hist_bins: int = 256,
     ) -> None:
         if max_leaf_nodes < 2:
             raise ValueError("max_leaf_nodes must be at least 2")
         if min_samples_leaf < 1:
             raise ValueError("min_samples_leaf must be at least 1")
+        if splitter not in SPLITTERS:
+            raise ValueError(
+                f"unknown splitter {splitter!r}; expected one of {SPLITTERS}"
+            )
         self.max_leaf_nodes = max_leaf_nodes
         self.min_samples_leaf = min_samples_leaf
         self.min_impurity_decrease = min_impurity_decrease
         self.max_depth = max_depth
+        self.splitter = splitter
+        self.hist_bins = hist_bins
         self.root: Optional[Node] = None
         self.n_features: int = 0
         self._flat: Optional[FlatTree] = None
@@ -180,32 +197,36 @@ class _BaseTree:
                 )
         self.n_features = x.shape[1]
 
-        idx_all = np.arange(n)
-        root = self._make_node(targets, weights, idx_all)
+        engine = make_splitter(self.splitter, self, x, targets, weights)
+        root_handle = engine.root_handle()
+        root = self._make_node(targets, weights, engine.node_rows(root_handle))
         # Heap of candidate splits: (-impurity_decrease, tiebreak, ...).
         counter = itertools.count()
         heap: List[Tuple] = []
-        self._push_candidate(
-            heap, counter, x, targets, weights, idx_all, root, depth=0
-        )
+        self._push_candidate(heap, counter, engine, root_handle, root, depth=0)
         n_leaves = 1
         while heap and n_leaves < self.max_leaf_nodes:
-            neg_gain, _, node, split = heapq.heappop(heap)
+            neg_gain, _, node, handle, cand, depth = heapq.heappop(heap)
             if -neg_gain < self.min_impurity_decrease:
                 break
-            feature, threshold, left_idx, right_idx, depth = split
-            node.feature = feature
-            node.threshold = threshold
-            node.left = self._make_node(targets, weights, left_idx)
-            node.right = self._make_node(targets, weights, right_idx)
+            # Partition lazily: only nodes best-first growth actually
+            # expands pay for it (candidates that stay in the heap when
+            # the leaf budget runs out never partition anything).
+            left_handle, right_handle = engine.apply_split(handle, cand)
+            node.feature = cand.feature
+            node.threshold = cand.threshold
+            node.left = self._make_node(
+                targets, weights, engine.node_rows(left_handle)
+            )
+            node.right = self._make_node(
+                targets, weights, engine.node_rows(right_handle)
+            )
             n_leaves += 1
             self._push_candidate(
-                heap, counter, x, targets, weights, left_idx, node.left,
-                depth + 1,
+                heap, counter, engine, left_handle, node.left, depth + 1
             )
             self._push_candidate(
-                heap, counter, x, targets, weights, right_idx, node.right,
-                depth + 1,
+                heap, counter, engine, right_handle, node.right, depth + 1
             )
         self.root = root
         # Flatten once: the linked nodes stay as the build-time structure,
@@ -231,87 +252,21 @@ class _BaseTree:
         self,
         heap: List,
         counter,
-        x: np.ndarray,
-        targets: np.ndarray,
-        weights: np.ndarray,
-        idx: np.ndarray,
+        engine,
+        handle,
         node: Node,
         depth: int,
     ) -> None:
         if self.max_depth is not None and depth >= self.max_depth:
             return
-        if idx.size < 2 * self.min_samples_leaf:
+        if engine.n_node_samples(handle) < 2 * self.min_samples_leaf:
             return
-        best = self._best_split(x, targets, weights, idx, node)
-        if best is None:
+        cand = engine.find_split(handle, node)
+        if cand is None:
             return
-        gain, feature, threshold, left_idx, right_idx = best
         heapq.heappush(
-            heap,
-            (-gain, next(counter), node,
-             (feature, threshold, left_idx, right_idx, depth)),
+            heap, (-cand.gain, next(counter), node, handle, cand, depth)
         )
-
-    def _best_split(
-        self,
-        x: np.ndarray,
-        targets: np.ndarray,
-        weights: np.ndarray,
-        idx: np.ndarray,
-        node: Node,
-    ) -> Optional[Tuple[float, int, float, np.ndarray, np.ndarray]]:
-        """Exact best split over all features for the samples in ``idx``."""
-        xs = x[idx]
-        t = targets[idx]
-        w = weights[idx]
-        parent_impurity = node.impurity
-        best_gain = 0.0
-        best: Optional[Tuple[float, int, float, np.ndarray, np.ndarray]] = None
-        min_leaf = self.min_samples_leaf
-        for feature in range(self.n_features):
-            col = xs[:, feature]
-            order = np.argsort(col, kind="stable")
-            cs = col[order]
-            # Candidate boundaries: positions where the value changes.
-            diff = np.nonzero(cs[1:] > cs[:-1])[0]
-            if diff.size == 0:
-                continue
-            tw = t[order] * w[order, None]
-            cum_sum = np.cumsum(tw, axis=0)
-            cum_sq = np.cumsum((t[order]**2) * w[order, None], axis=0)
-            cum_w = np.cumsum(w[order])
-            total_sum = cum_sum[-1]
-            total_sq = cum_sq[-1]
-            total_w = cum_w[-1]
-            # Left side ends at position p (inclusive) for p in diff.
-            valid = diff[
-                (diff + 1 >= min_leaf) & (cs.size - diff - 1 >= min_leaf)
-            ]
-            if valid.size == 0:
-                continue
-            lw = cum_w[valid]
-            rw = total_w - lw
-            l_imp = self._impurity_vec(
-                cum_sum[valid], cum_sq[valid], lw
-            )
-            r_imp = self._impurity_vec(
-                total_sum - cum_sum[valid], total_sq - cum_sq[valid], rw
-            )
-            gains = parent_impurity - (l_imp + r_imp)
-            arg = int(np.argmax(gains))
-            if gains[arg] > best_gain:
-                p = valid[arg]
-                threshold = 0.5 * (cs[p] + cs[p + 1])
-                mask = col < threshold
-                best_gain = float(gains[arg])
-                best = (
-                    best_gain,
-                    feature,
-                    float(threshold),
-                    idx[mask],
-                    idx[~mask],
-                )
-        return best
 
     def _impurity_vec(
         self, sums: np.ndarray, sqs: np.ndarray, ws: np.ndarray
@@ -451,6 +406,8 @@ class _BaseTree:
 
 class DecisionTreeClassifier(_BaseTree):
     """Gini-impurity CART classifier; ``value`` is the class distribution."""
+
+    _needs_sq = False  # Gini never reads the squared-statistic channel
 
     def __init__(self, n_classes: Optional[int] = None, **kwargs) -> None:
         super().__init__(**kwargs)

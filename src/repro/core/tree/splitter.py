@@ -1,0 +1,518 @@
+"""Split-search engines for CART growth.
+
+Three engines behind one interface, selected by the tree's ``splitter``
+argument (and ``MetisConfig.splitter`` for the distillation loop):
+
+* ``"legacy"`` — the seed algorithm: every node re-argsorts every feature
+  column and allocates fresh cumulative-statistic arrays.  Kept verbatim
+  (modulo the midpoint bugfix below) as the *equivalence oracle* for the
+  presorted engine, mirroring how ``cart._leaf_values_nodes`` anchors the
+  flat inference engine.
+* ``"presorted"`` — the default.  Each feature is argsorted **once** at
+  the root; children inherit sorted order through a stable boolean-mask
+  partition of a shared order matrix (sklearn's splitter strategy), and
+  cumulative-statistic workspaces are preallocated once and reused by
+  every node.  Produces **bit-identical** trees to ``"legacy"``: same
+  sample order inside every node, same floating-point accumulation
+  order, same tie-breaking (first feature, first boundary).
+* ``"hist"`` — LightGBM-style histogram splitter for large fits: feature
+  values are quantized once into <= ``hist_bins`` quantile bins, and each
+  node scans per-bin weighted statistics (one ``bincount`` per feature)
+  instead of sorted prefixes.  Thresholds are bin edges, so trees are
+  approximate — use it when ``n`` is large and exactness is not needed.
+
+All engines share the node-handle protocol driven by ``_BaseTree.fit``:
+
+``root_handle()``          opaque handle for the full training set
+``node_rows(handle)``      ascending row indices of the node's samples
+``n_node_samples(handle)`` sample count (cheap, no materialization)
+``find_split(handle, node)``  best :class:`SplitCandidate` or ``None``
+``apply_split(handle, cand)`` partition into (left, right) handles
+
+``find_split`` is called when a node becomes a split *candidate* (heap
+push); ``apply_split`` only when best-first growth actually expands it
+(heap pop), so unexpanded leaves never pay for a partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SplitCandidate",
+    "ExactSplitter",
+    "PresortedSplitter",
+    "HistogramSplitter",
+    "SPLITTERS",
+    "make_splitter",
+    "safe_midpoint",
+]
+
+
+def safe_midpoint(lo: float, hi: float) -> float:
+    """A split threshold strictly inside ``(lo, hi]`` for ``lo < hi``.
+
+    ``0.5 * (lo + hi)`` can round *down* to ``lo`` when the two values are
+    adjacent floats (e.g. ``lo=1.0``, ``hi=np.nextafter(1.0, 2.0)``).  A
+    threshold equal to ``lo`` sends the boundary samples right under the
+    ``x < t`` convention, desynchronizing the realized partition from the
+    one whose gain was measured — in the worst case producing an *empty*
+    left child.  Clamp to the smallest float above ``lo`` instead.
+
+    Averaged as ``0.5*lo + 0.5*hi`` (not ``0.5*(lo + hi)``) so two huge
+    same-sign values cannot overflow the sum to ``inf``.
+    """
+    mid = 0.5 * lo + 0.5 * hi
+    if mid <= lo:
+        mid = np.nextafter(lo, hi)
+    elif mid > hi:  # denormal-rounding paranoia: stay inside (lo, hi]
+        mid = hi
+    return float(mid)
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """One proposed node split (payload is splitter-private)."""
+
+    gain: float
+    feature: int
+    threshold: float
+    payload: object = None
+
+
+class _SplitterBase:
+    """Shared state: training matrix, encoded targets, weights, criterion.
+
+    The *criterion* is the tree itself — splitters call its
+    ``_impurity_vec`` hook so Gini/variance stay defined in one place.
+    """
+
+    def __init__(
+        self,
+        tree,
+        x: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        self.tree = tree
+        self.x = x
+        self.targets = targets
+        self.weights = weights
+        self.n, self.n_features = x.shape
+        self.min_leaf = tree.min_samples_leaf
+        # True when every weight is exactly 1.0: multiplying by the weight
+        # column is then a bitwise no-op and can be skipped.
+        self.uniform_weights = bool(np.all(weights == 1.0))
+
+    def root_handle(self):
+        raise NotImplementedError
+
+    def node_rows(self, handle) -> np.ndarray:
+        raise NotImplementedError
+
+    def n_node_samples(self, handle) -> int:
+        raise NotImplementedError
+
+    def find_split(self, handle, node) -> Optional[SplitCandidate]:
+        raise NotImplementedError
+
+    def apply_split(self, handle, cand: SplitCandidate):
+        raise NotImplementedError
+
+
+class ExactSplitter(_SplitterBase):
+    """Per-node re-sorting exact search (the seed's ``_best_split``).
+
+    Handles are ascending row-index arrays.  Every call re-sorts every
+    feature column of the node — O(F·m log m) per node — which is exactly
+    why the presorted engine exists; this implementation is retained as
+    the bit-for-bit oracle (see ``tests/test_splitter_equivalence.py``).
+    """
+
+    def root_handle(self):
+        return np.arange(self.n)
+
+    def node_rows(self, handle) -> np.ndarray:
+        return handle
+
+    def n_node_samples(self, handle) -> int:
+        return int(handle.size)
+
+    def find_split(self, idx, node) -> Optional[SplitCandidate]:
+        x, targets, weights = self.x, self.targets, self.weights
+        xs = x[idx]
+        t = targets[idx]
+        w = weights[idx]
+        parent_impurity = node.impurity
+        best_gain = 0.0
+        best: Optional[SplitCandidate] = None
+        min_leaf = self.min_leaf
+        impurity_vec = self.tree._impurity_vec
+        for feature in range(self.n_features):
+            col = xs[:, feature]
+            order = np.argsort(col, kind="stable")
+            cs = col[order]
+            # Candidate boundaries: positions where the value changes.
+            diff = np.nonzero(cs[1:] > cs[:-1])[0]
+            if diff.size == 0:
+                continue
+            tw = t[order] * w[order, None]
+            cum_sum = np.cumsum(tw, axis=0)
+            cum_sq = np.cumsum((t[order] ** 2) * w[order, None], axis=0)
+            cum_w = np.cumsum(w[order])
+            total_sum = cum_sum[-1]
+            total_sq = cum_sq[-1]
+            total_w = cum_w[-1]
+            # Left side ends at position p (inclusive) for p in diff.
+            valid = diff[
+                (diff + 1 >= min_leaf) & (cs.size - diff - 1 >= min_leaf)
+            ]
+            if valid.size == 0:
+                continue
+            lw = cum_w[valid]
+            rw = total_w - lw
+            l_imp = impurity_vec(cum_sum[valid], cum_sq[valid], lw)
+            r_imp = impurity_vec(
+                total_sum - cum_sum[valid], total_sq - cum_sq[valid], rw
+            )
+            gains = parent_impurity - (l_imp + r_imp)
+            arg = int(np.argmax(gains))
+            if gains[arg] > best_gain:
+                p = valid[arg]
+                threshold = safe_midpoint(float(cs[p]), float(cs[p + 1]))
+                mask = col < threshold
+                best_gain = float(gains[arg])
+                best = SplitCandidate(
+                    gain=best_gain,
+                    feature=feature,
+                    threshold=threshold,
+                    payload=(idx[mask], idx[~mask]),
+                )
+        return best
+
+    def apply_split(self, idx, cand: SplitCandidate):
+        return cand.payload
+
+
+class PresortedSplitter(_SplitterBase):
+    """Argsort-once splitter with stable partition propagation.
+
+    State:
+
+    * ``order`` — an ``(F, n)`` matrix; row ``f`` holds all sample ids in
+      feature-``f`` sorted order, stably partitioned in place as nodes
+      split.  A node is a contiguous column range ``[a, b)`` shared by
+      every row.
+    * ``id_order`` — the same range structure but holding sample ids in
+      *ascending original order* inside each node, so node statistics are
+      accumulated in exactly the order the legacy splitter used (bitwise
+      reproducibility of impurities and leaf values).
+    * preallocated workspaces for the per-node cumulative statistics, so
+      steady-state fitting does no large allocations.
+
+    Bit-identity argument: a stable root argsort followed by stable
+    partitions yields, inside any node, the same permutation a stable
+    argsort of that node's rows would — values tie-broken by original row
+    index — so every prefix statistic matches the legacy engine float for
+    float, and identical tie-breaking picks identical splits.
+    """
+
+    def __init__(self, tree, x, targets, weights) -> None:
+        super().__init__(tree, x, targets, weights)
+        n, n_features = self.n, self.n_features
+        k = targets.shape[1]
+        # (F, n) sorted orders, contiguous rows for fast range slicing.
+        self.order = np.ascontiguousarray(
+            np.argsort(x, axis=0, kind="stable").T
+        )
+        self.id_order = np.arange(n)
+        # Contiguous per-feature value columns (gathers hit one cache line
+        # stream instead of striding across the row-major matrix).
+        self.xcols = np.ascontiguousarray(x.T)
+        self.needs_sq = getattr(tree, "_needs_sq", True)
+        # Workspaces reused by every find_split/apply_split call.
+        self._ws_val = np.empty(n)
+        self._ws_t = np.empty((n, k))
+        self._ws_tw = np.empty((n, k))
+        self._ws_cum = np.empty((n, k))
+        self._ws_w = np.empty(n)
+        self._ws_cw = np.empty(n)
+        if self.needs_sq:
+            self._ws_sq = np.empty((n, k))
+            self._ws_cumsq = np.empty((n, k))
+        # cumsum of unit weights is exact in float64: precompute once.
+        self._unit_cum = np.arange(1, n + 1, dtype=float)
+        self._left_mark = np.zeros(n, dtype=bool)
+
+    def root_handle(self):
+        return (0, self.n)
+
+    def node_rows(self, handle) -> np.ndarray:
+        a, b = handle
+        return self.id_order[a:b]
+
+    def n_node_samples(self, handle) -> int:
+        a, b = handle
+        return b - a
+
+    def find_split(self, handle, node) -> Optional[SplitCandidate]:
+        a, b = handle
+        m = b - a
+        parent_impurity = node.impurity
+        best_gain = 0.0
+        best: Optional[SplitCandidate] = None
+        min_leaf = self.min_leaf
+        impurity_vec = self.tree._impurity_vec
+        targets, weights = self.targets, self.weights
+        uniform = self.uniform_weights
+        for feature in range(self.n_features):
+            s = self.order[feature, a:b]
+            cs = np.take(self.xcols[feature], s, out=self._ws_val[:m])
+            diff = np.nonzero(cs[1:] > cs[:-1])[0]
+            if diff.size == 0:
+                continue
+            valid = diff[(diff + 1 >= min_leaf) & (m - diff - 1 >= min_leaf)]
+            if valid.size == 0:
+                continue
+            ts = np.take(targets, s, axis=0, out=self._ws_t[:m])
+            if uniform:
+                tw = ts  # t * 1.0 is bitwise t: skip the multiply
+                cum_w = self._unit_cum[:m]
+            else:
+                ws = np.take(weights, s, out=self._ws_w[:m])
+                tw = np.multiply(ts, ws[:, None], out=self._ws_tw[:m])
+                cum_w = np.cumsum(ws, out=self._ws_cw[:m])
+            cum_sum = np.cumsum(tw, axis=0, out=self._ws_cum[:m])
+            if self.needs_sq:
+                sq = np.multiply(ts, ts, out=self._ws_sq[:m])
+                if not uniform:
+                    sq = np.multiply(sq, ws[:, None], out=sq)
+                cum_sq = np.cumsum(sq, axis=0, out=self._ws_cumsq[:m])
+                total_sq = cum_sq[-1]
+                l_sq = cum_sq[valid]
+                r_sq = total_sq - l_sq
+            else:
+                # Gini never reads the squared channel; skip it entirely
+                # (the legacy engine computes it redundantly).
+                l_sq = r_sq = None
+            total_sum = cum_sum[-1]
+            total_w = cum_w[-1]
+            lw = cum_w[valid]
+            rw = total_w - lw
+            l_imp = impurity_vec(cum_sum[valid], l_sq, lw)
+            r_imp = impurity_vec(total_sum - cum_sum[valid], r_sq, rw)
+            gains = parent_impurity - (l_imp + r_imp)
+            arg = int(np.argmax(gains))
+            if gains[arg] > best_gain:
+                p = valid[arg]
+                best_gain = float(gains[arg])
+                best = SplitCandidate(
+                    gain=best_gain,
+                    feature=feature,
+                    threshold=safe_midpoint(float(cs[p]), float(cs[p + 1])),
+                )
+        return best
+
+    def apply_split(self, handle, cand: SplitCandidate):
+        a, b = handle
+        rows = self.id_order[a:b]
+        go_left = self.x[rows, cand.feature] < cand.threshold
+        n_left = int(np.count_nonzero(go_left))
+        mark = self._left_mark
+        mark[rows] = go_left
+        # Stable partition of every feature's order (and the identity
+        # order) inside [a, b): left block keeps sorted order, then right.
+        for f in range(self.n_features):
+            s = self.order[f, a:b].copy()
+            g = mark[s]
+            self.order[f, a:a + n_left] = s[g]
+            self.order[f, a + n_left:b] = s[~g]
+        rows = rows.copy()
+        self.id_order[a:a + n_left] = rows[go_left]
+        self.id_order[a + n_left:b] = rows[~go_left]
+        mark[rows] = False  # reset scratch for the next split
+        return (a, a + n_left), (a + n_left, b)
+
+
+class HistogramSplitter(_SplitterBase):
+    """Quantile-binned split search (LightGBM-style, approximate).
+
+    Feature values are quantized **once** into at most ``n_bins`` bins
+    whose edges are empirical quantiles of the training column.  A node's
+    split search then builds per-bin weighted statistics with one
+    ``bincount`` pass per feature — O(F·(m + bins·K)) per node, no
+    sorting — and scans bin boundaries as candidate thresholds.
+
+    Thresholds are bin *edges*, so by construction the comparison
+    ``x < threshold`` realizes exactly the scanned bin partition; trees
+    are approximate only in that intra-bin boundaries are never offered.
+    """
+
+    def __init__(self, tree, x, targets, weights, n_bins: int = 256) -> None:
+        super().__init__(tree, x, targets, weights)
+        if n_bins < 2:
+            raise ValueError("hist splitter needs at least 2 bins")
+        self.n_bins = n_bins
+        n, n_features = self.n, self.n_features
+        k = targets.shape[1]
+        self.classification = not getattr(tree, "_needs_sq", True)
+        self.edges = []
+        codes = np.empty((n_features, n), dtype=np.int64)
+        qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        for f in range(n_features):
+            col = x[:, f]
+            edges = np.unique(np.quantile(col, qs))
+            # Edges equal to the column minimum can never separate
+            # anything (empty left side) — drop them.
+            edges = edges[edges > col.min()]
+            self.edges.append(edges)
+            # code(x) = #edges <= x, so code(x) <= j  <=>  x < edges[j].
+            codes[f] = np.searchsorted(edges, col, side="right")
+        # One shared bin axis of width B (the widest feature); narrower
+        # features simply never populate their tail bins, and pad_valid
+        # masks their nonexistent boundaries out of the scan.
+        b = int(max(e.size for e in self.edges)) + 1 if n_features else 1
+        self.b = b
+        self.pad_valid = np.zeros((n_features, max(b - 1, 0)), dtype=bool)
+        for f in range(n_features):
+            self.pad_valid[f, : self.edges[f].size] = True
+        # Feature (and, for classification, class) offsets are baked into
+        # the code matrix so one node-level gather + bincount builds the
+        # joint histogram of every feature at once.
+        offsets = (np.arange(n_features, dtype=np.int64) * b)[:, None]
+        if self.classification:
+            self.codes_all = (codes + offsets) * k
+            self.labels = np.argmax(targets, axis=1)
+        else:
+            self.codes_all = codes + offsets
+
+    def root_handle(self):
+        return np.arange(self.n)
+
+    def node_rows(self, handle) -> np.ndarray:
+        return handle
+
+    def n_node_samples(self, handle) -> int:
+        return int(handle.size)
+
+    def find_split(self, idx, node) -> Optional[SplitCandidate]:
+        m = idx.size
+        n_features, b = self.n_features, self.b
+        if b < 2:
+            return None  # every feature is constant
+        k = self.targets.shape[1]
+        min_leaf = self.min_leaf
+        impurity_vec = self.tree._impurity_vec
+        uniform = self.uniform_weights
+        w_node = None if uniform else self.weights[idx]
+        keys = self.codes_all[:, idx]  # (F, m), offsets baked in
+        if self.classification:
+            flat = (keys + self.labels[idx]).ravel()
+            length = n_features * b * k
+            if uniform:
+                joint = np.bincount(flat, minlength=length)
+                joint = joint.reshape(n_features, b, k).astype(float)
+                hist_n = hist_w = joint.sum(axis=2)
+            else:
+                wtile = np.broadcast_to(w_node, (n_features, m)).ravel()
+                joint = np.bincount(
+                    flat, weights=wtile, minlength=length
+                ).reshape(n_features, b, k)
+                hist_n = np.bincount(flat, minlength=length)
+                hist_n = hist_n.reshape(n_features, b, k).sum(axis=2)
+                hist_w = joint.sum(axis=2)
+            hist_sq = None
+        else:
+            flat = keys.ravel()
+            length = n_features * b
+            hist_n = np.bincount(flat, minlength=length)
+            hist_n = hist_n.reshape(n_features, b).astype(float)
+            if uniform:
+                hist_w = hist_n
+                tw_node = self.targets[idx]
+            else:
+                wtile = np.broadcast_to(w_node, (n_features, m)).ravel()
+                hist_w = np.bincount(
+                    flat, weights=wtile, minlength=length
+                ).reshape(n_features, b)
+                tw_node = self.targets[idx] * w_node[:, None]
+            sq_w = self.targets[idx] * tw_node  # t^2 or w * t^2 per output
+            joint = np.empty((n_features, b, k))
+            hist_sq = np.empty((n_features, b, k))
+            for out_dim in range(k):
+                wt = np.broadcast_to(tw_node[:, out_dim], (n_features, m))
+                joint[:, :, out_dim] = np.bincount(
+                    flat, weights=wt.ravel(), minlength=length
+                ).reshape(n_features, b)
+                ws = np.broadcast_to(sq_w[:, out_dim], (n_features, m))
+                hist_sq[:, :, out_dim] = np.bincount(
+                    flat, weights=ws.ravel(), minlength=length
+                ).reshape(n_features, b)
+        # Split j of feature f keeps bins 0..j left (x < edges[f][j]).
+        cum_n = np.cumsum(hist_n[:, :-1], axis=1)  # (F, B-1)
+        valid = self.pad_valid & (cum_n >= min_leaf) & (m - cum_n >= min_leaf)
+        if not valid.any():
+            return None
+        cum_w = np.cumsum(hist_w[:, :-1], axis=1)
+        cum_sum = np.cumsum(joint[:, :-1, :], axis=1)  # (F, B-1, k)
+        total_w = hist_w.sum(axis=1)  # (F,)
+        total_sum = joint.sum(axis=1)  # (F, k)
+        shape = cum_w.shape
+        if hist_sq is not None:
+            cum_sq = np.cumsum(hist_sq[:, :-1, :], axis=1)
+            total_sq = hist_sq.sum(axis=1)
+            l_sq = cum_sq.reshape(-1, k)
+            r_sq = (total_sq[:, None, :] - cum_sq).reshape(-1, k)
+        else:
+            l_sq = r_sq = None
+        l_imp = impurity_vec(
+            cum_sum.reshape(-1, k), l_sq, cum_w.ravel()
+        ).reshape(shape)
+        r_imp = impurity_vec(
+            (total_sum[:, None, :] - cum_sum).reshape(-1, k),
+            r_sq,
+            (total_w[:, None] - cum_w).ravel(),
+        ).reshape(shape)
+        gains = node.impurity - (l_imp + r_imp)
+        gains[~valid] = -np.inf
+        best_flat = int(np.argmax(gains))  # row-major: lowest feature first
+        feature, j = divmod(best_flat, shape[1])
+        gain = float(gains[feature, j])
+        if gain <= 0.0:
+            return None
+        return SplitCandidate(
+            gain=gain,
+            feature=int(feature),
+            threshold=float(self.edges[feature][j]),
+        )
+
+    def apply_split(self, idx, cand: SplitCandidate):
+        mask = self.x[idx, cand.feature] < cand.threshold
+        return idx[mask], idx[~mask]
+
+
+SPLITTERS = ("legacy", "presorted", "hist")
+
+
+def make_splitter(
+    name: str,
+    tree,
+    x: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+) -> _SplitterBase:
+    """Instantiate the split engine ``name`` for one ``fit`` call."""
+    if name == "legacy":
+        return ExactSplitter(tree, x, targets, weights)
+    if name == "presorted":
+        return PresortedSplitter(tree, x, targets, weights)
+    if name == "hist":
+        return HistogramSplitter(
+            tree, x, targets, weights, n_bins=tree.hist_bins
+        )
+    raise ValueError(
+        f"unknown splitter {name!r}; expected one of {SPLITTERS}"
+    )

@@ -2,7 +2,7 @@
 
 from repro.envs.abr.video import Video, PENSIEVE_BITRATES_KBPS, CHUNK_SECONDS
 from repro.envs.abr.qoe import QoEMetric, LinearQoE
-from repro.envs.abr.env import ABREnv, ABRState, FEATURE_NAMES
+from repro.envs.abr.env import ABREnv, ABRState, BatchABREnv, FEATURE_NAMES
 from repro.envs.abr.baselines import (
     ABRPolicy,
     BufferBased,
@@ -22,6 +22,7 @@ __all__ = [
     "LinearQoE",
     "ABREnv",
     "ABRState",
+    "BatchABREnv",
     "FEATURE_NAMES",
     "ABRPolicy",
     "BufferBased",

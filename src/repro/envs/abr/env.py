@@ -199,6 +199,24 @@ class ABREnv:
         return self._observation(), reward, done, info
 
     # ------------------------------------------------------------------
+    def as_batch(self, n_envs: int) -> "BatchABREnv":
+        """A lockstep batch view of this environment's configuration.
+
+        The returned :class:`BatchABREnv` simulates ``n_envs``
+        independent sessions over the same video/trace set with array
+        state; drawing its reset randomness in episode order makes its
+        trajectories bit-identical to ``n_envs`` sequential episodes of
+        this environment under the same generator.
+        """
+        return BatchABREnv(
+            self.video,
+            self.traces,
+            qoe=self.qoe,
+            random_start=self.random_start,
+            n_envs=n_envs,
+        )
+
+    # ------------------------------------------------------------------
     def upcoming_sizes_kbits(self, horizon: int) -> np.ndarray:
         """Sizes of the next ``horizon`` chunks, shape ``(h, n_bitrates)``.
 
@@ -250,3 +268,241 @@ class ABREnv:
             (self.video.n_chunks - self._chunk) / self.video.n_chunks
         )
         return vec
+
+
+class BatchABREnv:
+    """``n_envs`` independent ABR sessions stepped in lockstep.
+
+    All per-session state lives in arrays indexed by episode, and
+    ``step`` advances every live session with vectorized operations —
+    the trace drain loop iterates over 1-second slots *across* episodes
+    instead of once per episode.  Per-episode arithmetic is the same
+    float64 sequence as :class:`ABREnv`, so a batch rollout reproduces
+    ``n_envs`` sequential serial rollouts bit for bit (the equivalence
+    is pinned by ``tests/test_rollout.py``).
+
+    Finished sessions ignore further ``step`` calls (their reward is 0
+    and their observation frozen) so ragged episode lengths need no
+    padding logic in callers.
+
+    Args:
+        video: the chunked video being streamed (shared by all sessions).
+        traces: candidate bandwidth traces; ``reset`` samples one per
+            session.
+        qoe: per-chunk reward metric (batched via ``reward_batch``).
+        random_start: whether sessions start at random trace offsets.
+        n_envs: number of parallel sessions.
+    """
+
+    def __init__(
+        self,
+        video: Video,
+        traces: Sequence[BandwidthTrace],
+        qoe: QoEMetric = None,
+        random_start: bool = True,
+        n_envs: int = 1,
+    ) -> None:
+        if not traces:
+            raise ValueError("at least one trace is required")
+        if n_envs < 1:
+            raise ValueError("n_envs must be at least 1")
+        self.video = video
+        self.traces = list(traces)
+        self.qoe = qoe if qoe is not None else LinearQoE()
+        self.random_start = random_start
+        self.n_envs = n_envs
+        # Trace table: one padded row per trace, plus per-trace duration
+        # (indexing is always modulo the true duration, so the padding is
+        # never read).
+        max_len = max(tr.bandwidths_kbps.size for tr in self.traces)
+        # Goodput-scaled up front: the serial path computes
+        # ``bandwidth_at(t) * GOODPUT_RATIO`` per slot; scaling each table
+        # entry once is the same two-operand product, so per-slot values
+        # stay bit-identical while the hot loop saves a multiply.
+        self._bw_goodput = np.zeros((len(self.traces), max_len))
+        for i, tr in enumerate(self.traces):
+            self._bw_goodput[i, : tr.bandwidths_kbps.size] = (
+                tr.bandwidths_kbps * GOODPUT_RATIO
+            )
+        self._durations = np.asarray([tr.duration for tr in self.traces])
+        self._ladder = np.asarray(video.bitrates_kbps, dtype=float)
+        n = n_envs
+        self._trace_ids = np.zeros(n, dtype=int)
+        self._time = np.zeros(n)
+        self._buffer = np.zeros(n)
+        self._chunk = np.zeros(n, dtype=int)
+        self._last_level = np.zeros(n, dtype=int)
+        self._throughputs = np.zeros((n, HISTORY))
+        self._download_times = np.zeros((n, HISTORY))
+        self._finished = np.ones(n, dtype=bool)  # reset() must run first
+
+    # ------------------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        return self.video.n_bitrates
+
+    @property
+    def done(self) -> np.ndarray:
+        """Per-session finished flags (copy)."""
+        return self._finished.copy()
+
+    def reset(self, rng: SeedLike = None) -> np.ndarray:
+        """Start ``n_envs`` sessions; returns observations ``(n, 25)``.
+
+        The trace choice and start offset are drawn *per episode in
+        episode order* — the same generator sequence ``n_envs``
+        back-to-back ``ABREnv.reset`` calls would consume — which is
+        what makes batch and serial rollouts comparable seed for seed.
+        """
+        rng = as_rng(rng)
+        for i in range(self.n_envs):
+            tid = int(rng.integers(len(self.traces)))
+            self._trace_ids[i] = tid
+            self._time[i] = (
+                float(rng.uniform(0.0, self._durations[tid]))
+                if self.random_start
+                else 0.0
+            )
+        self._buffer[...] = 0.0
+        self._chunk[...] = 0
+        self._last_level[...] = 0
+        self._throughputs[...] = 0.0
+        self._download_times[...] = 0.0
+        self._finished[...] = False
+        return self._observations()
+
+    def step(
+        self, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, dict]:
+        """Advance every live session one chunk download.
+
+        Args:
+            actions: ladder indices, shape ``(n_envs,)``; entries for
+                finished sessions are ignored.
+
+        Returns:
+            ``(observations, rewards, done, info)`` where rewards of
+            finished sessions are 0 and ``info`` holds per-session
+            arrays (meaningful at live positions only).
+        """
+        if self._finished.all() and self._chunk.max() == 0:
+            raise RuntimeError("reset() must be called first")
+        actions = np.asarray(actions, dtype=int)
+        if actions.shape != (self.n_envs,):
+            raise ValueError(
+                f"actions must have shape ({self.n_envs},), "
+                f"got {actions.shape}"
+            )
+        n = self.n_envs
+        # Fast path: while no session has finished (always, for equal
+        # length episodes) basic slices replace fancy-index copies.
+        if not self._finished.any():
+            live = slice(None)
+            live_ids = np.arange(n)
+            n_live = n
+        else:
+            live = np.nonzero(~self._finished)[0]
+            live_ids = live
+            n_live = live.size
+        rewards = np.zeros(n)
+        info = {}
+        if n_live:
+            acts = actions[live]
+            if acts.min() < 0 or acts.max() >= self.n_actions:
+                raise ValueError("action out of range")
+            # Copy: on the slice path this would otherwise alias
+            # ``self._chunk`` and silently advance with it below.
+            chunks = self._chunk[live].copy()
+            size_kbits = self.video.sizes_kbits[chunks, acts]
+            download_time = self._simulate_download(size_kbits, live)
+
+            buf = self._buffer[live]
+            rebuffer = np.maximum(0.0, download_time - buf)
+            buf = np.maximum(buf - download_time, 0.0)
+            buf = buf + self.video.chunk_seconds
+            over = buf > MAX_BUFFER_SECONDS
+            idle = np.where(over, buf - MAX_BUFFER_SECONDS, 0.0)
+            self._time[live] += idle
+            buf = np.minimum(buf, MAX_BUFFER_SECONDS)
+            self._buffer[live] = buf
+
+            throughput_mbps = (size_kbits / 1000.0) / np.maximum(
+                download_time, 1e-9
+            )
+            self._throughputs[live, :-1] = self._throughputs[live, 1:]
+            self._throughputs[live, -1] = throughput_mbps
+            self._download_times[live, :-1] = self._download_times[live, 1:]
+            self._download_times[live, -1] = download_time
+
+            bitrate = self._ladder[acts]
+            last_bitrate = self._ladder[self._last_level[live]]
+            rewards[live] = self.qoe.reward_batch(
+                bitrate, last_bitrate, rebuffer
+            )
+
+            self._last_level[live] = acts
+            self._chunk[live] = chunks + 1
+            self._finished[live] = self._chunk[live] >= self.video.n_chunks
+            info = {
+                "bitrate_kbps": bitrate,
+                "rebuffer_s": rebuffer,
+                "buffer_s": buf,
+                "download_time_s": download_time,
+                "throughput_mbps": throughput_mbps,
+                "chunk": chunks,
+                "episodes": live_ids,
+            }
+        return self._observations(), rewards, self.done, info
+
+    # ------------------------------------------------------------------
+    def _simulate_download(
+        self, size_kbits: np.ndarray, live: np.ndarray
+    ) -> np.ndarray:
+        """Drain ``size_kbits`` for the ``live`` sessions; returns seconds.
+
+        Same slot-by-slot arithmetic as ``ABREnv._simulate_download``,
+        but one iteration advances *every* still-draining session one
+        trace slot, so the Python-level loop count is the slowest
+        session's slot count instead of the sum over sessions.
+        """
+        tr = self._trace_ids[live]  # ``live`` is an index array or slice
+        dur = self._durations[tr]
+        remaining = np.asarray(size_kbits, dtype=float).copy()
+        elapsed = np.full(tr.shape[0], RTT_SECONDS)
+        t = self._time[live] + RTT_SECONDS
+        active = remaining > 0.0
+        while active.any():
+            slot_idx = (t % dur).astype(np.int64)
+            bw = self._bw_goodput[tr, slot_idx]
+            slot_left = 1.0 - (t % 1.0)
+            can_send = bw * slot_left
+            finish = can_send >= remaining
+            # Masked arithmetic instead of np.where chains: a finishing
+            # session drains ``remaining`` to exactly 0.0 (x - x), an
+            # inactive one advances by exactly 0.0 — per-element values
+            # match the serial branchy updates bit for bit.
+            advance = np.where(finish, remaining / bw, slot_left)
+            advance *= active
+            elapsed += advance
+            t += advance
+            send = np.where(finish, remaining, can_send)
+            remaining -= send * active
+            active = remaining > 0.0
+        self._time[live] = t
+        return elapsed
+
+    def _observations(self) -> np.ndarray:
+        obs = np.zeros((self.n_envs, STATE_DIM))
+        obs[:, IDX_LAST_BITRATE] = self._ladder[self._last_level] / 1000.0
+        obs[:, IDX_BUFFER] = self._buffer
+        obs[:, THROUGHPUT_SLICE] = self._throughputs
+        obs[:, DOWNLOAD_TIME_SLICE] = self._download_times
+        in_video = self._chunk < self.video.n_chunks
+        if np.any(in_video):
+            obs[np.nonzero(in_video)[0], NEXT_SIZES_SLICE] = (
+                self.video.sizes_kbits[self._chunk[in_video]] / 8.0 / 1000.0
+            )
+        obs[:, IDX_CHUNKS_LEFT] = (
+            (self.video.n_chunks - self._chunk) / self.video.n_chunks
+        )
+        return obs

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 class QoEMetric:
     """Interface: per-chunk reward given bitrate decisions and stalls."""
@@ -23,6 +25,27 @@ class QoEMetric:
         rebuffer_seconds: float,
     ) -> float:
         raise NotImplementedError
+
+    def reward_batch(
+        self,
+        bitrate_kbps: np.ndarray,
+        last_bitrate_kbps: np.ndarray,
+        rebuffer_seconds: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized rewards for many parallel sessions.
+
+        The generic fallback loops over the scalar hook so any custom
+        metric works with the batch environment; metrics with arithmetic
+        reward shapes should override with array operations.
+        """
+        return np.asarray([
+            self.reward(float(b), float(lb), float(r))
+            for b, lb, r in zip(
+                np.asarray(bitrate_kbps, dtype=float),
+                np.asarray(last_bitrate_kbps, dtype=float),
+                np.asarray(rebuffer_seconds, dtype=float),
+            )
+        ])
 
 
 @dataclass(frozen=True)
@@ -48,6 +71,26 @@ class LinearQoE(QoEMetric):
         quality = bitrate_kbps / 1000.0
         stall = self.rebuffer_penalty * rebuffer_seconds
         smooth = self.smoothness_penalty * abs(
+            bitrate_kbps - last_bitrate_kbps
+        ) / 1000.0
+        return quality - stall - smooth
+
+    def reward_batch(
+        self,
+        bitrate_kbps: np.ndarray,
+        last_bitrate_kbps: np.ndarray,
+        rebuffer_seconds: np.ndarray,
+    ) -> np.ndarray:
+        """Elementwise QoE_lin — the same float arithmetic as ``reward``,
+        so batched rollouts reproduce serial rewards bit for bit."""
+        bitrate_kbps = np.asarray(bitrate_kbps, dtype=float)
+        last_bitrate_kbps = np.asarray(last_bitrate_kbps, dtype=float)
+        rebuffer_seconds = np.asarray(rebuffer_seconds, dtype=float)
+        if np.any(rebuffer_seconds < 0):
+            raise ValueError("rebuffer time cannot be negative")
+        quality = bitrate_kbps / 1000.0
+        stall = self.rebuffer_penalty * rebuffer_seconds
+        smooth = self.smoothness_penalty * np.abs(
             bitrate_kbps - last_bitrate_kbps
         ) / 1000.0
         return quality - stall - smooth

@@ -140,6 +140,18 @@ class AutoTeacher:
         """Greedy priorities for natural-unit lRLA states."""
         return np.argmax(self.lrla_probabilities(states), axis=1)
 
+    # -- generic teacher protocol (lRLA head) ---------------------------
+    # The distillation machinery (DistillDataset.from_policy, the batch
+    # rollout engine, agreement_with) speaks act_greedy/act_greedy_batch;
+    # expose the per-flow lRLA decision under those names so AuTO's
+    # classification head can be relabeled and rolled batched like
+    # Pensieve.
+    def act_greedy(self, state: np.ndarray) -> int:
+        return int(self.lrla_greedy(np.atleast_2d(state))[0])
+
+    def act_greedy_batch(self, states: np.ndarray) -> np.ndarray:
+        return self.lrla_greedy(states)
+
     def fit_lrla_q(
         self, states: np.ndarray, actions: np.ndarray, rewards: np.ndarray
     ) -> QEstimator:

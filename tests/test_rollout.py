@@ -1,0 +1,228 @@
+"""Equivalence and dispatch tests for the vectorized rollout engine.
+
+The lockstep batch environment (``BatchABREnv``) and the batched
+collection helpers must reproduce the serial per-episode loops **bit for
+bit** under the same seed: identical observations, rewards, and dataset
+row order.  ``collect_teacher_dataset`` / ``collect_student_states``
+must route through the batch engine whenever both halves support it and
+fall back to the scalar loop (including batched-only teachers queried
+one row at a time) otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MetisConfig
+from repro.core.distill import distill_from_env
+from repro.core.distill.rollout import (
+    collect_student_states_batch,
+    collect_teacher_dataset_batch,
+)
+from repro.core.distill.viper import (
+    collect_student_states,
+    collect_teacher_dataset,
+)
+from repro.envs.abr import ABREnv, BatchABREnv
+from repro.utils.rng import as_rng
+
+
+class _RuleTeacher:
+    """Deterministic teacher: bitrate follows the buffer level."""
+
+    n_actions = 6
+
+    def act_greedy(self, state):
+        return int(np.clip(state[1] / 5.0, 0, 5))
+
+    def act_greedy_batch(self, states):
+        return np.clip(states[:, 1] / 5.0, 0, 5).astype(int)
+
+
+class _BatchOnlyTeacher:
+    """Teacher exposing only the batched interface."""
+
+    n_actions = 6
+
+    def act_greedy_batch(self, states):
+        return np.clip(states[:, 1] / 5.0, 0, 5).astype(int)
+
+
+class _ScalarOnlyTeacher:
+    n_actions = 6
+
+    def act_greedy(self, state):
+        return int(np.clip(state[1] / 5.0, 0, 5))
+
+
+class _NoBatchEnv:
+    """Env wrapper hiding ``as_batch`` (forces the scalar path)."""
+
+    def __init__(self, env):
+        self._env = env
+
+    def reset(self, rng=None):
+        return self._env.reset(rng)
+
+    def step(self, action):
+        return self._env.step(action)
+
+
+# ----------------------------------------------------------------------
+# batch environment vs serial environment
+# ----------------------------------------------------------------------
+class TestBatchABREnv:
+    def test_fixed_action_trajectories_bit_identical(
+        self, tiny_video, tiny_traces
+    ):
+        n_eps = 4
+        serial_env = ABREnv(tiny_video, tiny_traces)
+        rng = as_rng(11)
+        serial_obs, serial_rewards = [], []
+        for ep in range(n_eps):
+            state = serial_env.reset(rng)
+            done, step = False, 0
+            while not done:
+                serial_obs.append(state)
+                state, reward, done, _ = serial_env.step((step + ep) % 6)
+                serial_rewards.append(reward)
+                step += 1
+
+        batch = ABREnv(tiny_video, tiny_traces).as_batch(n_eps)
+        obs = batch.reset(as_rng(11))
+        batch_obs = [[] for _ in range(n_eps)]
+        batch_rewards = [[] for _ in range(n_eps)]
+        step = 0
+        while not batch.done.all():
+            live = ~batch.done
+            actions = np.array([(step + ep) % 6 for ep in range(n_eps)])
+            for ep in np.nonzero(live)[0]:
+                batch_obs[ep].append(obs[ep])
+            obs, rewards, _, _ = batch.step(actions)
+            for ep in np.nonzero(live)[0]:
+                batch_rewards[ep].append(rewards[ep])
+            step += 1
+
+        assert np.array_equal(
+            np.asarray(serial_obs),
+            np.concatenate([np.asarray(o) for o in batch_obs]),
+        )
+        assert np.array_equal(
+            np.asarray(serial_rewards),
+            np.concatenate([np.asarray(r) for r in batch_rewards]),
+        )
+
+    def test_finished_sessions_are_frozen(self, tiny_env):
+        batch = tiny_env.as_batch(2)
+        batch.reset(rng=0)
+        n_chunks = tiny_env.video.n_chunks
+        for _ in range(n_chunks):
+            obs, rewards, done, _ = batch.step(np.zeros(2, dtype=int))
+        assert done.all()
+        frozen = obs.copy()
+        obs2, rewards2, done2, _ = batch.step(np.zeros(2, dtype=int))
+        assert np.array_equal(obs2, frozen)
+        assert np.all(rewards2 == 0.0)
+        assert done2.all()
+
+    def test_step_before_reset_rejected(self, tiny_video, tiny_traces):
+        batch = BatchABREnv(tiny_video, tiny_traces, n_envs=2)
+        with pytest.raises(RuntimeError, match="reset"):
+            batch.step(np.zeros(2, dtype=int))
+
+    def test_bad_action_shape_rejected(self, tiny_env):
+        batch = tiny_env.as_batch(3)
+        batch.reset(rng=0)
+        with pytest.raises(ValueError, match="shape"):
+            batch.step(np.zeros(2, dtype=int))
+
+    def test_out_of_range_action_rejected(self, tiny_env):
+        batch = tiny_env.as_batch(2)
+        batch.reset(rng=0)
+        with pytest.raises(ValueError, match="range"):
+            batch.step(np.array([0, 99]))
+
+
+# ----------------------------------------------------------------------
+# batched collection vs the serial loops
+# ----------------------------------------------------------------------
+class TestBatchedCollection:
+    def test_teacher_dataset_matches_scalar_loop(self, tiny_env):
+        teacher = _RuleTeacher()
+        scalar = collect_teacher_dataset(
+            _NoBatchEnv(tiny_env), teacher, 5, rng=3
+        )
+        batched = collect_teacher_dataset(tiny_env, teacher, 5, rng=3)
+        assert np.array_equal(scalar.states, batched.states)
+        assert np.array_equal(scalar.actions, batched.actions)
+
+    def test_student_states_match_scalar_loop(self, tiny_env):
+        student = distill_from_env(
+            tiny_env,
+            _RuleTeacher(),
+            MetisConfig(leaf_nodes=20, dagger_iterations=1, resample=False),
+            episodes_per_iteration=3,
+            seed=0,
+        )
+        scalar = collect_student_states(
+            _NoBatchEnv(tiny_env), student, 4, rng=7
+        )
+        batched = collect_student_states(tiny_env, student, 4, rng=7)
+        assert np.array_equal(scalar, batched)
+
+    def test_dispatch_uses_batch_engine(self, tiny_env):
+        teacher = _RuleTeacher()
+        direct = collect_teacher_dataset_batch(tiny_env, teacher, 3, rng=9)
+        routed = collect_teacher_dataset(tiny_env, teacher, 3, rng=9)
+        assert np.array_equal(direct.states, routed.states)
+        assert np.array_equal(direct.actions, routed.actions)
+
+    def test_batch_only_teacher_works_on_scalar_path(self, tiny_env):
+        """A teacher with only ``act_greedy_batch`` must still collect on
+        a non-batchable env (queried one row at a time)."""
+        ds = collect_teacher_dataset(
+            _NoBatchEnv(tiny_env), _BatchOnlyTeacher(), 2, rng=1
+        )
+        assert len(ds) == 2 * tiny_env.video.n_chunks
+        reference = collect_teacher_dataset(
+            tiny_env, _BatchOnlyTeacher(), 2, rng=1
+        )
+        assert np.array_equal(ds.states, reference.states)
+        assert np.array_equal(ds.actions, reference.actions)
+
+    def test_scalar_only_teacher_falls_back(self, tiny_env):
+        """No batched query at all: the per-step loop must still run."""
+        ds = collect_teacher_dataset(tiny_env, _ScalarOnlyTeacher(), 2, rng=1)
+        assert len(ds) == 2 * tiny_env.video.n_chunks
+        reference = collect_teacher_dataset(tiny_env, _RuleTeacher(), 2, rng=1)
+        assert np.array_equal(ds.states, reference.states)
+        assert np.array_equal(ds.actions, reference.actions)
+
+    def test_student_batch_helper_orders_episode_major(self, tiny_env):
+        student = distill_from_env(
+            tiny_env,
+            _RuleTeacher(),
+            MetisConfig(leaf_nodes=16, dagger_iterations=1, resample=False),
+            episodes_per_iteration=2,
+            seed=2,
+        )
+        states = collect_student_states_batch(tiny_env, student, 3, rng=5)
+        n_chunks = tiny_env.video.n_chunks
+        assert states.shape == (3 * n_chunks, 25)
+        # Episode boundaries restart the chunks-left counter at 1.0.
+        chunks_left = states[:, -1]
+        starts = np.nonzero(chunks_left == 1.0)[0]
+        assert list(starts) == [0, n_chunks, 2 * n_chunks]
+
+    def test_distill_loop_runs_through_batch_engine(self, tiny_env):
+        """End-to-end DAgger with batching everywhere still converges."""
+        teacher = _RuleTeacher()
+        student = distill_from_env(
+            tiny_env,
+            teacher,
+            MetisConfig(leaf_nodes=50, dagger_iterations=2, resample=False),
+            episodes_per_iteration=6,
+            seed=0,
+        )
+        ds = collect_teacher_dataset(tiny_env, teacher, 3, rng=9)
+        agreement = (student.act_greedy_batch(ds.states) == ds.actions).mean()
+        assert agreement > 0.9

@@ -1,0 +1,224 @@
+"""Property-style equivalence: the presorted split engine must grow
+bit-for-bit the same trees as the legacy per-node re-sorting engine.
+
+Mirrors ``tests/test_flat_equivalence.py``: the legacy exact splitter
+(``splitter="legacy"``, the seed's ``_best_split`` algorithm) is kept in
+``repro.core.tree.splitter`` exactly for this role — random
+classification and multi-output regression problems, weighted and
+unweighted, must produce identical structure, thresholds, leaf values,
+node weights, and impurities.  The histogram splitter is approximate by
+design, so it only gets sanity coverage (budget, accuracy, edge cases).
+
+Also holds the regression test for the degenerate-midpoint bug: the
+seed's ``0.5 * (cs[p] + cs[p+1])`` threshold can round down to
+``cs[p]`` for adjacent floats, silently producing an empty child.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    SPLITTERS,
+    safe_midpoint,
+)
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def _flat_arrays(tree):
+    flat = tree.flat
+    return {
+        "feature": flat.feature,
+        "threshold": flat.threshold,
+        "children_left": flat.children_left,
+        "children_right": flat.children_right,
+        "value": flat.value,
+        "n_samples": flat.n_samples,
+        "impurity": flat.impurity,
+    }
+
+
+def _assert_identical_trees(a, b):
+    fa, fb = _flat_arrays(a), _flat_arrays(b)
+    assert fa["feature"].size == fb["feature"].size
+    for key in fa:
+        # Bit-for-bit: thresholds, values, impurities — not just close.
+        assert np.array_equal(fa[key], fb[key]), f"{key} differs"
+
+
+def _classification_problem(seed, n=500, n_features=6):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, n_features))
+    y = (
+        (x[:, 0] > 0).astype(int) * 2
+        + (x[:, 1] * x[:, 2] > 0.1).astype(int)
+        + (x[:, 3] > 0.5).astype(int)
+    )
+    return rng, x, y
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("weighted", [False, True])
+def test_classifier_presorted_matches_legacy(seed, weighted):
+    rng, x, y = _classification_problem(seed)
+    w = rng.uniform(0.1, 5.0, size=x.shape[0]) if weighted else None
+    legacy = DecisionTreeClassifier(max_leaf_nodes=64, splitter="legacy")
+    presorted = DecisionTreeClassifier(max_leaf_nodes=64, splitter="presorted")
+    _assert_identical_trees(
+        legacy.fit(x, y, sample_weight=w),
+        presorted.fit(x, y, sample_weight=w),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("weighted", [False, True])
+def test_regressor_presorted_matches_legacy(seed, weighted):
+    rng = np.random.default_rng(100 + seed)
+    x = rng.normal(size=(400, 5))
+    y = np.stack(
+        [np.sin(x[:, 0]), x[:, 1] * x[:, 2], np.abs(x[:, 3])], axis=1
+    )
+    w = rng.uniform(0.05, 2.0, size=400) if weighted else None
+    legacy = DecisionTreeRegressor(max_leaf_nodes=48, splitter="legacy")
+    presorted = DecisionTreeRegressor(max_leaf_nodes=48, splitter="presorted")
+    _assert_identical_trees(
+        legacy.fit(x, y, sample_weight=w),
+        presorted.fit(x, y, sample_weight=w),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_duplicated_values_tie_handling(seed):
+    """Heavy value duplication stresses the stable-partition ordering:
+    equal feature values must keep ascending-row tie order in both
+    engines for the prefix statistics to match."""
+    rng = np.random.default_rng(200 + seed)
+    x = np.round(rng.normal(size=(400, 4)), 1)  # many exact duplicates
+    y = ((x[:, 0] > 0) * 2 + (x[:, 1] > 0.2)).astype(int)
+    w = rng.uniform(0.5, 1.5, size=400)
+    legacy = DecisionTreeClassifier(max_leaf_nodes=32, splitter="legacy")
+    presorted = DecisionTreeClassifier(max_leaf_nodes=32, splitter="presorted")
+    _assert_identical_trees(
+        legacy.fit(x, y, sample_weight=w),
+        presorted.fit(x, y, sample_weight=w),
+    )
+
+
+def test_presorted_respects_constraints(toy_classification):
+    x, y = toy_classification
+    tree = DecisionTreeClassifier(
+        max_leaf_nodes=200, min_samples_leaf=50, splitter="presorted"
+    ).fit(x, y)
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            assert node.n_samples >= 50
+    deep = DecisionTreeClassifier(
+        max_leaf_nodes=64, max_depth=2, splitter="presorted"
+    ).fit(x, y)
+    assert deep.depth <= 2
+
+
+# ----------------------------------------------------------------------
+# histogram splitter (approximate by design: sanity, not bit-equality)
+# ----------------------------------------------------------------------
+def test_hist_solves_axis_aligned(toy_classification):
+    # Bin edges are quantiles, so the exact class boundary may fall
+    # strictly inside a bin: near-perfect, not perfect, is the contract.
+    x, y = toy_classification
+    tree = DecisionTreeClassifier(max_leaf_nodes=8, splitter="hist").fit(x, y)
+    assert (tree.predict(x) == y).mean() > 0.98
+
+
+def test_hist_respects_leaf_budget(toy_classification):
+    x, y = toy_classification
+    tree = DecisionTreeClassifier(max_leaf_nodes=3, splitter="hist").fit(x, y)
+    assert tree.n_leaves <= 3
+
+
+def test_hist_min_samples_leaf(toy_classification):
+    x, y = toy_classification
+    tree = DecisionTreeClassifier(
+        max_leaf_nodes=200, min_samples_leaf=50, splitter="hist"
+    ).fit(x, y)
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            assert node.n_samples >= 50
+
+
+def test_hist_regression_close_to_exact():
+    rng = np.random.default_rng(5)
+    x = rng.uniform(-2, 2, size=(2000, 4))
+    y = np.stack([np.sign(x[:, 0]), (x[:, 1] > 0.3).astype(float)], axis=1)
+    exact = DecisionTreeRegressor(max_leaf_nodes=32).fit(x, y)
+    hist = DecisionTreeRegressor(max_leaf_nodes=32, splitter="hist").fit(x, y)
+    rmse_exact = np.sqrt(((exact.predict(x) - y) ** 2).mean())
+    rmse_hist = np.sqrt(((hist.predict(x) - y) ** 2).mean())
+    assert rmse_hist <= rmse_exact + 0.05
+
+
+def test_hist_weighted_fit_steers_predictions(toy_classification):
+    x, y = toy_classification
+    w = np.where(y == 3, 1000.0, 0.001)
+    tree = DecisionTreeClassifier(max_leaf_nodes=2, splitter="hist").fit(
+        x, y, sample_weight=w
+    )
+    assert (tree.predict(x) == 3).mean() > 0.4
+
+
+def test_hist_constant_features_yield_stump():
+    x = np.ones((50, 3))
+    y = np.array([0, 1] * 25)
+    tree = DecisionTreeClassifier(max_leaf_nodes=10, splitter="hist").fit(x, y)
+    assert tree.n_leaves == 1
+
+
+def test_hist_bins_floor_validated():
+    with pytest.raises(ValueError, match="bins"):
+        DecisionTreeClassifier(splitter="hist", hist_bins=1).fit(
+            np.zeros((4, 1)), np.array([0, 1, 0, 1])
+        )
+
+
+def test_unknown_splitter_rejected():
+    with pytest.raises(ValueError, match="splitter"):
+        DecisionTreeClassifier(splitter="bogus")
+    assert set(SPLITTERS) == {"legacy", "presorted", "hist"}
+
+
+# ----------------------------------------------------------------------
+# degenerate-midpoint regression (the satellite bugfix)
+# ----------------------------------------------------------------------
+def test_safe_midpoint_adjacent_floats():
+    lo, hi = 1.0, np.nextafter(1.0, 2.0)
+    assert 0.5 * (lo + hi) == lo  # the original bug's precondition
+    mid = safe_midpoint(lo, hi)
+    assert lo < mid <= hi
+
+
+def test_safe_midpoint_huge_values_do_not_overflow():
+    # 0.5 * (lo + hi) would overflow the sum to inf and send every
+    # sample left; the halved-operand form must stay finite.
+    lo, hi = 9e307, 1.2e308
+    assert lo + hi == np.inf
+    mid = safe_midpoint(lo, hi)
+    assert np.isfinite(mid)
+    assert lo < mid <= hi
+
+
+@pytest.mark.parametrize("splitter", ["legacy", "presorted"])
+def test_adjacent_float_split_keeps_children_nonempty(splitter):
+    """``0.5 * (a + b)`` rounds down to ``a`` for adjacent floats; the
+    seed then produced an empty left child (every row failed
+    ``x < a``).  Both exact engines must realize the measured split."""
+    hi = np.nextafter(1.0, 2.0)
+    x = np.array([[1.0], [1.0], [hi], [hi]])
+    y = np.array([0, 0, 1, 1])
+    tree = DecisionTreeClassifier(
+        max_leaf_nodes=2, min_samples_leaf=1, splitter=splitter
+    ).fit(x, y)
+    assert not tree.root.is_leaf
+    assert tree.root.left.n_samples == 2
+    assert tree.root.right.n_samples == 2
+    assert np.array_equal(tree.predict(x), y)
