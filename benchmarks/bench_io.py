@@ -1,0 +1,27 @@
+"""Shared ``BENCH_*.json`` trajectory recording for the micro-benchmarks.
+
+Every benchmark appends its latest record to a rolling history (so
+speedups stay comparable across PRs) and mirrors it under ``latest``.
+One implementation here keeps the format in sync across
+``BENCH_tree.json``, ``BENCH_fit.json``, and ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def record_run(path: Path, record: dict, keep: int = 50) -> None:
+    """Append ``record`` to the trajectory file at ``path``."""
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    history.append(record)
+    path.write_text(
+        json.dumps({"runs": history[-keep:], "latest": record}, indent=2)
+        + "\n"
+    )

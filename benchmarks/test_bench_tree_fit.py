@@ -20,12 +20,13 @@ without asserting (CI smoke mode).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
+
+from bench_io import record_run
 
 from repro.core.distill.rollout import collect_teacher_dataset_batch
 from repro.core.distill.viper import collect_teacher_dataset
@@ -76,20 +77,6 @@ class _ScalarOnlyEnv:
 
     def step(self, action):
         return self._env.step(action)
-
-
-def _record(record: dict) -> None:
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text()).get("runs", [])
-        except (json.JSONDecodeError, AttributeError):
-            history = []
-    history.append(record)
-    BENCH_PATH.write_text(
-        json.dumps({"runs": history[-50:], "latest": record}, indent=2)
-        + "\n"
-    )
 
 
 def test_bench_tree_fit_and_rollout():
@@ -193,7 +180,7 @@ def test_bench_tree_fit_and_rollout():
             "rollout_speedup": rollout_speedup,
         },
     }
-    _record(record)
+    record_run(BENCH_PATH, record)
 
     if REPORT_ONLY:
         return

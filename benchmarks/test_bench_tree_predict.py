@@ -12,13 +12,13 @@ Set ``BENCH_REPORT_ONLY=1`` to record without asserting (CI smoke mode).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from bench_io import record_run
 from repro.core.tree import DecisionTreeClassifier
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_tree.json"
@@ -81,17 +81,7 @@ def test_bench_tree_predict():
         "flat_batch_rows_per_s": flat_rows_s,
         "speedup": speedup,
     }
-    history = []
-    if BENCH_PATH.exists():
-        try:
-            history = json.loads(BENCH_PATH.read_text()).get("runs", [])
-        except (json.JSONDecodeError, AttributeError):
-            history = []
-    history.append(record)
-    BENCH_PATH.write_text(
-        json.dumps({"runs": history[-50:], "latest": record}, indent=2)
-        + "\n"
-    )
+    record_run(BENCH_PATH, record)
 
     if os.environ.get("BENCH_REPORT_ONLY"):
         return

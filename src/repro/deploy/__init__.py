@@ -8,6 +8,7 @@ from repro.deploy.latency import (
     decision_latency_dnn,
     decision_latency_tree,
     measure_wallclock_latency,
+    serving_latency_report,
 )
 from repro.deploy.resources import (
     dnn_bundle_bytes,
@@ -25,6 +26,7 @@ __all__ = [
     "decision_latency_dnn",
     "decision_latency_tree",
     "measure_wallclock_latency",
+    "serving_latency_report",
     "dnn_bundle_bytes",
     "tree_bundle_bytes",
     "page_load_seconds",

@@ -9,13 +9,17 @@ takes ~2.3 ms, and a tree compiled onto a Netronome SmartNIC answers in
   calibrated to the paper's reported absolute numbers, so experiments can
   reproduce the reported *ratios* on modeled hardware, and
 * **wall-clock micro-benchmarks** of our own numpy MLP vs tree
-  implementations, which measure the same asymmetry directly.
+  implementations, which measure the same asymmetry directly, and
+* a **measured-mode report** (:func:`serving_latency_report`) sourcing
+  throughput and tail-latency percentiles from a live
+  :class:`~repro.serve.server.PolicyServer` next to the modeled numbers.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -103,6 +107,69 @@ def measure_wallclock_latency(
     for i in range(repeats):
         predict_fn(states[i % n:i % n + 1])
     return (time.perf_counter() - start) / repeats
+
+
+def serving_latency_report(
+    server,
+    model: str,
+    tree: Optional[_BaseTree] = None,
+    net: Optional[MLP] = None,
+) -> List[dict]:
+    """§6.4 report in *measured* mode: live server metrics next to the
+    ``DeviceProfile`` model numbers.
+
+    Args:
+        server: a live :class:`repro.serve.server.PolicyServer` (anything
+            with a ``metrics()`` snapshot), or the snapshot dict itself.
+        model: canonical model name to read measured percentiles for.
+        tree: optional tree to add modeled server/SmartNIC rows for.
+        net: optional MLP to add the modeled DNN-server row for.
+
+    Returns:
+        Rows of ``{"source", "model", "mean_ms", "p50_ms", "p95_ms",
+        "p99_ms", "throughput_rps", "requests"}`` — measured first, then
+        the modeled profiles (modeled rows have no percentiles or
+        throughput: the cost model is a constant per decision).
+    """
+    snapshot = server.metrics() if hasattr(server, "metrics") else dict(server)
+    if model not in snapshot:
+        raise KeyError(
+            f"model {model!r} has no recorded serving metrics; "
+            f"known: {sorted(snapshot)}"
+        )
+    stats = snapshot[model]
+    latency_ms = stats["latency_ms"]
+    rows = [{
+        "source": "measured",
+        "model": model,
+        "mean_ms": latency_ms["mean"],
+        "p50_ms": latency_ms["p50"],
+        "p95_ms": latency_ms["p95"],
+        "p99_ms": latency_ms["p99"],
+        "throughput_rps": stats["throughput_rps"],
+        "requests": stats["requests"],
+    }]
+
+    def modeled(label: str, seconds: float) -> dict:
+        return {
+            "source": "modeled",
+            "model": label,
+            "mean_ms": seconds * 1e3,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+            "throughput_rps": None,
+            "requests": None,
+        }
+
+    if net is not None:
+        rows.append(modeled(SERVER_DNN.name, decision_latency_dnn(net)))
+    if tree is not None:
+        rows.append(modeled(SERVER_TREE.name, decision_latency_tree(tree)))
+        rows.append(modeled(
+            SMARTNIC_TREE.name, decision_latency_tree(tree, SMARTNIC_TREE)
+        ))
+    return rows
 
 
 def measure_batch_throughput(

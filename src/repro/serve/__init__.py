@@ -1,0 +1,31 @@
+"""Production policy serving (§6.4's "same serving stack" made real).
+
+The subsystem turns compiled policies into a served system:
+
+* :class:`PolicyArtifact` — immutable servable bundle (flat tree arrays
+  or MLP teacher) with a content hash;
+* :class:`ModelRegistry` — versioned names + aliases, atomic publish,
+  zero-downtime hot-swap;
+* :class:`MicroBatcher` — coalesces concurrent single-state requests
+  into one batched predict per flush;
+* :class:`PolicyServer` — the futures-based front door with per-model
+  throughput/latency/batch/error metrics;
+* :mod:`repro.serve.loadgen` — ABR / flows / routing trace-replay load
+  generators (imported lazily; it pulls in the simulators).
+"""
+
+from repro.serve.artifact import PolicyArtifact
+from repro.serve.batcher import MicroBatcher, ServeResult
+from repro.serve.registry import ModelRegistry, ResolvedModel
+from repro.serve.server import PolicyServer, ServeError, ServerMetrics
+
+__all__ = [
+    "PolicyArtifact",
+    "MicroBatcher",
+    "ServeResult",
+    "ModelRegistry",
+    "ResolvedModel",
+    "PolicyServer",
+    "ServeError",
+    "ServerMetrics",
+]

@@ -1,0 +1,351 @@
+"""Microbatching scheduler: coalesce single-state requests into batches.
+
+The same trick that made DAgger rollout collection 6.4x faster (one
+``act_greedy_batch`` per step across all live episodes, PR 2) applied at
+the serving boundary: concurrent single-state requests queue up, a
+dedicated worker drains them into one ``predict_batch`` call per model
+per flush, and completes each request's future individually.
+
+Flush policy (the two standard knobs):
+
+* ``max_batch`` — flush as soon as this many requests are gathered;
+* ``max_delay_s`` — flush when the *oldest* gathered request has waited
+  this long, even if the batch is short.  The deadline is anchored at
+  enqueue time, so under sustained load the worker never waits — the
+  backlog that accumulated during the previous flush is already past its
+  deadline and drains immediately.
+
+Robustness at the boundary (the batcher thread must survive anything a
+request can throw at it):
+
+* mis-shaped / non-numeric / non-finite states are rejected per request
+  with a structured :class:`ServeResult` error — they never reach numpy
+  broadcasting where they could kill the worker and stall every queued
+  future;
+* a ``predict_batch`` that raises fails only the requests of that batch
+  group, again structurally;
+* ``close()`` flushes everything still queued before returning — no
+  future is ever dropped.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.registry import ModelRegistry
+
+#: Error kinds a request can fail with (recorded in metrics).
+ERR_UNKNOWN_MODEL = "unknown_model"
+ERR_BAD_INPUT = "bad_input"
+ERR_BAD_SHAPE = "bad_shape"
+ERR_NON_FINITE = "non_finite"
+ERR_PREDICT = "predict_error"
+ERR_BAD_OUTPUT = "bad_output"
+
+
+class ServeResult(NamedTuple):
+    """Outcome of one serving request (futures resolve to this).
+
+    A NamedTuple rather than a dataclass: one is built per served
+    request on the batcher's hot path, and tuple construction is the
+    cheapest structured record Python has.
+
+    Attributes:
+        ok: whether a decision was produced.
+        action: the decision — an int for discrete policies, a float or
+            array for regression policies; None on error.
+        model: canonical model name that (would have) served the request.
+        version: registry version that served it (0 when unresolved).
+        error: error kind (one of the ``ERR_*`` constants) or None.
+        detail: human-readable error detail.
+        latency_s: enqueue-to-completion latency measured server-side.
+    """
+
+    ok: bool
+    action: Any
+    model: str
+    version: int
+    error: Optional[str] = None
+    detail: str = ""
+    latency_s: float = 0.0
+
+
+class _Request:
+    __slots__ = ("model", "state", "future", "enqueued")
+
+    def __init__(self, model: str, state: Any) -> None:
+        self.model = model
+        self.state = state
+        self.future: Future = Future()
+        self.enqueued = time.perf_counter()
+
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Single worker thread draining a request queue into batched predicts.
+
+    Args:
+        registry: model registry requests are resolved against (once per
+            model per flush — the hot-swap granularity).
+        metrics: optional sink with ``record(model, version, latency_s,
+            error=None)`` and ``record_group(model, version, latencies)``
+            methods (see :class:`repro.serve.server.ServerMetrics`).
+        max_batch: flush threshold (requests per flush).
+        max_delay_s: max time the oldest request may wait for co-batching
+            (0 disables coalescing waits — flush whatever is queued).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        metrics: Any = None,
+        max_batch: int = 64,
+        max_delay_s: float = 2e-3,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.registry = registry
+        self.metrics = metrics
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._closed = False
+        # Guards the closed-flag/enqueue pair: submit must win or lose
+        # against close() atomically, so an accepted request is always
+        # enqueued before the stop sentinel (zero dropped futures).
+        self._submit_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- client side -----------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def submit(self, model: str, state: Any) -> "Future[ServeResult]":
+        """Enqueue one request; the returned future resolves to a
+        :class:`ServeResult` (never an exception — errors are data)."""
+        request = _Request(model=model, state=state)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.put(request)
+        return request.future
+
+    def close(self) -> None:
+        """Stop the worker; every already-submitted request completes."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_STOP)
+        if self._thread is None:
+            self._drain_remaining()
+            return
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker side -----------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            batch, saw_stop = self._gather()
+            if batch:
+                self._flush(batch)
+            if saw_stop:
+                self._drain_remaining()
+                return
+
+    def _gather(self) -> Tuple[List[_Request], bool]:
+        """Collect one batch: first item blocks, the rest race the
+        oldest item's deadline."""
+        try:
+            first = self._queue.get(timeout=0.05)
+        except queue.Empty:
+            return [], False
+        if first is _STOP:
+            return [], True
+        batch = [first]
+        deadline = first.enqueued + self.max_delay_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _drain_remaining(self) -> None:
+        leftover: List[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                leftover.append(item)
+        for start in range(0, len(leftover), self.max_batch):
+            self._flush(leftover[start:start + self.max_batch])
+
+    def _flush(self, batch: List[_Request]) -> None:
+        by_ref: Dict[str, List[_Request]] = {}
+        for request in batch:
+            by_ref.setdefault(request.model, []).append(request)
+        # All references resolve in one registry critical section, then
+        # requests regroup by the *resolved* (name, version): an alias
+        # and its canonical name co-batch into one predict, and a
+        # concurrent publish can never split one flush across versions.
+        resolutions = self.registry.resolve_many(by_ref)
+        groups: Dict[Tuple[str, int], Tuple[Any, List[_Request]]] = {}
+        for ref, requests in by_ref.items():
+            resolved = resolutions[ref]
+            if resolved is None:
+                for request in requests:
+                    self._complete_error(
+                        request, ref, 0, ERR_UNKNOWN_MODEL,
+                        f"unknown model {ref!r}",
+                    )
+                continue
+            key = (resolved.name, resolved.version)
+            if key in groups:
+                groups[key][1].extend(requests)
+            else:
+                groups[key] = (resolved, list(requests))
+        for resolved, requests in groups.values():
+            self._flush_group(resolved, requests)
+
+    def _flush_group(self, resolved, requests: List[_Request]) -> None:
+        artifact = resolved.artifact
+        shaped: List[_Request] = []
+        rows: List[np.ndarray] = []
+        for request in requests:
+            row, error, detail = _validate_state(request.state, artifact)
+            if error is not None:
+                self._complete_error(
+                    request, resolved.name, resolved.version, error, detail
+                )
+            else:
+                shaped.append(request)
+                rows.append(row)
+        if not shaped:
+            return
+        x = np.stack(rows)
+        # One vectorized finiteness sweep for the whole batch: a poisoned
+        # row is rejected individually, its batchmates proceed.
+        finite = np.isfinite(x).all(axis=1)
+        if finite.all():
+            valid = shaped
+        else:
+            valid = []
+            for keep, request in zip(finite, shaped):
+                if keep:
+                    valid.append(request)
+                else:
+                    self._complete_error(
+                        request, resolved.name, resolved.version,
+                        ERR_NON_FINITE,
+                        "state contains NaN or infinite entries",
+                    )
+            if not valid:
+                return
+            x = x[finite]
+        try:
+            out = np.asarray(artifact.predict_batch(x))
+        except Exception as exc:  # noqa: BLE001 - boundary must survive
+            for request in valid:
+                self._complete_error(
+                    request, resolved.name, resolved.version,
+                    ERR_PREDICT, f"{type(exc).__name__}: {exc}",
+                )
+            return
+        if out.shape[:1] != (len(valid),):
+            for request in valid:
+                self._complete_error(
+                    request, resolved.name, resolved.version, ERR_BAD_OUTPUT,
+                    f"predict_batch returned shape {out.shape} for "
+                    f"{len(valid)} requests",
+                )
+            return
+        now = time.perf_counter()
+        latencies = [now - request.enqueued for request in valid]
+        if self.metrics is not None:
+            self.metrics.record_group(
+                resolved.name, resolved.version, latencies
+            )
+        if out.ndim == 1:
+            actions = out.tolist()  # native ints/floats in one pass
+        else:
+            actions = [np.array(row) for row in out]
+        name, version = resolved.name, resolved.version
+        for request, action, latency in zip(valid, actions, latencies):
+            request.future.set_result(ServeResult(
+                ok=True, action=action, model=name, version=version,
+                latency_s=latency,
+            ))
+
+    # -- completion ------------------------------------------------------
+
+    def _complete_error(
+        self,
+        request: _Request,
+        model: str,
+        version: int,
+        error: str,
+        detail: str,
+    ) -> None:
+        latency = time.perf_counter() - request.enqueued
+        if self.metrics is not None:
+            self.metrics.record(model, version, latency, error=error)
+        request.future.set_result(ServeResult(
+            ok=False, action=None, model=model, version=version,
+            error=error, detail=detail, latency_s=latency,
+        ))
+
+
+def _validate_state(
+    state: Any, artifact
+) -> Tuple[Optional[np.ndarray], Optional[str], str]:
+    """Check one request state's type and shape against the artifact.
+
+    Returns ``(row, None, "")`` on success or ``(None, error_kind,
+    detail)`` — the mis-shaped rejection the batcher needs to keep a
+    poisoned request from corrupting its whole batch.  Finiteness is
+    checked afterwards in one vectorized sweep over the stacked batch.
+    """
+    try:
+        row = np.asarray(state, dtype=float)
+    except (TypeError, ValueError) as exc:
+        return None, ERR_BAD_INPUT, f"state is not numeric: {exc}"
+    if row.ndim == 2 and row.shape[0] == 1:
+        row = row[0]
+    if row.ndim != 1 or row.shape[0] != artifact.n_features:
+        return None, ERR_BAD_SHAPE, (
+            f"expected a flat state of {artifact.n_features} features, "
+            f"got shape {np.shape(state)}"
+        )
+    return row, None, ""

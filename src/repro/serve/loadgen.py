@@ -1,0 +1,288 @@
+"""Trace-replay load generators for the policy server.
+
+One harness, three scenarios — the heterogeneous per-scenario serving
+story the related work motivates (BBRv3-style measurement harness around
+a deployed policy; side-by-side heterogeneous policies):
+
+* **ABR** — realistic Pensieve-layout session states collected by
+  rolling the trace-driven ABR environment under a rate-based heuristic;
+* **flows** — AuTO lRLA decision states produced by the fabric simulator
+  under Poisson flow arrivals (``envs/flows/workloads.py`` workloads);
+* **routing** — RouteNet-style candidate-path scoring queries (demand,
+  hops, link-load context) over NSFNet gravity traffic.
+
+``run_load`` replays any state matrix against a live
+:class:`~repro.serve.server.PolicyServer` with N closed-loop client
+threads submitting single-state requests — exactly the concurrency shape
+microbatching exists for — and reports client-observed throughput and
+latency percentiles plus the registry versions that answered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+# ----------------------------------------------------------------------
+# Scenario state generators
+# ----------------------------------------------------------------------
+def abr_request_states(
+    n_sessions: int = 8,
+    n_chunks: int = 48,
+    seed: SeedLike = 0,
+    trace_kind: str = "hsdpa",
+) -> np.ndarray:
+    """Pensieve-layout states from rate-based ABR sessions, shape (n, 25)."""
+    from repro.envs.abr import ABREnv, Video
+    from repro.envs.abr.baselines import RateBased
+    from repro.envs.traces import trace_set
+
+    video = Video.synthetic(n_chunks=n_chunks, seed=7)
+    traces = trace_set(trace_kind, max(n_sessions, 1), seed=11)
+    env = ABREnv(video, traces)
+    policy = RateBased()
+    rng = as_rng(seed)
+    states: List[np.ndarray] = []
+    for _ in range(n_sessions):
+        policy.reset()
+        state = env.reset(rng)
+        done = False
+        while not done:
+            states.append(np.asarray(state, dtype=float))
+            state, _, done, _ = env.step(policy.select(state, env))
+    return np.asarray(states)
+
+
+def flow_request_states(
+    duration_s: float = 2.0,
+    load: float = 0.7,
+    seed: SeedLike = 0,
+    capacity_bps: float = 1e9,
+    min_rows: int = 256,
+    workload=None,
+) -> np.ndarray:
+    """AuTO lRLA decision states from simulated flow arrivals, (n, 12).
+
+    Simulation windows are repeated (fresh seeds) until at least
+    ``min_rows`` central decisions are recorded.
+    """
+    from repro.envs.flows.mlfq import MLFQConfig
+    from repro.envs.flows.simulator import FabricSimulator
+    from repro.envs.flows.workloads import WEB_SEARCH, generate_flows
+    from repro.teachers.auto import LONG_FLOW_BYTES, sjf_priority
+
+    if workload is None:
+        workload = WEB_SEARCH
+    rng = as_rng(seed)
+    records: List[np.ndarray] = []
+    for _ in range(50):  # bounded retries; each window adds decisions
+        flows = generate_flows(
+            workload, load=load, capacity_bps=capacity_bps,
+            duration_s=duration_s, seed=rng,
+        )
+
+        def decide(flow, snapshot):
+            features = np.asarray(snapshot.feature_vector(), dtype=float)
+            records.append(features)
+            return sjf_priority(features)
+
+        FabricSimulator(
+            capacity_bps=capacity_bps,
+            mlfq=MLFQConfig(),
+            decision_fn=decide,
+            decision_latency_s=0.0,
+            decision_min_bytes=LONG_FLOW_BYTES,
+        ).run(flows)
+        if len(records) >= min_rows:
+            break
+    return np.asarray(records)
+
+
+def routing_request_states(
+    n_queries: int = 512,
+    seed: SeedLike = 0,
+    utilization: float = 0.5,
+) -> np.ndarray:
+    """RouteNet-style candidate-path queries over NSFNet, shape (n, 4).
+
+    Each row scores one candidate path for one demand pair under one
+    gravity traffic matrix: ``[demand, hops, max_link_load,
+    mean_link_load]`` — the per-candidate context RouteNet* builds when
+    it probes paths.
+    """
+    from repro.envs.routing import gravity_demands, nsfnet
+    from repro.envs.routing.delay import shortest_path_routing
+
+    topology = nsfnet()
+    routing = shortest_path_routing(topology)
+    pairs = routing.pairs()
+    inc = routing.incidence(topology)
+    rng = as_rng(seed)
+    rows: List[List[float]] = []
+    tm_count = 0
+    while len(rows) < n_queries:
+        tm_count += 1
+        tm = gravity_demands(
+            topology, utilization=utilization,
+            seed=int(rng.integers(1 << 31)), count=1,
+        )[0]
+        demands = np.asarray([tm.volume(*p) for p in pairs])
+        loads = inc.T @ demands
+        for pair in pairs:
+            demand = tm.volume(*pair)
+            for cand in topology.candidate_paths(*pair):
+                link_loads = np.asarray([
+                    loads[topology.link_index(link)]
+                    for link in topology.path_links(cand)
+                ])
+                rows.append([
+                    float(demand),
+                    float(len(cand) - 1),
+                    float(link_loads.max()),
+                    float(link_loads.mean()),
+                ])
+                if len(rows) >= n_queries:
+                    break
+            if len(rows) >= n_queries:
+                break
+        if tm_count > 50:
+            break
+    return np.asarray(rows)
+
+
+# ----------------------------------------------------------------------
+# Replay harness
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """Client-side view of one load run against a live server."""
+
+    scenario: str
+    model: str
+    n_clients: int
+    n_requests: int
+    n_errors: int
+    duration_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    versions: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "model": self.model,
+            "n_clients": self.n_clients,
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "versions": {int(k): int(v) for k, v in self.versions.items()},
+        }
+
+
+def run_load(
+    server,
+    model: str,
+    states: np.ndarray,
+    n_clients: int = 8,
+    repeats: int = 1,
+    scenario: str = "custom",
+    timeout_s: float = 60.0,
+) -> LoadReport:
+    """Replay ``states`` through ``server`` with closed-loop clients.
+
+    Rows are dealt round-robin across ``n_clients`` threads; each client
+    submits its rows one request at a time (``repeats`` passes), waiting
+    for every response — so server-side concurrency equals the number of
+    clients still running, and microbatching is what coalesces them.
+    """
+    states = np.atleast_2d(np.asarray(states, dtype=float))
+    if states.shape[0] == 0:
+        raise ValueError("states must contain at least one row")
+    n_clients = max(1, min(n_clients, states.shape[0]))
+    chunks = [states[i::n_clients] for i in range(n_clients)]
+    outputs: List[tuple] = [None] * n_clients
+    barrier = threading.Barrier(n_clients + 1)
+
+    failures: List[BaseException] = []
+
+    def client(idx: int, rows: np.ndarray) -> None:
+        latencies: List[float] = []
+        versions: Counter = Counter()
+        errors = 0
+        try:
+            barrier.wait()
+            for _ in range(repeats):
+                for row in rows:
+                    start = time.perf_counter()
+                    result = server.submit(model, row).result(
+                        timeout=timeout_s
+                    )
+                    latencies.append(time.perf_counter() - start)
+                    if result.ok:
+                        versions[result.version] += 1
+                    else:
+                        errors += 1
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            failures.append(exc)
+        outputs[idx] = (latencies, versions, errors)
+
+    threads = [
+        threading.Thread(target=client, args=(i, chunk), daemon=True)
+        for i, chunk in enumerate(chunks)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - start
+    if failures:
+        # Surface the real failure (timeout, closed server) instead of
+        # letting a half-empty aggregation produce a cryptic error.
+        raise RuntimeError(
+            f"{len(failures)} load client(s) failed; first failure: "
+            f"{failures[0]!r}"
+        ) from failures[0]
+
+    all_latencies: List[float] = []
+    versions: Counter = Counter()
+    errors = 0
+    for latencies, client_versions, client_errors in outputs:
+        all_latencies.extend(latencies)
+        versions.update(client_versions)
+        errors += client_errors
+    lat = np.asarray(all_latencies)
+    p50, p95, p99 = (
+        np.percentile(lat, [50, 95, 99]) if lat.size else (0.0, 0.0, 0.0)
+    )
+    return LoadReport(
+        scenario=scenario,
+        model=model,
+        n_clients=n_clients,
+        n_requests=int(lat.size),
+        n_errors=errors,
+        duration_s=float(duration),
+        throughput_rps=float(lat.size / duration) if duration > 0 else 0.0,
+        latency_p50_ms=float(p50 * 1e3),
+        latency_p95_ms=float(p95 * 1e3),
+        latency_p99_ms=float(p99 * 1e3),
+        latency_mean_ms=float(lat.mean() * 1e3) if lat.size else 0.0,
+        versions=dict(versions),
+    )

@@ -1,0 +1,154 @@
+"""Versioned model registry with atomic publish and zero-downtime swap.
+
+The registry maps a model *name* to an ordered list of immutable
+:class:`~repro.serve.artifact.PolicyArtifact` versions, plus *aliases*
+(``abr/prod`` -> ``abr`` latest, or pinned to a version).  All mutation
+and resolution happens under one lock, so
+
+* ``publish`` is atomic — a resolver sees either the old latest or the
+  new latest, never a half-registered artifact (artifacts themselves are
+  frozen dataclasses built before publish, so there is nothing to tear);
+* hot-swap is zero-downtime — the batcher resolves a reference once per
+  flush, so requests already grouped into a batch finish on the version
+  they resolved, while every later flush sees the new one.
+
+References accepted by :meth:`resolve`:
+
+* ``"abr"`` — latest version of model ``abr``;
+* ``"abr@2"`` — pinned version 2;
+* ``"abr/prod"`` — an alias, tracking latest or pinned at alias time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.artifact import PolicyArtifact
+
+
+@dataclass(frozen=True)
+class ResolvedModel:
+    """One resolution outcome: the exact (name, version, artifact) triple.
+
+    Responses carry this triple, which is what makes every served
+    decision attributable to exactly one published artifact.
+    """
+
+    name: str
+    version: int
+    artifact: PolicyArtifact
+
+
+class ModelRegistry:
+    """Thread-safe name -> ordered versions store (versions are 1-based)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._models: Dict[str, List[PolicyArtifact]] = {}
+        self._aliases: Dict[str, Tuple[str, Optional[int]]] = {}
+
+    # -- mutation --------------------------------------------------------
+    def publish(self, name: str, artifact: PolicyArtifact) -> int:
+        """Register ``artifact`` as the next version of ``name``.
+
+        Returns the new version number.  Existing versions are never
+        mutated or removed, so an in-flight batch holding version ``k``
+        keeps serving exactly what ``k`` was.
+        """
+        if not name or "@" in name:
+            raise ValueError("model names must be non-empty and free of '@'")
+        if not isinstance(artifact, PolicyArtifact):
+            raise TypeError("only PolicyArtifact instances can be published")
+        with self._lock:
+            if name in self._aliases:
+                raise ValueError(f"{name!r} is an alias, not a model name")
+            versions = self._models.setdefault(name, [])
+            versions.append(artifact)
+            return len(versions)
+
+    def alias(
+        self, alias: str, target: str, version: Optional[int] = None
+    ) -> None:
+        """Point ``alias`` at ``target`` (latest when ``version`` is None)."""
+        if not alias or "@" in alias:
+            raise ValueError("aliases must be non-empty and free of '@'")
+        with self._lock:
+            if alias in self._models:
+                raise ValueError(f"{alias!r} is already a model name")
+            if target not in self._models:
+                raise KeyError(f"unknown model {target!r}")
+            if version is not None:
+                self._check_version(target, version)
+            self._aliases[alias] = (target, version)
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, ref: str) -> ResolvedModel:
+        """Resolve a reference to an exact (name, version, artifact)."""
+        with self._lock:
+            name, version = ref, None
+            if name in self._aliases:
+                name, version = self._aliases[name]
+            elif "@" in name:
+                name, _, suffix = name.partition("@")
+                try:
+                    version = int(suffix)
+                except ValueError:
+                    raise KeyError(f"bad version in reference {ref!r}")
+            versions = self._models.get(name)
+            if versions is None:
+                raise KeyError(f"unknown model {ref!r}")
+            if version is None:
+                version = len(versions)
+            self._check_version(name, version)
+            return ResolvedModel(name, version, versions[version - 1])
+
+    def resolve_many(
+        self, refs
+    ) -> Dict[str, Optional[ResolvedModel]]:
+        """Resolve several references under one lock acquisition.
+
+        Unresolvable references map to None.  Because all resolutions
+        share one critical section, a concurrent publish cannot land
+        between them — the batcher uses this so one flush serves one
+        version per model, even when clients mix aliases and canonical
+        names.
+        """
+        with self._lock:
+            out: Dict[str, Optional[ResolvedModel]] = {}
+            for ref in refs:
+                try:
+                    out[ref] = self.resolve(ref)
+                except KeyError:
+                    out[ref] = None
+            return out
+
+    def _check_version(self, name: str, version: int) -> None:
+        count = len(self._models[name])
+        if not 1 <= version <= count:
+            raise KeyError(
+                f"model {name!r} has versions 1..{count}, not {version}"
+            )
+
+    # -- inspection ------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def aliases(self) -> Dict[str, Tuple[str, Optional[int]]]:
+        with self._lock:
+            return dict(self._aliases)
+
+    def latest_version(self, name: str) -> int:
+        with self._lock:
+            if name not in self._models:
+                raise KeyError(f"unknown model {name!r}")
+            return len(self._models[name])
+
+    def __contains__(self, ref: str) -> bool:
+        try:
+            self.resolve(ref)
+            return True
+        except KeyError:
+            return False

@@ -1,0 +1,274 @@
+"""The policy-serving front door: registry + microbatcher + metrics.
+
+:class:`PolicyServer` is what §6.4's "same serving stack" looks like in
+this repo: experiments publish any :class:`PolicyArtifact` (distilled
+tree or DNN teacher) under a name, drive decision traffic through
+``submit``/``submit_many``, and read per-model throughput and tail
+latency back out of ``metrics()`` — the measured substrate for the
+fig16/fig17 latency story, replacing modeled ``DeviceProfile`` constants
+with observed percentiles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.artifact import PolicyArtifact
+from repro.serve.batcher import MicroBatcher, ServeResult
+from repro.serve.registry import ModelRegistry
+
+
+class ServeError(RuntimeError):
+    """Raised by the synchronous ``predict`` path on a failed request."""
+
+
+class _ModelStats:
+    """Accumulators for one model (written only by the batcher thread)."""
+
+    __slots__ = (
+        "requests", "errors", "error_kinds", "latencies", "batch_sizes",
+        "versions", "busy_s", "last_ts",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.error_kinds: Counter = Counter()
+        self.latencies: List[float] = []
+        self.batch_sizes: Counter = Counter()
+        self.versions: Counter = Counter()
+        #: Union of request-in-flight intervals — the time the model was
+        #: actually serving, which is what throughput divides by.
+        self.busy_s = 0.0
+        self.last_ts: Optional[float] = None
+
+
+class ServerMetrics:
+    """Per-model serving metrics: throughput, latency percentiles,
+    batch-size histogram, error counts.
+
+    Writes come from the single batcher thread; ``snapshot`` may be
+    called from any thread, so every touch happens under one lock (the
+    per-record cost is a few dict/list operations).
+
+    Args:
+        max_latency_samples: cap on retained per-request latencies;
+            beyond it, percentiles reflect the first N requests while
+            counts and throughput stay exact.
+    """
+
+    def __init__(self, max_latency_samples: int = 200_000) -> None:
+        self._lock = threading.Lock()
+        self._models: Dict[str, _ModelStats] = {}
+        self.max_latency_samples = max_latency_samples
+
+    def _stats(self, model: str) -> _ModelStats:
+        stats = self._models.get(model)
+        if stats is None:
+            stats = self._models[model] = _ModelStats()
+        return stats
+
+    @staticmethod
+    def _add_busy(stats: _ModelStats, start: float, now: float) -> None:
+        """Merge one service interval into the busy-time union.
+
+        Records arrive in completion order from the single batcher
+        thread, so clipping ``start`` to the previous completion merges
+        overlapping intervals on the fly; idle gaps between bursts
+        contribute nothing.  Throughput = requests / busy time therefore
+        measures the server while it serves, not the workload's pauses.
+        """
+        if stats.last_ts is not None:
+            start = max(start, stats.last_ts)
+        stats.busy_s += max(now - start, 0.0)
+        stats.last_ts = now
+
+    def record(
+        self,
+        model: str,
+        version: int,
+        latency_s: float,
+        error: Optional[str] = None,
+    ) -> None:
+        now = time.perf_counter()
+        start = now - latency_s  # when the request arrived
+        with self._lock:
+            stats = self._stats(model)
+            stats.requests += 1
+            self._add_busy(stats, start, now)
+            if error is not None:
+                # Rejection latencies stay out of the percentile pool:
+                # they measure validation, not decisions, and a stream
+                # of malformed requests must not deflate the reported
+                # serving percentiles.
+                stats.errors += 1
+                stats.error_kinds[error] += 1
+            else:
+                stats.versions[version] += 1
+                if len(stats.latencies) < self.max_latency_samples:
+                    stats.latencies.append(latency_s)
+
+    def record_group(
+        self, model: str, version: int, latencies: List[float]
+    ) -> None:
+        """Record one flush group's successes (including its batch size)
+        under a single lock acquisition — the batcher's hot path."""
+        if not latencies:
+            return
+        now = time.perf_counter()
+        start = now - max(latencies)  # earliest enqueue in the group
+        with self._lock:
+            stats = self._stats(model)
+            stats.requests += len(latencies)
+            self._add_busy(stats, start, now)
+            stats.versions[version] += len(latencies)
+            stats.batch_sizes[len(latencies)] += 1
+            room = self.max_latency_samples - len(stats.latencies)
+            if room > 0:
+                stats.latencies.extend(latencies[:room])
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Point-in-time metrics per model (plain dicts, JSON-friendly).
+
+        The lock is held only while *copying* the accumulators; the
+        percentile math over up to ``max_latency_samples`` values runs
+        after release, so a monitoring read never stalls the batcher's
+        hot path (which would inflate the very tail it is measuring).
+        """
+        with self._lock:
+            copied = [
+                (
+                    name, stats.requests, stats.errors,
+                    dict(stats.error_kinds), list(stats.latencies),
+                    dict(stats.batch_sizes), dict(stats.versions),
+                    stats.busy_s,
+                )
+                for name, stats in self._models.items()
+            ]
+        out: Dict[str, dict] = {}
+        for (name, requests, errors, error_kinds, latencies, batch_sizes,
+             versions, busy_s) in copied:
+            lat = np.asarray(latencies)
+            if lat.size:
+                p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+                latency_ms = {
+                    "mean": float(lat.mean() * 1e3),
+                    "p50": float(p50 * 1e3),
+                    "p95": float(p95 * 1e3),
+                    "p99": float(p99 * 1e3),
+                }
+            else:
+                latency_ms = {"mean": 0.0, "p50": 0.0, "p95": 0.0,
+                              "p99": 0.0}
+            out[name] = {
+                "requests": requests,
+                "errors": errors,
+                "error_kinds": error_kinds,
+                "throughput_rps": requests / busy_s if busy_s > 0 else 0.0,
+                "latency_ms": latency_ms,
+                "batch_sizes": {
+                    int(k): int(v) for k, v in sorted(batch_sizes.items())
+                },
+                "versions": {
+                    int(k): int(v) for k, v in sorted(versions.items())
+                },
+            }
+        return out
+
+
+class PolicyServer:
+    """Threaded serving front door with futures-based submission.
+
+    Args:
+        registry: shared registry (a fresh one is created by default).
+        max_batch / max_delay_s: microbatching knobs (see
+            :class:`~repro.serve.batcher.MicroBatcher`).
+        max_latency_samples: metrics retention cap.
+
+    Usage::
+
+        with PolicyServer() as server:
+            server.publish("abr", PolicyArtifact.from_tree(tree))
+            result = server.submit("abr", state).result()
+            stats = server.metrics()["abr"]
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        max_batch: int = 64,
+        max_delay_s: float = 2e-3,
+        max_latency_samples: int = 200_000,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry()
+        self._metrics = ServerMetrics(max_latency_samples)
+        self._batcher = MicroBatcher(
+            self.registry,
+            metrics=self._metrics,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+        ).start()
+
+    # -- registry passthrough --------------------------------------------
+    def publish(
+        self,
+        name: str,
+        artifact: PolicyArtifact,
+        alias: Optional[str] = None,
+    ) -> int:
+        """Publish a new version (and optionally alias it); hot-swaps
+        live traffic at the next batch flush."""
+        version = self.registry.publish(name, artifact)
+        if alias is not None:
+            self.registry.alias(alias, name)
+        return version
+
+    # -- traffic ---------------------------------------------------------
+    def submit(self, model: str, state: Any) -> "Future[ServeResult]":
+        """One decision request; resolves to a :class:`ServeResult`."""
+        return self._batcher.submit(model, state)
+
+    def submit_many(
+        self, model: str, states: Any
+    ) -> List["Future[ServeResult]"]:
+        """Submit a stack of single-state requests (they may co-batch)."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return [self._batcher.submit(model, row) for row in states]
+
+    def predict(
+        self, model: str, states: Any, timeout_s: float = 30.0
+    ) -> np.ndarray:
+        """Synchronous batch convenience: submit, wait, stack actions.
+
+        Raises :class:`ServeError` if any request fails — use ``submit``
+        when per-request error handling is wanted.
+        """
+        futures = self.submit_many(model, states)
+        results = [f.result(timeout=timeout_s) for f in futures]
+        for res in results:
+            if not res.ok:
+                raise ServeError(
+                    f"{model}: {res.error} ({res.detail})"
+                )
+        return np.asarray([res.action for res in results])
+
+    # -- observability / lifecycle ---------------------------------------
+    def metrics(self) -> Dict[str, dict]:
+        """Per-model metrics snapshot (see :class:`ServerMetrics`)."""
+        return self._metrics.snapshot()
+
+    def close(self) -> None:
+        """Drain and stop; every submitted request still completes."""
+        self._batcher.close()
+
+    def __enter__(self) -> "PolicyServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

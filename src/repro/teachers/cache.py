@@ -11,6 +11,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -38,9 +39,26 @@ def recipe_key(name: str, recipe: Dict) -> str:
 
 
 def save_weights(key: str, arrays: Sequence[np.ndarray]) -> Path:
-    """Persist a list of arrays under ``key``; returns the file path."""
+    """Persist a list of arrays under ``key``; returns the file path.
+
+    The write is atomic: arrays go to a temp file in the cache directory
+    first and ``os.replace`` installs it, so a concurrent benchmark/CI
+    run can never observe a half-written ``.npz``.
+    """
     path = cache_dir() / f"{key}.npz"
-    np.savez(path, *arrays)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{key}-", suffix=".npz.tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, *arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

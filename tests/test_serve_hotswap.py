@@ -1,0 +1,145 @@
+"""Hot-swap under concurrent load: zero dropped futures, no torn artifacts.
+
+The serving guarantee under test: a registry publish during sustained
+traffic is atomic — requests batched before the swap finish on the old
+version, requests batched after see the new one, every response is
+attributable to exactly one published version, and the decision it
+carries matches that version's artifact (no tearing).
+
+The probe policies are *constant* trees: version ``v`` always answers
+action ``v - 1``, so ``action == version - 1`` is a per-response
+consistency proof.
+"""
+
+import threading
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.tree import DecisionTreeClassifier
+from repro.serve import ModelRegistry, PolicyArtifact, PolicyServer
+
+N_FEATURES = 6
+N_CLIENTS = 6
+PHASE_REQUESTS = 40
+
+
+def constant_artifact(action: int) -> PolicyArtifact:
+    """A fitted single-leaf tree that always answers ``action``."""
+    rng = np.random.default_rng(action)
+    x = rng.uniform(0, 1, (40, N_FEATURES))
+    y = np.full(40, action, dtype=int)
+    tree = DecisionTreeClassifier(n_classes=8, max_leaf_nodes=4).fit(x, y)
+    return PolicyArtifact.from_tree(tree, name=f"const-{action}")
+
+
+@pytest.fixture()
+def states():
+    return np.random.default_rng(9).uniform(0, 1, (256, N_FEATURES))
+
+
+def test_hotswap_phases_are_clean(states):
+    """Requests strictly before/after a publish land on the right version."""
+    with PolicyServer(max_batch=16, max_delay_s=1e-3) as server:
+        server.publish("policy", constant_artifact(0), alias="policy/prod")
+        published_v2 = threading.Event()
+        barrier = threading.Barrier(N_CLIENTS + 1)
+        outputs = [None] * N_CLIENTS
+
+        def client(idx: int) -> None:
+            rng = np.random.default_rng(idx)
+            rows = states[rng.integers(0, len(states), 2 * PHASE_REQUESTS)]
+            phase_a = [
+                server.submit("policy/prod", row).result(timeout=30)
+                for row in rows[:PHASE_REQUESTS]
+            ]
+            barrier.wait()       # every phase-A request is complete...
+            published_v2.wait()  # ...before v2 exists; then swap happens
+            phase_b = [
+                server.submit("policy/prod", row).result(timeout=30)
+                for row in rows[PHASE_REQUESTS:]
+            ]
+            outputs[idx] = (phase_a, phase_b)
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        server.publish("policy", constant_artifact(1))
+        published_v2.set()
+        for t in threads:
+            t.join()
+
+    for phase_a, phase_b in outputs:
+        assert len(phase_a) == len(phase_b) == PHASE_REQUESTS
+        assert all(r.ok and r.version == 1 and r.action == 0
+                   for r in phase_a)
+        assert all(r.ok and r.version == 2 and r.action == 1
+                   for r in phase_b)
+
+
+def test_hotswap_under_sustained_chaos(states):
+    """Publishes racing live traffic: every future completes, every
+    response's action is consistent with the version that claims it."""
+    registry = ModelRegistry()
+    n_versions = 5
+    with PolicyServer(registry=registry, max_batch=16,
+                      max_delay_s=1e-3) as server:
+        server.publish("policy", constant_artifact(0))
+        stop = threading.Event()
+        outputs = [None] * N_CLIENTS
+
+        def client(idx: int) -> None:
+            rng = np.random.default_rng(100 + idx)
+            results = []
+            while not stop.is_set():
+                row = states[int(rng.integers(len(states)))]
+                results.append(
+                    server.submit("policy", row).result(timeout=30)
+                )
+            # A tail strictly after the final publish: guarantees the
+            # last version actually serves traffic before we assert on it.
+            for _ in range(10):
+                row = states[int(rng.integers(len(states)))]
+                results.append(
+                    server.submit("policy", row).result(timeout=30)
+                )
+            outputs[idx] = results
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        # Keep swapping while the clients hammer the alias.
+        for version in range(1, n_versions):
+            threading.Event().wait(0.01)
+            server.publish("policy", constant_artifact(version))
+        stop.set()
+        for t in threads:
+            t.join()
+        metrics = server.metrics()["policy"]
+
+    versions_seen = Counter()
+    total = 0
+    for results in outputs:
+        total += len(results)
+        for res in results:
+            assert res.ok, (res.error, res.detail)
+            # no torn artifact: the decision matches the claimed version
+            assert res.action == res.version - 1
+            assert 1 <= res.version <= n_versions
+            versions_seen[res.version] += 1
+    # zero dropped futures: the server accounted for every request
+    assert metrics["requests"] == total
+    assert metrics["errors"] == 0
+    assert sum(metrics["versions"].values()) == total
+    # the final version serves the post-publish tail, and the run
+    # actually exercised a swap (more than one version answered)
+    assert versions_seen[n_versions] >= 10 * N_CLIENTS
+    assert len(versions_seen) >= 2
