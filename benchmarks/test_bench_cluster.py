@@ -1,0 +1,158 @@
+"""Micro-benchmark: sharded multi-process serving vs the single-process
+MicroBatcher.
+
+PR 3's serving stack tops out at one GIL-bound batcher thread; the
+cluster tier (``repro.serve.cluster``) shards the registry across
+worker processes with shared-memory artifacts and adds an asyncio bulk
+path.  This benchmark drives the *same distilled ABR workload* both
+ways and records the scaling headline:
+
+* **single-process** — the PR-3 `MicroBatcher` baselines: 64 threaded
+  closed-loop clients (the `BENCH_serve.json` ``batched_rps`` shape)
+  and the server's own bulk ``predict`` (per-row futures, still one
+  batcher thread);
+* **cluster** — a 2-shard (``CLUSTER_SHARDS`` to override)
+  :class:`ShardedPolicyService`: async coroutine closed-loop clients
+  for the latency view, and the chunked bulk array path for aggregate
+  throughput.
+
+The local floor asserts the cluster's aggregate throughput at >= 2x the
+single-process MicroBatcher closed-loop baseline (measured ~4x here;
+the bulk-vs-bulk ratio, ~2x, is recorded unasserted).  Results append
+to ``BENCH_cluster.json``; ``BENCH_REPORT_ONLY=1`` records without
+asserting (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_io import record_run
+from test_bench_serve import _distilled_abr
+
+from repro.serve import PolicyArtifact, PolicyServer
+from repro.serve.cluster import ShardedPolicyService
+from repro.serve.loadgen import run_load, run_load_async
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+
+REPORT_ONLY = bool(os.environ.get("BENCH_REPORT_ONLY"))
+N_SHARDS = int(os.environ.get("CLUSTER_SHARDS", "2"))
+
+N_CLIENTS = 64
+POOL_ROWS = 8192
+BULK_CHUNK = 256
+
+MIN_CLUSTER_SPEEDUP = 2.0
+#: Apples-to-apples floor: cluster bulk must also beat the single
+#: process's own *best* mode (its bulk predict path), or the headline
+#: would be measuring batching, not sharding.  Measured ~2.8x locally.
+MIN_SPEEDUP_VS_BEST = 1.5
+
+
+def _bulk_rps(server, model: str, pool: np.ndarray, passes: int) -> float:
+    """Rows/s of a server's synchronous bulk predict over the pool."""
+    server.predict(model, pool[:64])  # warm-up
+    start = time.perf_counter()
+    for _ in range(passes):
+        server.predict(model, pool)
+    return passes * pool.shape[0] / (time.perf_counter() - start)
+
+
+def test_bench_cluster_scaling():
+    tree, abr_states = _distilled_abr()
+    artifact = PolicyArtifact.from_tree(tree, name="abr-distilled")
+    pool = abr_states[
+        np.random.default_rng(0).integers(0, len(abr_states), POOL_ROWS)
+    ]
+
+    # ------------------------------------------------------------------
+    # single-process MicroBatcher baselines (the PR-3 serving stack)
+    # ------------------------------------------------------------------
+    with PolicyServer(max_batch=64, max_delay_s=1e-3) as server:
+        server.publish("abr", artifact)
+        server.predict("abr", pool[:64])  # warm-up
+        single_closed = run_load(
+            server, "abr", pool[:4096],
+            n_clients=N_CLIENTS, scenario="single-closed-loop",
+        )
+        single_bulk_rps = _bulk_rps(server, "abr", pool, passes=3)
+
+    # ------------------------------------------------------------------
+    # sharded multi-process cluster, same artifact, same workload
+    # ------------------------------------------------------------------
+    with ShardedPolicyService(
+        n_shards=N_SHARDS, max_batch=128, max_delay_s=1e-3,
+        adaptive_delay=True,
+    ) as service:
+        service.publish("abr", artifact)
+        service.predict("abr", pool[:64])  # warm-up
+        cluster_closed = run_load_async(
+            service, "abr", pool[:4096],
+            n_clients=N_CLIENTS, scenario="cluster-closed-loop",
+        )
+        cluster_bulk = run_load_async(
+            service, "abr", pool,
+            n_clients=16, chunk=BULK_CHUNK, repeats=3,
+            scenario="cluster-bulk",
+        )
+        view = service.cluster_metrics()
+        batching = service.batching_state()
+    per_shard = {
+        str(shard["shard"]): int(
+            shard["models"].get("abr", {}).get("requests", 0)
+        )
+        for shard in view["shards"]
+    }
+
+    single_best_rps = max(single_closed.throughput_rps, single_bulk_rps)
+    speedup_vs_batcher = (
+        cluster_bulk.throughput_rps / single_closed.throughput_rps
+    )
+    speedup_vs_best = cluster_bulk.throughput_rps / single_best_rps
+
+    record = {
+        "benchmark": "cluster",
+        "n_shards": N_SHARDS,
+        "single_process": {
+            "closed_loop_rps": single_closed.throughput_rps,
+            "closed_loop_p50_ms": single_closed.latency_p50_ms,
+            "closed_loop_p99_ms": single_closed.latency_p99_ms,
+            "bulk_rps": single_bulk_rps,
+        },
+        "cluster": {
+            "closed_loop_rps": cluster_closed.throughput_rps,
+            "closed_loop_p50_ms": cluster_closed.latency_p50_ms,
+            "closed_loop_p99_ms": cluster_closed.latency_p99_ms,
+            "bulk_rps": cluster_bulk.throughput_rps,
+            "bulk_chunk": BULK_CHUNK,
+            "per_shard_requests": per_shard,
+            "adaptive_delay": batching,
+        },
+        "aggregate_speedup_vs_single_process": speedup_vs_batcher,
+        "speedup_vs_single_best_mode": speedup_vs_best,
+    }
+    record_run(BENCH_PATH, record)
+
+    if REPORT_ONLY:
+        return
+    assert single_closed.n_errors == 0
+    assert cluster_closed.n_errors == 0 and cluster_bulk.n_errors == 0
+    # both shards actually served
+    assert all(count > 0 for count in per_shard.values())
+    assert speedup_vs_batcher >= MIN_CLUSTER_SPEEDUP, (
+        f"cluster bulk only {speedup_vs_batcher:.1f}x over the "
+        f"single-process MicroBatcher "
+        f"({cluster_bulk.throughput_rps:.0f} vs "
+        f"{single_closed.throughput_rps:.0f} req/s)"
+    )
+    assert speedup_vs_best >= MIN_SPEEDUP_VS_BEST, (
+        f"cluster bulk only {speedup_vs_best:.2f}x over the best "
+        f"single-process mode ({cluster_bulk.throughput_rps:.0f} vs "
+        f"{single_best_rps:.0f} req/s) — sharding is not paying for "
+        f"itself"
+    )

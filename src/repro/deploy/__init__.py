@@ -5,6 +5,7 @@ from repro.deploy.latency import (
     SERVER_DNN,
     SERVER_TREE,
     SMARTNIC_TREE,
+    cluster_latency_report,
     decision_latency_dnn,
     decision_latency_tree,
     measure_wallclock_latency,
@@ -27,6 +28,7 @@ __all__ = [
     "decision_latency_tree",
     "measure_wallclock_latency",
     "serving_latency_report",
+    "cluster_latency_report",
     "dnn_bundle_bytes",
     "tree_bundle_bytes",
     "page_load_seconds",

@@ -12,7 +12,12 @@ takes ~2.3 ms, and a tree compiled onto a Netronome SmartNIC answers in
   implementations, which measure the same asymmetry directly, and
 * a **measured-mode report** (:func:`serving_latency_report`) sourcing
   throughput and tail-latency percentiles from a live
-  :class:`~repro.serve.server.PolicyServer` next to the modeled numbers.
+  :class:`~repro.serve.server.PolicyServer` next to the modeled numbers,
+  and
+* a **cluster-mode report** (:func:`cluster_latency_report`) doing the
+  same for a :class:`~repro.serve.cluster.ShardedPolicyService` —
+  end-to-end percentiles, per-shard service times, and aggregate
+  multi-process throughput.
 """
 
 from __future__ import annotations
@@ -138,9 +143,15 @@ def serving_latency_report(
             f"known: {sorted(snapshot)}"
         )
     stats = snapshot[model]
+    rows = [_measured_row("measured", model, stats)]
+    rows.extend(_modeled_rows(tree, net))
+    return rows
+
+
+def _measured_row(source: str, model: str, stats: dict) -> dict:
     latency_ms = stats["latency_ms"]
-    rows = [{
-        "source": "measured",
+    return {
+        "source": source,
         "model": model,
         "mean_ms": latency_ms["mean"],
         "p50_ms": latency_ms["p50"],
@@ -148,8 +159,12 @@ def serving_latency_report(
         "p99_ms": latency_ms["p99"],
         "throughput_rps": stats["throughput_rps"],
         "requests": stats["requests"],
-    }]
+    }
 
+
+def _modeled_rows(
+    tree: Optional[_BaseTree], net: Optional[MLP]
+) -> List[dict]:
     def modeled(label: str, seconds: float) -> dict:
         return {
             "source": "modeled",
@@ -162,6 +177,7 @@ def serving_latency_report(
             "requests": None,
         }
 
+    rows: List[dict] = []
     if net is not None:
         rows.append(modeled(SERVER_DNN.name, decision_latency_dnn(net)))
     if tree is not None:
@@ -169,6 +185,62 @@ def serving_latency_report(
         rows.append(modeled(
             SMARTNIC_TREE.name, decision_latency_tree(tree, SMARTNIC_TREE)
         ))
+    return rows
+
+
+def cluster_latency_report(
+    service,
+    model: str,
+    tree: Optional[_BaseTree] = None,
+    net: Optional[MLP] = None,
+) -> List[dict]:
+    """§6.4 report in *cluster* mode: end-to-end percentiles next to
+    per-shard service times and the modeled device profiles.
+
+    Args:
+        service: a live
+            :class:`~repro.serve.cluster.ShardedPolicyService` (anything
+            with a ``cluster_metrics()`` view), or that view itself.
+        model: canonical model name to report on.
+        tree / net: optional policies for the modeled rows.
+
+    Returns:
+        Rows in the :func:`serving_latency_report` schema.  The
+        ``measured-cluster`` row carries the client-observed (queue +
+        IPC + service) percentiles — the SLO number; ``shard-<i>`` rows
+        carry each worker's service-time view; ``aggregate-shards``
+        sums shard throughput, the multi-core scaling headline.
+    """
+    view = (
+        service.cluster_metrics()
+        if hasattr(service, "cluster_metrics") else dict(service)
+    )
+    cluster = view["cluster"]
+    if model not in cluster:
+        raise KeyError(
+            f"model {model!r} has no recorded cluster metrics; "
+            f"known: {sorted(cluster)}"
+        )
+    rows = [_measured_row("measured-cluster", model, cluster[model])]
+    aggregate = view["aggregate"].get(model)
+    if aggregate is not None:
+        rows.append({
+            "source": "aggregate-shards",
+            "model": model,
+            "mean_ms": None,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+            "throughput_rps": aggregate["throughput_rps"],
+            "requests": aggregate["requests"],
+        })
+    for shard in view["shards"]:
+        stats = shard["models"].get(model)
+        if stats is not None:
+            rows.append(_measured_row(
+                f"shard-{shard['shard']}", model, stats
+            ))
+    rows.extend(_modeled_rows(tree, net))
     return rows
 
 

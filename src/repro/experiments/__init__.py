@@ -30,13 +30,26 @@ REGISTRY = {
 __all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]
 
 
-def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
-    """Import and run one registered experiment by id."""
+def run_experiment(
+    name: str, fast: bool = False, **options
+) -> ExperimentResult:
+    """Import and run one registered experiment by id.
+
+    Extra keyword ``options`` (e.g. ``serve=True`` / ``cluster=True``
+    for fig16) are forwarded only when the experiment's ``run``
+    signature accepts them, so the CLI can offer optional modes without
+    every module having to grow the parameter.
+    """
     import importlib
+    import inspect
 
     if name not in REGISTRY:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(REGISTRY)}"
         )
     module = importlib.import_module(REGISTRY[name])
-    return module.run(fast=fast)
+    accepted = inspect.signature(module.run).parameters
+    forwarded = {
+        key: value for key, value in options.items() if key in accepted
+    }
+    return module.run(fast=fast, **forwarded)

@@ -20,10 +20,22 @@ def main(argv=None) -> int:
         "--fast", action="store_true",
         help="reduced workloads (same code paths)",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="also measure against a live PolicyServer "
+             "(experiments that support it, e.g. fig16)",
+    )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="also measure against a sharded multi-process "
+             "ShardedPolicyService (experiments that support it)",
+    )
     args = parser.parse_args(argv)
     names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:
-        result = run_experiment(name, fast=args.fast)
+        result = run_experiment(
+            name, fast=args.fast, serve=args.serve, cluster=args.cluster
+        )
         print(result.render())
         print()
     return 0

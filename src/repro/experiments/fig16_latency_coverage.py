@@ -81,9 +81,75 @@ def _live_serving_table(tree, fast: bool):
     return table, metrics
 
 
-def run(fast: bool = False, serve: bool = False) -> ExperimentResult:
+def _cluster_serving_table(tree, fast: bool, n_shards: int = 2):
+    """Serve the same tree through the sharded multi-process tier.
+
+    Async closed-loop coroutine clients measure per-decision latency;
+    the bulk array path measures aggregate throughput — the number that
+    scales with shards.
+    """
+    from repro.deploy.latency import cluster_latency_report
+    from repro.serve import PolicyArtifact
+    from repro.serve.cluster import ShardedPolicyService
+    from repro.serve.loadgen import flow_request_states, run_load_async
+
+    states = flow_request_states(
+        duration_s=1.0 if fast else 2.0, seed=9,
+        min_rows=128 if fast else 512,
+    )
+    with ShardedPolicyService(
+        n_shards=n_shards, max_batch=128, max_delay_s=1e-3,
+        adaptive_delay=True,
+    ) as service:
+        service.publish(
+            "auto-lrla", PolicyArtifact.from_tree(tree, name="auto-lrla")
+        )
+        service.predict("auto-lrla", states[:64])  # warm-up
+        closed = run_load_async(
+            service, "auto-lrla", states,
+            n_clients=8 if fast else 32, scenario="flows-cluster",
+        )
+        bulk = run_load_async(
+            service, "auto-lrla", states,
+            n_clients=4, chunk=128, repeats=2 if fast else 4,
+            scenario="flows-cluster-bulk",
+        )
+        rows = cluster_latency_report(service, "auto-lrla", tree=tree)
+    table = ResultTable(
+        f"Cluster serving ({n_shards} shards, live ShardedPolicyService)",
+        ["mode", "p50 (ms)", "p99 (ms)", "throughput (req/s)"],
+    )
+    table.add_row([
+        "closed-loop", closed.latency_p50_ms, closed.latency_p99_ms,
+        closed.throughput_rps,
+    ])
+    table.add_row([
+        "bulk", bulk.latency_p50_ms, bulk.latency_p99_ms,
+        bulk.throughput_rps,
+    ])
+    aggregate = next(
+        (r for r in rows if r["source"] == "aggregate-shards"), None
+    )
+    metrics = {
+        "cluster_p50_ms": closed.latency_p50_ms,
+        "cluster_p99_ms": closed.latency_p99_ms,
+        "cluster_bulk_throughput_rps": bulk.throughput_rps,
+        "cluster_errors": float(closed.n_errors + bulk.n_errors),
+        "cluster_shards": float(n_shards),
+        "cluster_aggregate_shard_rps": (
+            float(aggregate["throughput_rps"]) if aggregate else 0.0
+        ),
+    }
+    return table, metrics
+
+
+def run(
+    fast: bool = False, serve: bool = False, cluster: bool = False
+) -> ExperimentResult:
     """Reproduce Fig. 16; with ``serve=True`` the latency table is
-    additionally measured against a live ``repro.serve`` PolicyServer."""
+    additionally measured against a live ``repro.serve`` PolicyServer,
+    and with ``cluster=True`` against a sharded multi-process
+    ``ShardedPolicyService`` (2 shards)."""
     lab = auto_lab("websearch", fast)
     teacher, tree = lab["teacher"], lab["lrla_tree"]
 
@@ -167,6 +233,12 @@ def run(fast: bool = False, serve: bool = False) -> ExperimentResult:
         serve_table, serve_metrics = _live_serving_table(tree.tree, fast)
         tables.append(serve_table)
         metrics.update(serve_metrics)
+    if cluster:
+        cluster_table, cluster_metrics = _cluster_serving_table(
+            tree.tree, fast
+        )
+        tables.append(cluster_table)
+        metrics.update(cluster_metrics)
     return ExperimentResult(
         experiment="fig16",
         title="Decision latency drops ~27x; coverage expands",

@@ -10,14 +10,24 @@ The subsystem turns compiled policies into a served system:
   into one batched predict per flush;
 * :class:`PolicyServer` — the futures-based front door with per-model
   throughput/latency/batch/error metrics;
+* :class:`TrafficSplitter` — registry-layer canary routing and shadow
+  mirroring for staged rollouts;
+* :class:`AdaptiveDelay` — load-aware microbatch flush deadlines;
+* :mod:`repro.serve.cluster` — sharded multi-process serving with
+  shared-memory artifacts (imported lazily; it spawns processes);
+* :mod:`repro.serve.aio` — :class:`AsyncPolicyClient`, the asyncio
+  front end over any server (imported lazily);
 * :mod:`repro.serve.loadgen` — ABR / flows / routing trace-replay load
-  generators (imported lazily; it pulls in the simulators).
+  generators plus threaded and asyncio closed-loop replay harnesses
+  (imported lazily; it pulls in the simulators).
 """
 
+from repro.serve.adaptive import AdaptiveDelay
 from repro.serve.artifact import PolicyArtifact
 from repro.serve.batcher import MicroBatcher, ServeResult
 from repro.serve.registry import ModelRegistry, ResolvedModel
 from repro.serve.server import PolicyServer, ServeError, ServerMetrics
+from repro.serve.splitter import TrafficSplit, TrafficSplitter
 
 __all__ = [
     "PolicyArtifact",
@@ -28,4 +38,7 @@ __all__ = [
     "PolicyServer",
     "ServeError",
     "ServerMetrics",
+    "TrafficSplit",
+    "TrafficSplitter",
+    "AdaptiveDelay",
 ]

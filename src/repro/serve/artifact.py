@@ -33,6 +33,14 @@ import numpy as np
 
 from repro.core.tree.cart import DecisionTreeClassifier, _BaseTree
 from repro.core.tree.codegen import tree_to_python
+from repro.core.tree.flat import FlatTree
+
+#: FlatTree fields a tree artifact's content hash covers, in hash order.
+#: The same arrays are what the cluster ships through shared memory, so
+#: a worker can re-hash exactly what it reconstructed.
+TREE_HASH_FIELDS = (
+    "feature", "threshold", "children_left", "children_right", "value",
+)
 
 
 def _hash_arrays(arrays: Sequence[np.ndarray]) -> str:
@@ -86,6 +94,9 @@ class PolicyArtifact:
         source: optional generated single-decision source code
             (``tree_to_python``), the on-device artifact of §6.4.
         meta: free-form extra metadata (leaf counts, teacher names, ...).
+        flat: for tree artifacts, the snapshot :class:`FlatTree` backing
+            ``predict_batch`` — the contiguous arrays the cluster tier
+            ships to worker processes through shared memory.
     """
 
     name: str
@@ -96,6 +107,7 @@ class PolicyArtifact:
     content_hash: str
     source: Optional[str] = None
     meta: Dict[str, Any] = field(default_factory=dict)
+    flat: Optional[FlatTree] = None
 
     def __post_init__(self) -> None:
         if self.n_features < 1:
@@ -122,16 +134,43 @@ class PolicyArtifact:
         """
         if tree.root is None:
             raise RuntimeError("tree is not fitted")
-        flat = tree.flat
-        content = _hash_arrays([
-            flat.feature, flat.threshold, flat.children_left,
-            flat.children_right, flat.value,
-        ])
         is_classifier = isinstance(tree, DecisionTreeClassifier)
-        if is_classifier:
+        source = (
+            tree_to_python(tree) if (codegen and is_classifier) else None
+        )
+        return cls.from_flat(
+            tree.flat,
+            name=name,
+            kind="tree-classifier" if is_classifier else "tree-regressor",
+            n_features=int(tree.n_features),
+            source=source,
+        )
+
+    @classmethod
+    def from_flat(
+        cls,
+        flat: FlatTree,
+        name: str,
+        kind: str,
+        n_features: int,
+        source: Optional[str] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "PolicyArtifact":
+        """Build an artifact directly from a :class:`FlatTree` snapshot.
+
+        This is the worker-side constructor of the cluster tier: a
+        shard reconstructs the flat arrays from shared memory and
+        rebuilds the exact artifact the parent published (the content
+        hash, computed over the same arrays, proves it).
+        """
+        if kind not in ("tree-classifier", "tree-regressor"):
+            raise ValueError(f"from_flat cannot build kind {kind!r}")
+        content = _hash_arrays(
+            [getattr(flat, field_) for field_ in TREE_HASH_FIELDS]
+        )
+        if kind == "tree-classifier":
             predict = flat.predict_class
             n_outputs = flat.n_outputs  # class count
-            source = tree_to_python(tree) if codegen else None
         else:
             n_out = flat.n_outputs
 
@@ -140,19 +179,22 @@ class PolicyArtifact:
                 return values[:, 0] if _n == 1 else values
 
             n_outputs = n_out
-            source = None
+        full_meta = {
+            "n_leaves": int(flat.n_leaves),
+            "depth": int(flat.max_depth),
+        }
+        if meta:
+            full_meta.update(meta)
         return cls(
             name=name,
-            kind="tree-classifier" if is_classifier else "tree-regressor",
-            n_features=int(tree.n_features),
+            kind=kind,
+            n_features=int(n_features),
             n_outputs=int(n_outputs),
             predict_batch=predict,
             content_hash=content,
             source=source,
-            meta={
-                "n_leaves": int(flat.n_leaves),
-                "depth": int(flat.max_depth),
-            },
+            meta=full_meta,
+            flat=flat,
         )
 
     @classmethod

@@ -15,6 +15,16 @@ Flush policy (the two standard knobs):
   backlog that accumulated during the previous flush is already past its
   deadline and drains immediately.
 
+Two optional request-path extensions (both off by default):
+
+* an :class:`~repro.serve.adaptive.AdaptiveDelay` controller replaces
+  the fixed ``max_delay_s`` with a load-aware deadline — near zero when
+  the queue idles, growing toward the cap under sustained load;
+* a :class:`~repro.serve.splitter.TrafficSplitter` rewrites references
+  before resolution (canary fraction) and mirrors completed requests to
+  a shadow version whose answers are recorded for fidelity comparison
+  but never returned to a client future.
+
 Robustness at the boundary (the batcher thread must survive anything a
 request can throw at it):
 
@@ -30,6 +40,7 @@ request can throw at it):
 
 from __future__ import annotations
 
+import asyncio
 import queue
 import threading
 import time
@@ -38,7 +49,9 @@ from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.serve.adaptive import AdaptiveDelay
 from repro.serve.registry import ModelRegistry
+from repro.serve.splitter import TrafficSplitter, mirror_shadow
 
 #: Error kinds a request can fail with (recorded in metrics).
 ERR_UNKNOWN_MODEL = "unknown_model"
@@ -77,13 +90,16 @@ class ServeResult(NamedTuple):
 
 
 class _Request:
-    __slots__ = ("model", "state", "future", "enqueued")
+    __slots__ = ("model", "state", "future", "enqueued", "row")
 
     def __init__(self, model: str, state: Any) -> None:
         self.model = model
         self.state = state
         self.future: Future = Future()
         self.enqueued = time.perf_counter()
+        #: Validated float row, captured at flush time so shadow
+        #: mirroring does not re-validate.
+        self.row: Optional[np.ndarray] = None
 
 
 _STOP = object()
@@ -101,6 +117,11 @@ class MicroBatcher:
         max_batch: flush threshold (requests per flush).
         max_delay_s: max time the oldest request may wait for co-batching
             (0 disables coalescing waits — flush whatever is queued).
+        delay: optional :class:`AdaptiveDelay` controller; when present
+            it supplies the per-gather deadline (its cap plays the role
+            of ``max_delay_s``) and is fed every flush's fill level.
+        splitter: optional :class:`TrafficSplitter` consulted once per
+            flush for canary routing and shadow mirroring.
     """
 
     def __init__(
@@ -109,6 +130,8 @@ class MicroBatcher:
         metrics: Any = None,
         max_batch: int = 64,
         max_delay_s: float = 2e-3,
+        delay: Optional[AdaptiveDelay] = None,
+        splitter: Optional[TrafficSplitter] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -118,6 +141,8 @@ class MicroBatcher:
         self.metrics = metrics
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
+        self.delay = delay
+        self.splitter = splitter
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._closed = False
         # Guards the closed-flag/enqueue pair: submit must win or lose
@@ -142,9 +167,26 @@ class MicroBatcher:
         request = _Request(model=model, state=state)
         with self._submit_lock:
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise RuntimeError(
+                    "MicroBatcher is closed: submit() after close() "
+                    "would enqueue a future that can never resolve"
+                )
             self._queue.put(request)
         return request.future
+
+    def submit_async(self, model: str, state: Any) -> "asyncio.Future":
+        """Asyncio submission path: same queue, same worker, no thread
+        per client.
+
+        Must be called with an event loop running (it binds the wrapped
+        future to it); ``await`` the result like any coroutine.  Raises
+        the same ``RuntimeError`` as :meth:`submit` once closed.
+        """
+        return asyncio.wrap_future(self.submit(model, state))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
         """Stop the worker; every already-submitted request completes."""
@@ -185,7 +227,11 @@ class MicroBatcher:
         if first is _STOP:
             return [], True
         batch = [first]
-        deadline = first.enqueued + self.max_delay_s
+        delay_s = (
+            self.delay.current() if self.delay is not None
+            else self.max_delay_s
+        )
+        deadline = first.enqueued + delay_s
         while len(batch) < self.max_batch:
             remaining = deadline - time.perf_counter()
             try:
@@ -198,6 +244,9 @@ class MicroBatcher:
             if item is _STOP:
                 return batch, True
             batch.append(item)
+        if self.delay is not None:
+            self.delay.observe(len(batch), self._queue.qsize(),
+                               self.max_batch)
         return batch, False
 
     def _drain_remaining(self) -> None:
@@ -216,11 +265,45 @@ class MicroBatcher:
         by_ref: Dict[str, List[_Request]] = {}
         for request in batch:
             by_ref.setdefault(request.model, []).append(request)
+        # Traffic splitting rewrites references *before* resolution: a
+        # canaried request simply becomes a request for the canary ref,
+        # so attribution, grouping, and hot-swap semantics all hold
+        # unchanged downstream.  Shadow mirroring happens after the
+        # primary futures resolve (it compares served decisions).
+        shadow_jobs: List[Tuple[str, str, List[_Request]]] = []
+        splitter = self.splitter
+        if splitter is not None and splitter.active:
+            routed: Dict[str, List[_Request]] = {}
+            for ref, requests in by_ref.items():
+                plan = splitter.assign(ref, len(requests))
+                if plan is None:
+                    routed.setdefault(ref, []).extend(requests)
+                    continue
+                split = plan.split
+                if split.canary is not None:
+                    primaries = []
+                    for request, to_canary in zip(requests,
+                                                  plan.canary_mask):
+                        target = split.canary if to_canary else ref
+                        routed.setdefault(target, []).append(request)
+                        if not to_canary:
+                            primaries.append(request)
+                else:
+                    routed.setdefault(ref, []).extend(requests)
+                    primaries = requests
+                if split.shadow is not None and primaries:
+                    # Only primary-served traffic is mirrored: canaried
+                    # rows served by the candidate itself would
+                    # trivially agree and inflate the fidelity rate.
+                    shadow_jobs.append((ref, split.shadow, primaries))
+            by_ref = routed
         # All references resolve in one registry critical section, then
         # requests regroup by the *resolved* (name, version): an alias
         # and its canonical name co-batch into one predict, and a
         # concurrent publish can never split one flush across versions.
-        resolutions = self.registry.resolve_many(by_ref)
+        to_resolve = set(by_ref)
+        to_resolve.update(shadow_ref for _, shadow_ref, _ in shadow_jobs)
+        resolutions = self.registry.resolve_many(to_resolve)
         groups: Dict[Tuple[str, int], Tuple[Any, List[_Request]]] = {}
         for ref, requests in by_ref.items():
             resolved = resolutions[ref]
@@ -238,6 +321,49 @@ class MicroBatcher:
                 groups[key] = (resolved, list(requests))
         for resolved, requests in groups.values():
             self._flush_group(resolved, requests)
+        for ref, shadow_ref, requests in shadow_jobs:
+            self._mirror_shadow(
+                ref, shadow_ref, resolutions.get(shadow_ref), requests
+            )
+
+    def _mirror_shadow(
+        self,
+        ref: str,
+        shadow_ref: str,
+        resolved,
+        requests: List[_Request],
+    ) -> None:
+        """Replay one flush's served requests against the shadow version.
+
+        Outcomes land only in the splitter's shadow report — a shadow
+        answer is *never* written to a client future, and a shadow
+        failure costs the primary traffic nothing.
+        """
+        rows: List[np.ndarray] = []
+        served: List[Any] = []
+        for request in requests:
+            future = request.future
+            # Futures in this flush resolved synchronously above; guard
+            # anyway so a surprise never leaks into client state.
+            if request.row is None or not future.done():
+                continue
+            result = future.result()
+            if result.ok:
+                rows.append(request.row)
+                served.append(result.action)
+        if not rows:
+            return
+        try:
+            stacked = np.stack(rows)
+        except ValueError:
+            # Mixed row lengths cannot reach here (one flush serves one
+            # primary version), but the worker thread's liveness must
+            # never hinge on that invariant.
+            self.splitter.record_shadow_error(ref, shadow_ref, len(rows))
+            return
+        mirror_shadow(
+            self.splitter, resolved, ref, shadow_ref, stacked, served
+        )
 
     def _flush_group(self, resolved, requests: List[_Request]) -> None:
         artifact = resolved.artifact
@@ -250,6 +376,7 @@ class MicroBatcher:
                     request, resolved.name, resolved.version, error, detail
                 )
             else:
+                request.row = row
                 shaped.append(request)
                 rows.append(row)
         if not shaped:
@@ -327,6 +454,29 @@ class MicroBatcher:
         ))
 
 
+def coerce_state_row(
+    state: Any,
+) -> Tuple[Optional[np.ndarray], Optional[str], str]:
+    """Coerce one request state into a flat float row.
+
+    The artifact-independent half of serve-boundary validation, shared
+    by the in-process batcher and the cluster front end (which cannot
+    know the feature count — its workers do).  Returns ``(row, None,
+    "")`` or ``(None, error_kind, detail)``.
+    """
+    try:
+        row = np.asarray(state, dtype=float)
+    except (TypeError, ValueError) as exc:
+        return None, ERR_BAD_INPUT, f"state is not numeric: {exc}"
+    if row.ndim == 2 and row.shape[0] == 1:
+        row = row[0]
+    if row.ndim != 1:
+        return None, ERR_BAD_SHAPE, (
+            f"expected a flat state vector, got shape {np.shape(state)}"
+        )
+    return row, None, ""
+
+
 def _validate_state(
     state: Any, artifact
 ) -> Tuple[Optional[np.ndarray], Optional[str], str]:
@@ -337,13 +487,15 @@ def _validate_state(
     poisoned request from corrupting its whole batch.  Finiteness is
     checked afterwards in one vectorized sweep over the stacked batch.
     """
-    try:
-        row = np.asarray(state, dtype=float)
-    except (TypeError, ValueError) as exc:
-        return None, ERR_BAD_INPUT, f"state is not numeric: {exc}"
-    if row.ndim == 2 and row.shape[0] == 1:
-        row = row[0]
-    if row.ndim != 1 or row.shape[0] != artifact.n_features:
+    row, error, detail = coerce_state_row(state)
+    if error is not None:
+        if error == ERR_BAD_SHAPE:
+            detail = (
+                f"expected a flat state of {artifact.n_features} "
+                f"features, got shape {np.shape(state)}"
+            )
+        return None, error, detail
+    if row.shape[0] != artifact.n_features:
         return None, ERR_BAD_SHAPE, (
             f"expected a flat state of {artifact.n_features} features, "
             f"got shape {np.shape(state)}"

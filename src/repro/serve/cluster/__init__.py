@@ -1,0 +1,29 @@
+"""Sharded multi-process serving tier on top of :mod:`repro.serve`.
+
+* :mod:`~repro.serve.cluster.shm` — zero-copy shipping of flat tree
+  arrays to workers through ``multiprocessing.shared_memory``, content
+  hash verified on reconstruct;
+* :mod:`~repro.serve.cluster.worker` — shard process: a full registry /
+  metrics / splitter replica answering stacked predict batches;
+* :mod:`~repro.serve.cluster.service` — :class:`ShardedPolicyService`,
+  the front door: front-end microbatching, round-robin/hash routing,
+  bulk ``submit_batch``, cluster-level metrics aggregation, canary and
+  shadow splits broadcast to every shard.
+"""
+
+from repro.serve.cluster.service import ShardedPolicyService
+from repro.serve.cluster.shm import (
+    ShmArtifactHandle,
+    load_shared_artifact,
+    share_artifact,
+)
+from repro.serve.cluster.worker import ERR_SHARD, serve_stacked
+
+__all__ = [
+    "ShardedPolicyService",
+    "ShmArtifactHandle",
+    "share_artifact",
+    "load_shared_artifact",
+    "serve_stacked",
+    "ERR_SHARD",
+]

@@ -1,0 +1,945 @@
+"""Sharded multi-process policy serving.
+
+:class:`ShardedPolicyService` scales the PR-3 serving stack past the
+GIL: N worker processes each hold a full registry replica (model arrays
+shared zero-copy through :mod:`repro.serve.cluster.shm`), a front-end
+microbatcher coalesces single-state requests exactly like the
+single-process server, and whole flush groups are round-robined (or
+hash-routed) across shards as stacked arrays — one IPC message per
+group, never per request.
+
+What the parent keeps:
+
+* a **mirror registry** — publishes validate and version here first, so
+  version numbers are authoritative and `retire`'s refusal paths run
+  before anything is broadcast;
+* **end-to-end metrics** — client-observed latency (queue + IPC +
+  service) per model, the cluster-level percentiles; each worker also
+  keeps its own service-time metrics, surfaced via
+  :meth:`cluster_metrics`;
+* the **shared-memory segments** — the parent owns their lifetime and
+  unlinks them at close.
+
+Guarantees carried over from the single-process stack: zero dropped
+futures (close() drains, shard death fails pending requests with a
+structured ``shard_error`` result instead of hanging them), atomic
+hot-swap at flush granularity, per-request structured errors, and
+shadow answers that never reach a client future.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import pickle
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.adaptive import AdaptiveDelay, batching_state
+from repro.serve.artifact import PolicyArtifact
+from repro.serve.batcher import (
+    MicroBatcher,
+    ServeResult,
+    _Request,
+    coerce_state_row,
+)
+from repro.serve.cluster.shm import ensure_tracker_running, share_artifact
+from repro.serve.cluster.worker import ERR_SHARD, worker_main
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ServeError, ServerMetrics
+from repro.serve.splitter import (
+    TrafficSplit,
+    TrafficSplitter,
+    check_split_targets,
+    guard_retire_against_splits,
+)
+from repro.utils.rng import SeedLike
+
+_RPC_TIMEOUT_S = 60.0
+
+
+class _Shard:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("shard_id", "process", "conn", "send_lock", "alive",
+                 "reader")
+
+    def __init__(self, shard_id: int, process, conn) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.alive = True
+        self.reader: Optional[threading.Thread] = None
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            self.conn.send(message)
+
+
+class _PredictJob:
+    """Pending per-request flush group shipped to one shard."""
+
+    __slots__ = ("requests", "shard_id")
+
+    def __init__(self, requests: List[_Request], shard_id: int) -> None:
+        self.requests = requests
+        self.shard_id = shard_id
+
+
+class _BulkChunk:
+    """One shard's slice of a bulk submit_batch call."""
+
+    __slots__ = ("job", "offset", "size", "shard_id")
+
+    def __init__(self, job: "_BulkJob", offset: int, size: int,
+                 shard_id: int) -> None:
+        self.job = job
+        self.offset = offset
+        self.size = size
+        self.shard_id = shard_id
+
+
+class _BulkJob:
+    """Aggregated future over all chunks of one submit_batch call."""
+
+    __slots__ = ("future", "results", "outstanding", "lock", "enqueued",
+                 "model")
+
+    def __init__(self, n_rows: int, n_chunks: int, model: str) -> None:
+        self.future: Future = Future()
+        self.results: List[Optional[ServeResult]] = [None] * n_rows
+        self.outstanding = n_chunks
+        self.lock = threading.Lock()
+        self.enqueued = time.perf_counter()
+        #: Requested reference — failure results and metrics must
+        #: attribute to it, not to a placeholder.
+        self.model = model
+
+    def chunk_done(self) -> None:
+        with self.lock:
+            self.outstanding -= 1
+            done = self.outstanding == 0
+        if done:
+            self.future.set_result(list(self.results))
+
+
+class _Control:
+    """Pending control RPC (publish/metrics/...)."""
+
+    __slots__ = ("event", "ok", "result", "shard_id")
+
+    def __init__(self, shard_id: int) -> None:
+        self.event = threading.Event()
+        self.ok = False
+        self.result: Any = None
+        self.shard_id = shard_id
+
+
+class _ClusterDispatcher(MicroBatcher):
+    """Front-end batcher whose flush ships groups to shards.
+
+    Inherits the queue/gather/close machinery (including the adaptive
+    deadline and the zero-dropped-futures drain); only the flush is
+    replaced — instead of predicting locally it stacks each reference's
+    rows and hands the group to the service for routing.
+    """
+
+    def __init__(self, service: "ShardedPolicyService", **kwargs) -> None:
+        super().__init__(service.registry, metrics=service._metrics,
+                         **kwargs)
+        self._service = service
+
+    def _flush(self, batch: List[_Request]) -> None:
+        # Parent-side validation is the artifact-independent half: the
+        # worker owns the feature-count and finiteness checks (it knows
+        # the artifact); the parent only guarantees numeric 1-D rows.
+        by_ref: Dict[str, List[_Request]] = {}
+        for request in batch:
+            row, error, detail = coerce_state_row(request.state)
+            if error is not None:
+                self._complete_error(request, request.model, 0, error,
+                                     detail)
+                continue
+            request.row = row
+            by_ref.setdefault(request.model, []).append(request)
+        for ref, requests in by_ref.items():
+            # Rows of unequal length cannot stack; ship each length as
+            # its own sub-group and let the worker's feature-count check
+            # reject the wrong ones individually.
+            by_len: Dict[int, List[_Request]] = {}
+            for request in requests:
+                by_len.setdefault(request.row.shape[0], []).append(request)
+            for group in by_len.values():
+                self._service._dispatch_group(ref, group)
+
+
+class ShardedPolicyService:
+    """Multi-process serving front door (same surface as PolicyServer).
+
+    Args:
+        n_shards: worker process count.
+        registry: parent mirror registry (fresh one by default).
+        max_batch / max_delay_s: front-end microbatching knobs.
+        adaptive_delay: use a load-aware flush deadline capped at
+            ``max_delay_s`` (recommended for mixed load).
+        routing: ``"round_robin"`` rotates whole flush groups across
+            shards; ``"hash"`` routes each request by a stable hash of
+            its state (shard affinity for cache-warm models).
+        split_seed: base seed for per-worker canary assignment RNGs
+            (each shard derives an independent child seed).
+        start_method: multiprocessing start method; default prefers
+            ``fork`` (instant, shares the imported interpreter) and
+            falls back to the platform default.
+
+    Usage::
+
+        with ShardedPolicyService(n_shards=2) as service:
+            service.publish("abr", PolicyArtifact.from_tree(tree))
+            result = service.submit("abr", state).result()
+            actions = [r.action for r in
+                       service.predict_batch("abr", states)]
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        registry: Optional[ModelRegistry] = None,
+        max_batch: int = 128,
+        max_delay_s: float = 1e-3,
+        max_latency_samples: int = 200_000,
+        adaptive_delay: bool = False,
+        routing: str = "round_robin",
+        split_seed: SeedLike = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if routing not in ("round_robin", "hash"):
+            raise ValueError("routing must be 'round_robin' or 'hash'")
+        # Validate the batcher knobs *before* anything spawns; the
+        # dispatcher would reject them anyway, but only after worker
+        # processes exist.
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.n_shards = n_shards
+        self.routing = routing
+        self.registry = registry if registry is not None else ModelRegistry()
+        self._metrics = ServerMetrics(max_latency_samples)
+        #: (name, version) -> SharedMemory the parent owns; released on
+        #: retire (workers unmapped theirs) or at close.
+        self._segments: Dict[Tuple[str, int], Any] = {}
+        #: Parent-side record of active splits (workers hold the live
+        #: routing state; this mirror backs the retire refusal check).
+        self._splits: Dict[str, TrafficSplit] = {}
+        # Serializes split reconfiguration against retire (the retire
+        # guard is check-then-act over the split mirror).
+        self._control_lock = threading.Lock()
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+        self._pending: Dict[int, Any] = {}
+        self._pending_lock = threading.Lock()
+        self._pending_empty = threading.Condition(self._pending_lock)
+        self._msg_ids = itertools.count(1)
+        self._rr = itertools.count()
+
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = mp.get_context(start_method)
+        # Children must inherit OUR resource tracker (fork inherits the
+        # fd, spawn ships it in the preparation data), not grow private
+        # ones that reap live segments when a worker exits.
+        ensure_tracker_running()
+        if split_seed is None:
+            child_seeds: List[Optional[int]] = [None] * n_shards
+        else:
+            seq = np.random.SeedSequence(
+                int(np.random.default_rng(split_seed).integers(1 << 31))
+            )
+            child_seeds = [
+                int(child.generate_state(1)[0])
+                for child in seq.spawn(n_shards)
+            ]
+        # Any failure after the first process spawns must tear down
+        # what already started — the constructor raised, so the caller
+        # never gets an object to close(), and half-started workers,
+        # readers, and the dispatcher would leak for the process
+        # lifetime.  (The knob validation that MicroBatcher repeats ran
+        # above, before anything spawned.)
+        self._shards: List[_Shard] = []
+        self._dispatcher: Optional[_ClusterDispatcher] = None
+        try:
+            # Workers fork/spawn *before* any parent thread starts, so
+            # the children never inherit a half-held lock.
+            for shard_id in range(n_shards):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, shard_id, child_seeds[shard_id]),
+                    name=f"repro-serve-shard-{shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._shards.append(_Shard(shard_id, process, parent_conn))
+            for shard in self._shards:
+                shard.reader = threading.Thread(
+                    target=self._reader_loop, args=(shard,),
+                    name=f"repro-serve-shard-{shard.shard_id}-reader",
+                    daemon=True,
+                )
+                shard.reader.start()
+            self._dispatcher = _ClusterDispatcher(
+                self,
+                max_batch=max_batch,
+                max_delay_s=max_delay_s,
+                delay=(AdaptiveDelay(max_delay_s=max_delay_s)
+                       if adaptive_delay else None),
+            ).start()
+            # Fail fast if a worker died on startup (bad import, OOM).
+            for shard in self._shards:
+                reply = self._rpc(shard, "ping", None, timeout_s=30.0)
+                if reply != ("pong", shard.shard_id):
+                    raise RuntimeError(
+                        f"shard {shard.shard_id} failed its startup ping"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    # -- registry control -------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        artifact: PolicyArtifact,
+        alias: Optional[str] = None,
+    ) -> int:
+        """Publish to every shard (shared memory for tree artifacts).
+
+        The parent mirror registry publishes first — it is the
+        authoritative version counter — then the artifact is broadcast;
+        tree artifacts travel as one shared segment mapped by all
+        shards, anything else falls back to pickling.  If any live
+        shard rejects the publish, the shards that already applied it
+        and the parent mirror are rolled back before the error is
+        raised, so the replicas never diverge; the alias (if any) is
+        installed only after every shard accepted.
+
+        Control-plane operations (publish / alias / retire / splits)
+        serialize under one lock so every shard sees them in the same
+        order — interleaved broadcasts would diverge the replicas.
+        """
+        with self._control_lock:
+            return self._publish_locked(name, artifact, alias)
+
+    def _publish_locked(
+        self,
+        name: str,
+        artifact: PolicyArtifact,
+        alias: Optional[str],
+    ) -> int:
+        if artifact.flat is None:
+            # Pickle fallback: serialize *once*, before the parent
+            # registry publishes — an unpicklable artifact must fail
+            # cleanly here (not desync replicas mid-broadcast), and the
+            # resulting bytes ship to every shard without re-pickling
+            # multi-MB teacher weights per shard.
+            try:
+                pickled: Optional[bytes] = pickle.dumps(artifact)
+            except Exception as exc:  # noqa: BLE001 - any pickle error
+                raise TypeError(
+                    f"artifact {artifact.name!r} (kind "
+                    f"{artifact.kind!r}) cannot be shipped to shards: "
+                    f"it has no flat arrays for shared memory and does "
+                    f"not pickle ({exc})"
+                ) from exc
+        else:
+            pickled = None
+        # Build the transport payload *before* the parent mirror
+        # publishes: a share_artifact failure (e.g. /dev/shm exhausted)
+        # after the mirror write would leave a phantom parent version
+        # that wedges every later publish of the model.
+        shm = None
+        if artifact.flat is not None:
+            handle, shm = share_artifact(artifact)
+            payload: Any = handle
+        else:
+            payload = pickled
+        try:
+            version = self.registry.publish(name, artifact)
+        except Exception:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+            raise
+        if shm is not None:
+            self._segments[(name, version)] = shm
+        applied: List[_Shard] = []
+        try:
+            for shard in self._shards:
+                if not shard.alive:
+                    continue
+                worker_version = self._rpc(
+                    shard, "publish", (name, payload)
+                )
+                applied.append(shard)
+                if worker_version != version:
+                    raise RuntimeError(
+                        f"shard {shard.shard_id} registered {name!r} "
+                        f"as version {worker_version}, parent has "
+                        f"{version}: registry replicas diverged"
+                    )
+            if not applied:
+                raise RuntimeError("no live shards")
+        except Exception:
+            # Roll the already-applied shards and the parent mirror
+            # back so every replica forgets the failed version.
+            for shard in applied:
+                if not shard.alive:
+                    continue
+                try:
+                    self._rpc(shard, "rollback_publish", (name, version),
+                              timeout_s=10.0)
+                except Exception:  # noqa: BLE001 - rollback best effort
+                    pass
+            try:
+                self.registry.rollback_publish(name, version)
+            except ValueError:
+                pass  # a concurrent publish superseded it; leave it
+            shm = self._segments.pop((name, version), None)
+            if shm is not None:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:  # noqa: BLE001
+                    pass
+            raise
+        if alias is not None:
+            self._alias_locked(alias, name, None)
+        return version
+
+    def alias(
+        self, alias: str, target: str, version: Optional[int] = None
+    ) -> None:
+        with self._control_lock:
+            self._alias_locked(alias, target, version)
+
+    def _alias_locked(
+        self, alias: str, target: str, version: Optional[int]
+    ) -> None:
+        self.registry.alias(alias, target, version)
+        self._broadcast_or_evict("alias", (alias, target, version))
+
+    def retire(self, name: str, version: int) -> None:
+        """Retire an old version cluster-wide (parent refusal rules —
+        including active splits routing to it — run first, so an
+        illegal retire never reaches a shard)."""
+        with self._control_lock:
+            guard_retire_against_splits(
+                dict(self._splits), self.registry, name, version
+            )
+            self.registry.retire(name, version)
+            self._broadcast_or_evict("retire", (name, version))
+        # Workers have unmapped the retired version; release the
+        # parent-owned segment so memory tracks the live set, not the
+        # publish history.
+        shm = self._segments.pop((name, version), None)
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # noqa: BLE001 - release best effort
+                pass
+
+    # -- traffic splitting -------------------------------------------------
+    def set_split(
+        self,
+        ref: str,
+        canary: Optional[str] = None,
+        canary_fraction: float = 0.0,
+        shadow: Optional[str] = None,
+    ) -> None:
+        """Install a canary/shadow split on every shard.
+
+        Each shard applies the new configuration atomically at its next
+        flush; cross-shard skew is bounded by one in-flight batch.
+        """
+        with self._control_lock:
+            check_split_targets(self.registry, ref, canary, shadow)
+            # Constructing the config validates it before any broadcast.
+            split = TrafficSplit(
+                ref=ref, canary=canary,
+                canary_fraction=float(canary_fraction), shadow=shadow,
+            )
+            # Record the mirror *before* broadcasting: if the broadcast
+            # fails partway, some shard may already be routing under
+            # this split, and the retire() guard must keep seeing it.
+            self._splits[ref] = split
+            self._broadcast_or_evict(
+                "set_split", (ref, canary, float(canary_fraction), shadow)
+            )
+
+    def clear_split(self, ref: str) -> None:
+        with self._control_lock:
+            self._broadcast_or_evict("clear_split", ref)
+            self._splits.pop(ref, None)
+
+    def splits(self) -> Dict[str, TrafficSplit]:
+        """Active splits as recorded by the parent."""
+        return dict(self._splits)
+
+    def shadow_report(self) -> Dict[str, dict]:
+        """Cluster-wide shadow fidelity (summed over shards)."""
+        merger = TrafficSplitter()
+        for _shard, report in self._broadcast("shadow_report", None):
+            merger.merge_shadow_report(report)
+        return merger.shadow_report()
+
+    # -- traffic -----------------------------------------------------------
+    def submit(self, model: str, state: Any) -> "Future[ServeResult]":
+        """One decision request; microbatched and routed to a shard."""
+        return self._dispatcher.submit(model, state)
+
+    def submit_async(self, model: str, state: Any):
+        """Asyncio submission path; awaitable from a running loop."""
+        return self._dispatcher.submit_async(model, state)
+
+    def submit_many(
+        self, model: str, states: Any
+    ) -> List["Future[ServeResult]"]:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return [self._dispatcher.submit(model, row) for row in states]
+
+    def submit_batch(
+        self, model: str, states: Any
+    ) -> "Future[List[ServeResult]]":
+        """Bulk path: one future for a whole state matrix.
+
+        The matrix is split into contiguous chunks across live shards
+        and shipped as arrays — per-row Python cost at the front end is
+        a slice, which is what lets the cluster outrun the per-request
+        future machinery of the single-process server.
+        """
+        if self._dispatcher.closed:
+            raise RuntimeError(
+                "ShardedPolicyService is closed: submit_batch() after "
+                "close() can never complete"
+            )
+        x = np.atleast_2d(np.ascontiguousarray(states, dtype=float))
+        if x.ndim != 2:
+            raise ValueError("submit_batch expects an (n, d) state matrix")
+        shards = [s for s in self._shards if s.alive]
+        n = x.shape[0]
+        if not shards or n == 0:
+            job = _BulkJob(n, 1, model)
+            for i in range(n):
+                self._metrics.record(model, 0, 0.0, error=ERR_SHARD)
+                job.results[i] = ServeResult(
+                    ok=False, action=None, model=model, version=0,
+                    error=ERR_SHARD, detail="no live shards",
+                )
+            job.chunk_done()
+            return job.future
+        n_chunks = min(len(shards), n)
+        bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+        job = _BulkJob(n, n_chunks, model)
+        for k in range(n_chunks):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            shard = shards[k % len(shards)]
+            chunk = _BulkChunk(job, lo, hi - lo, shard.shard_id)
+            self._send_predict(shard, model, x[lo:hi], chunk)
+        return job.future
+
+    def predict_batch(
+        self, model: str, states: Any, timeout_s: float = 60.0
+    ) -> List[ServeResult]:
+        """Synchronous bulk convenience returning per-row results."""
+        return self.submit_batch(model, states).result(timeout=timeout_s)
+
+    def predict(
+        self, model: str, states: Any, timeout_s: float = 60.0
+    ) -> np.ndarray:
+        """Synchronous bulk convenience: actions or :class:`ServeError`."""
+        results = self.predict_batch(model, states, timeout_s=timeout_s)
+        for res in results:
+            if not res.ok:
+                raise ServeError(f"{model}: {res.error} ({res.detail})")
+        return np.asarray([res.action for res in results])
+
+    # -- dispatch internals ------------------------------------------------
+    def _pick_shard(self) -> Optional[_Shard]:
+        shards = [s for s in self._shards if s.alive]
+        if not shards:
+            return None
+        return shards[next(self._rr) % len(shards)]
+
+    def _dispatch_group(self, ref: str, requests: List[_Request]) -> None:
+        """Route one stacked flush group to a shard (or fail it fast)."""
+        if self.routing == "hash" and len(self._shards) > 1:
+            buckets: Dict[int, List[_Request]] = {}
+            for request in requests:
+                key = hash(request.row.tobytes()) % self.n_shards
+                buckets.setdefault(key, []).append(request)
+            parts = list(buckets.items())
+        else:
+            parts = [(-1, requests)]
+        for key, group in parts:
+            if key >= 0 and self._shards[key].alive:
+                shard: Optional[_Shard] = self._shards[key]
+            else:
+                shard = self._pick_shard()
+            if shard is None:
+                self._fail_requests(group, ref, "no live shards")
+                continue
+            x = np.stack([request.row for request in group])
+            self._send_predict(shard, ref, x, _PredictJob(group,
+                                                          shard.shard_id))
+
+    def _send_predict(self, shard: _Shard, ref: str, x: np.ndarray,
+                      entry: Any) -> None:
+        msg_id = next(self._msg_ids)
+        with self._pending_lock:
+            self._pending[msg_id] = entry
+        try:
+            shard.send((msg_id, "predict", (ref, x)))
+        except Exception as exc:  # noqa: BLE001 - fail, never strand
+            with self._pending_lock:
+                owned = self._pending.pop(msg_id, None)
+            if isinstance(exc, OSError):  # broken pipe == dead shard
+                self._on_shard_death(shard)
+                detail = f"shard {shard.shard_id} is unreachable"
+            else:  # payload problem; the shard is healthy
+                detail = (
+                    f"request could not be shipped to shard "
+                    f"{shard.shard_id}: {exc}"
+                )
+            if owned is None:
+                # The reader's shard-death sweep claimed the entry
+                # between our insert and the send — it already failed
+                # these futures; failing them twice would raise.
+                return
+            if isinstance(owned, _PredictJob):
+                self._fail_requests(owned.requests, ref, detail)
+            else:
+                self._fail_chunk(owned, detail)
+
+    def _fail_requests(self, requests: List[_Request], ref: str,
+                       detail: str) -> None:
+        now = time.perf_counter()
+        for request in requests:
+            if request.future.done():  # belt: never double-resolve
+                continue
+            self._metrics.record(ref, 0, now - request.enqueued,
+                                 error=ERR_SHARD)
+            request.future.set_result(ServeResult(
+                ok=False, action=None, model=ref, version=0,
+                error=ERR_SHARD, detail=detail,
+                latency_s=now - request.enqueued,
+            ))
+
+    def _fail_chunk(self, chunk: _BulkChunk, detail: str) -> None:
+        ref = chunk.job.model
+        now = time.perf_counter()
+        latency = now - chunk.job.enqueued
+        for i in range(chunk.offset, chunk.offset + chunk.size):
+            self._metrics.record(ref, 0, latency, error=ERR_SHARD)
+            chunk.job.results[i] = ServeResult(
+                ok=False, action=None, model=ref, version=0,
+                error=ERR_SHARD, detail=detail, latency_s=latency,
+            )
+        chunk.job.chunk_done()
+
+    # -- reply handling ----------------------------------------------------
+    def _reader_loop(self, shard: _Shard) -> None:
+        conn = shard.conn
+        while True:
+            try:
+                msg_id, ok, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            with self._pending_lock:
+                entry = self._pending.pop(msg_id, None)
+                if not self._pending:
+                    self._pending_empty.notify_all()
+            if entry is None:
+                continue
+            if isinstance(entry, _Control):
+                entry.ok = bool(ok)
+                entry.result = payload
+                entry.event.set()
+            elif isinstance(entry, _PredictJob):
+                self._complete_predict(entry, ok, payload)
+            elif isinstance(entry, _BulkChunk):
+                self._complete_chunk(entry, ok, payload)
+        self._on_shard_death(shard)
+
+    def _complete_predict(self, job: _PredictJob, ok: bool,
+                          payload) -> None:
+        requests = job.requests
+        if not ok:
+            self._fail_requests(
+                requests, requests[0].model,
+                f"shard {job.shard_id} failed: {payload}",
+            )
+            return
+        now = time.perf_counter()
+        for name, version, idx, actions in payload["groups"]:
+            if np.ndim(actions) == 1:
+                values = np.asarray(actions).tolist()
+            else:
+                values = [np.array(row) for row in actions]
+            latencies = []
+            for i, action in zip(idx, values):
+                request = requests[int(i)]
+                latency = now - request.enqueued
+                latencies.append(latency)
+                request.future.set_result(ServeResult(
+                    ok=True, action=action, model=name, version=version,
+                    latency_s=latency,
+                ))
+            self._metrics.record_group(name, version, latencies)
+        for i, model, version, kind, detail in payload["errors"]:
+            request = requests[int(i)]
+            latency = now - request.enqueued
+            self._metrics.record(model, version, latency, error=kind)
+            request.future.set_result(ServeResult(
+                ok=False, action=None, model=model, version=version,
+                error=kind, detail=detail, latency_s=latency,
+            ))
+
+    def _complete_chunk(self, chunk: _BulkChunk, ok: bool,
+                        payload) -> None:
+        job = chunk.job
+        if not ok:
+            self._fail_chunk(
+                chunk, f"shard {chunk.shard_id} failed: {payload}"
+            )
+            return
+        now = time.perf_counter()
+        latency = now - job.enqueued
+        for name, version, idx, actions in payload["groups"]:
+            if np.ndim(actions) == 1:
+                values = np.asarray(actions).tolist()
+            else:
+                values = [np.array(row) for row in actions]
+            for i, action in zip(idx, values):
+                job.results[chunk.offset + int(i)] = ServeResult(
+                    ok=True, action=action, model=name, version=version,
+                    latency_s=latency,
+                )
+            self._metrics.record_group(
+                name, version, [latency] * int(len(idx))
+            )
+        for i, model, version, kind, detail in payload["errors"]:
+            job.results[chunk.offset + int(i)] = ServeResult(
+                ok=False, action=None, model=model, version=version,
+                error=kind, detail=detail, latency_s=latency,
+            )
+            self._metrics.record(model, version, latency, error=kind)
+        job.chunk_done()
+
+    def _on_shard_death(self, shard: _Shard) -> None:
+        if not shard.alive:
+            return
+        shard.alive = False
+        # Fail everything still routed at the dead shard — a crashed
+        # worker must never strand a future.
+        with self._pending_lock:
+            doomed = [
+                (msg_id, entry) for msg_id, entry in self._pending.items()
+                if getattr(entry, "shard_id", None) == shard.shard_id
+            ]
+            for msg_id, _entry in doomed:
+                del self._pending[msg_id]
+            if not self._pending:
+                self._pending_empty.notify_all()
+        for _msg_id, entry in doomed:
+            if isinstance(entry, _PredictJob):
+                self._fail_requests(
+                    entry.requests, entry.requests[0].model,
+                    f"shard {shard.shard_id} died",
+                )
+            elif isinstance(entry, _BulkChunk):
+                self._fail_chunk(entry, f"shard {shard.shard_id} died")
+            elif isinstance(entry, _Control):
+                entry.ok = False
+                entry.result = f"shard {shard.shard_id} died"
+                entry.event.set()
+
+    # -- control RPC -------------------------------------------------------
+    def _rpc(self, shard: _Shard, op: str, payload,
+             timeout_s: float = _RPC_TIMEOUT_S):
+        control = _Control(shard.shard_id)
+        msg_id = next(self._msg_ids)
+        with self._pending_lock:
+            self._pending[msg_id] = control
+        try:
+            shard.send((msg_id, op, payload))
+        except OSError as exc:  # broken pipe: the shard really died
+            with self._pending_lock:
+                self._pending.pop(msg_id, None)
+            self._on_shard_death(shard)
+            raise RuntimeError(
+                f"shard {shard.shard_id} is unreachable: {exc}"
+            ) from exc
+        except Exception as exc:
+            # A payload problem (e.g. unpicklable object) is the
+            # caller's fault — the shard is perfectly healthy.
+            with self._pending_lock:
+                self._pending.pop(msg_id, None)
+            raise TypeError(
+                f"payload for {op!r} cannot be shipped to shard "
+                f"{shard.shard_id}: {exc}"
+            ) from exc
+        if not control.event.wait(timeout_s):
+            raise RuntimeError(
+                f"shard {shard.shard_id} did not answer {op!r} within "
+                f"{timeout_s:.0f}s"
+            )
+        if not control.ok:
+            raise RuntimeError(
+                f"shard {shard.shard_id} rejected {op!r}: "
+                f"{control.result}"
+            )
+        return control.result
+
+    def _broadcast(self, op: str, payload) -> List[Tuple[_Shard, Any]]:
+        replies = []
+        for shard in self._shards:
+            if shard.alive:
+                replies.append((shard, self._rpc(shard, op, payload)))
+        if not replies:
+            raise RuntimeError("no live shards")
+        return replies
+
+    def _broadcast_or_evict(
+        self, op: str, payload
+    ) -> List[Tuple[_Shard, Any]]:
+        """Apply a control op on every live shard, evicting any shard
+        that cannot apply it.
+
+        Publish has a rollback protocol; cheaper control ops (alias /
+        retire / splits) use fail-stop instead: a replica that missed a
+        control op would silently serve stale routing state forever,
+        and losing one shard's capacity is strictly better than that.
+        Raises only when no shard applied the op.
+        """
+        replies = []
+        for shard in self._shards:
+            if not shard.alive:
+                continue
+            try:
+                replies.append((shard, self._rpc(shard, op, payload)))
+            except Exception:  # noqa: BLE001 - evict, keep the rest
+                self._on_shard_death(shard)
+                try:
+                    shard.process.terminate()
+                except Exception:  # noqa: BLE001
+                    pass
+        if not replies:
+            raise RuntimeError(f"no live shard could apply {op!r}")
+        return replies
+
+    # -- observability -----------------------------------------------------
+    def metrics(self) -> Dict[str, dict]:
+        """Cluster-level per-model metrics (client-observed latency)."""
+        return self._metrics.snapshot()
+
+    def cluster_metrics(self) -> Dict[str, Any]:
+        """Full cluster view: end-to-end, per-shard, and aggregate.
+
+        ``cluster`` carries the client-observed percentiles (the number
+        that matters for SLOs); ``shards`` the per-worker service-time
+        snapshots; ``aggregate`` sums shard counters and throughput —
+        aggregate throughput is the scaling headline.
+        """
+        shard_snaps = []
+        for shard, snap in self._broadcast("metrics", None):
+            shard_snaps.append({"shard": shard.shard_id, "models": snap})
+        aggregate: Dict[str, dict] = {}
+        for snap in shard_snaps:
+            for model, stats in snap["models"].items():
+                agg = aggregate.setdefault(model, {
+                    "requests": 0, "errors": 0, "throughput_rps": 0.0,
+                    "versions": {}, "batch_sizes": {},
+                })
+                agg["requests"] += stats["requests"]
+                agg["errors"] += stats["errors"]
+                agg["throughput_rps"] += stats["throughput_rps"]
+                for key, count in stats["versions"].items():
+                    agg["versions"][key] = (
+                        agg["versions"].get(key, 0) + count
+                    )
+                for key, count in stats["batch_sizes"].items():
+                    agg["batch_sizes"][key] = (
+                        agg["batch_sizes"].get(key, 0) + count
+                    )
+        return {
+            "n_shards": self.n_shards,
+            "live_shards": sum(1 for s in self._shards if s.alive),
+            "cluster": self.metrics(),
+            "shards": shard_snaps,
+            "aggregate": aggregate,
+        }
+
+    def batching_state(self) -> Dict[str, Any]:
+        return batching_state(self._dispatcher.delay,
+                              self._dispatcher.max_delay_s)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Drain, stop the shards, release the shared segments.
+
+        Ordering matters: the front-end batcher drains first (every
+        accepted request is dispatched), then pending replies are
+        awaited, then shards stop — so zero futures drop.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.close()
+        deadline = time.monotonic() + _RPC_TIMEOUT_S
+        with self._pending_lock:
+            while self._pending and time.monotonic() < deadline:
+                self._pending_empty.wait(timeout=0.25)
+        for shard in self._shards:
+            if shard.alive:
+                try:
+                    self._rpc(shard, "stop", None, timeout_s=10.0)
+                except RuntimeError:
+                    pass
+        for shard in self._shards:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            if shard.reader is not None:
+                shard.reader.join(timeout=10.0)
+            shard.process.join(timeout=10.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+            shard.alive = False
+        for shm in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ShardedPolicyService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

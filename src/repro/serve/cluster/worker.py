@@ -1,0 +1,322 @@
+"""Shard worker: a registry replica serving pre-batched predict calls.
+
+Each worker process owns a full serving replica — its own
+:class:`ModelRegistry`, :class:`ServerMetrics`, and
+:class:`TrafficSplitter` — kept in lockstep by the parent broadcasting
+every control operation (publish / alias / retire / split) to all
+shards in order.  Model arrays arrive through shared memory
+(:mod:`repro.serve.cluster.shm`), so N shards share one physical copy
+of every tree.
+
+The data path is :func:`serve_stacked`: the parent ships an already
+stacked ``(n, d)`` float batch per message, and the worker answers with
+compact arrays — per-group ``(name, version, row indices, actions)``
+plus structured per-row errors — rather than per-request objects.  That
+keeps the per-request Python cost on the worker near zero, which is the
+whole reason the cluster tier exists.
+
+Message protocol (over one duplex ``multiprocessing`` connection)::
+
+    request:  (msg_id, op, payload)
+    response: (msg_id, ok, result_or_error_string)
+
+Ops: ``publish``, ``alias``, ``retire``, ``predict``, ``set_split``,
+``clear_split``, ``metrics``, ``shadow_report``, ``ping``, ``stop``.
+The worker never lets an exception escape the loop: a failing op
+answers ``ok=False`` with the error text, and only ``stop`` or a closed
+pipe ends the process.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.batcher import (
+    ERR_BAD_OUTPUT,
+    ERR_BAD_SHAPE,
+    ERR_NON_FINITE,
+    ERR_PREDICT,
+    ERR_UNKNOWN_MODEL,
+)
+from repro.serve.cluster.shm import ShmArtifactHandle, load_shared_artifact
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ServerMetrics
+from repro.serve.splitter import TrafficSplitter, mirror_shadow
+
+#: Error kind when a whole shard died under a request (parent-side).
+ERR_SHARD = "shard_error"
+
+
+def serve_stacked(
+    registry: ModelRegistry,
+    splitter: TrafficSplitter,
+    metrics: ServerMetrics,
+    ref: str,
+    x: np.ndarray,
+    shadow_sink: Optional[list] = None,
+) -> Dict[str, Any]:
+    """Serve one stacked batch under ``ref`` with full split semantics.
+
+    Returns ``{"groups": [(name, version, idx, actions), ...],
+    "errors": [(i, model, version, kind, detail), ...]}`` where ``idx``
+    indexes rows of ``x``.  Mirrors the MicroBatcher's per-request
+    guarantees vectorized: canary rows route to the canary reference,
+    non-finite rows fail alone, a raising ``predict_batch`` fails only
+    its group, and shadow answers — mirrored from the primary-served
+    rows only — are recorded but never returned.
+
+    With ``shadow_sink`` provided, shadow mirroring is *deferred*: the
+    thunks are appended for the caller to run after the reply has been
+    sent, so a slow shadow model never adds latency to the primary
+    requests it mirrors (zero blast radius in time, not just in
+    correctness).  Without a sink, mirroring runs inline.
+    """
+    n = x.shape[0]
+    start = time.perf_counter()
+    all_idx = np.arange(n, dtype=np.intp)
+    plan = splitter.assign(ref, n) if splitter.active else None
+    if plan is not None and plan.split.canary is not None:
+        mask = plan.canary_mask
+        assignments = [
+            (ref, all_idx[~mask]),
+            (plan.split.canary, all_idx[mask]),
+        ]
+    else:
+        assignments = [(ref, all_idx)]
+    shadow_ref = plan.shadow if plan is not None else None
+
+    refs = [target for target, idx in assignments if idx.size]
+    if shadow_ref is not None:
+        refs.append(shadow_ref)
+    resolutions = registry.resolve_many(set(refs))
+
+    groups: List[Tuple[str, int, np.ndarray, np.ndarray]] = []
+    errors: List[Tuple[int, str, int, str, str]] = []
+    served_idx: List[np.ndarray] = []
+    served_actions: List[np.ndarray] = []
+    for target, idx in assignments:
+        if not idx.size:
+            continue
+        resolved = resolutions[target]
+        if resolved is None:
+            errors.extend(
+                (int(i), target, 0, ERR_UNKNOWN_MODEL,
+                 f"unknown model {target!r}")
+                for i in idx
+            )
+            continue
+        artifact = resolved.artifact
+        name, version = resolved.name, resolved.version
+        if x.shape[1] != artifact.n_features:
+            detail = (
+                f"expected a flat state of {artifact.n_features} "
+                f"features, got shape ({x.shape[1]},)"
+            )
+            errors.extend(
+                (int(i), name, version, ERR_BAD_SHAPE, detail)
+                for i in idx
+            )
+            continue
+        sub = x[idx]
+        finite = np.isfinite(sub).all(axis=1)
+        if not finite.all():
+            for i in idx[~finite]:
+                errors.append((
+                    int(i), name, version, ERR_NON_FINITE,
+                    "state contains NaN or infinite entries",
+                ))
+            idx = idx[finite]
+            sub = sub[finite]
+            if not idx.size:
+                continue
+        try:
+            out = np.asarray(artifact.predict_batch(sub))
+        except Exception as exc:  # noqa: BLE001 - boundary must survive
+            detail = f"{type(exc).__name__}: {exc}"
+            errors.extend(
+                (int(i), name, version, ERR_PREDICT, detail) for i in idx
+            )
+            continue
+        if out.shape[:1] != (idx.size,):
+            detail = (
+                f"predict_batch returned shape {out.shape} for "
+                f"{idx.size} requests"
+            )
+            errors.extend(
+                (int(i), name, version, ERR_BAD_OUTPUT, detail)
+                for i in idx
+            )
+            continue
+        groups.append((name, version, idx, out))
+        if target == ref:
+            # Only primary-served rows feed the shadow comparison —
+            # canaried rows served by the candidate itself would
+            # trivially agree and inflate the fidelity rate.
+            served_idx.append(idx)
+            served_actions.append(out)
+
+    service_s = time.perf_counter() - start
+    for name, version, idx, _out in groups:
+        # Worker-side latency is pure service time; the parent records
+        # the client-observed (queue + IPC) latency separately.
+        metrics.record_group(name, version, [service_s] * int(idx.size))
+    for _i, model, version, kind, _detail in errors:
+        metrics.record(model, version, service_s, error=kind)
+
+    if shadow_ref is not None and served_idx:
+        resolved_shadow = resolutions.get(shadow_ref)
+        for idx_group, out_group in zip(served_idx, served_actions):
+            def thunk(rows=x[idx_group], served=out_group,
+                      resolved=resolved_shadow, shadow=shadow_ref):
+                mirror_shadow(splitter, resolved, ref, shadow, rows,
+                              served)
+            if shadow_sink is not None:
+                shadow_sink.append(thunk)
+            else:
+                thunk()
+    return {"groups": groups, "errors": errors}
+
+
+def worker_main(
+    conn,
+    shard_id: int,
+    split_seed: Optional[int] = None,
+    private_tracker: bool = False,
+) -> None:
+    """Entry point of one shard process.
+
+    ``private_tracker`` stays False for workers launched by
+    :class:`ShardedPolicyService` — both fork and spawn children share
+    the parent's resource tracker.  Set it only when running a worker
+    from an *independently started* interpreter whose tracker does not
+    belong to the segment owner.
+    """
+    registry = ModelRegistry()
+    metrics = ServerMetrics()
+    splitter = TrafficSplitter(seed=split_seed)
+    # (name, version) -> SharedMemory kept alive while that version
+    # serves; retire drops the mapping so workers don't accumulate
+    # every artifact ever published.
+    segments: Dict[Tuple[str, int], Any] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            msg_id, op, payload = msg
+            stop = op == "stop"
+            deferred: list = []
+            try:
+                result = _dispatch(
+                    op, payload, registry, metrics, splitter, segments,
+                    shard_id, private_tracker, deferred,
+                )
+                conn.send((msg_id, True, result))
+            except Exception as exc:  # noqa: BLE001 - reply, don't die
+                conn.send((msg_id, False, f"{type(exc).__name__}: {exc}"))
+            # Shadow mirroring runs *after* the reply left the pipe —
+            # a slow shadow must not tax the primaries it mirrors.
+            for thunk in deferred:
+                thunk()
+            if stop:
+                break
+    finally:
+        for shm in segments.values():
+            try:
+                shm.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+        try:
+            conn.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _dispatch(
+    op: str,
+    payload,
+    registry: ModelRegistry,
+    metrics: ServerMetrics,
+    splitter: TrafficSplitter,
+    segments: list,
+    shard_id: int,
+    private_tracker: bool = False,
+    deferred: Optional[list] = None,
+) -> Any:
+    if op == "predict":
+        ref, x = payload
+        return serve_stacked(
+            registry, splitter, metrics, ref, x, shadow_sink=deferred
+        )
+    if op == "publish":
+        # Aliasing is a separate op broadcast only after every shard
+        # accepted the publish, so rollback never has to reconstruct a
+        # pre-existing alias target.
+        name, packed = payload
+        shm = None
+        if isinstance(packed, ShmArtifactHandle):
+            artifact, shm = load_shared_artifact(
+                packed, private_tracker=private_tracker
+            )
+        elif isinstance(packed, bytes):
+            # Pickle fallback (teacher/function): the parent serialized
+            # once and ships the same bytes to every shard.
+            artifact = pickle.loads(packed)
+        else:
+            artifact = packed
+        version = registry.publish(name, artifact)
+        if shm is not None:
+            segments[(name, version)] = shm
+        return version
+    if op == "rollback_publish":
+        name, version = payload
+        registry.rollback_publish(name, version)
+        shm = segments.pop((name, version), None)
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                segments[(name, version)] = shm
+        return None
+    if op == "alias":
+        alias, target, version = payload
+        registry.alias(alias, target, version)
+        return None
+    if op == "retire":
+        name, version = payload
+        registry.retire(name, version)
+        # The tombstone dropped the registry's artifact reference (the
+        # only holder of the shared-memory views), so the mapping can
+        # be released now instead of at shutdown.
+        shm = segments.pop((name, version), None)
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # A stray view still exports the buffer; keep the
+                # mapping alive rather than crash (shutdown closes it).
+                segments[(name, version)] = shm
+        return None
+    if op == "set_split":
+        ref, canary, fraction, shadow = payload
+        splitter.set_split(
+            ref, canary=canary, canary_fraction=fraction, shadow=shadow
+        )
+        return None
+    if op == "clear_split":
+        splitter.clear(payload)
+        return None
+    if op == "metrics":
+        return metrics.snapshot()
+    if op == "shadow_report":
+        return splitter.shadow_report()
+    if op == "ping":
+        return ("pong", shard_id)
+    if op == "stop":
+        return None
+    raise ValueError(f"unknown op {op!r}")

@@ -16,10 +16,21 @@ a deployed policy; side-by-side heterogeneous policies):
 threads submitting single-state requests — exactly the concurrency shape
 microbatching exists for — and reports client-observed throughput and
 latency percentiles plus the registry versions that answered.
+:func:`run_load_async` is the thread-free sibling: N closed-loop
+*coroutine* clients in one event loop, driving the same batcher through
+its asyncio submission path (optionally in pipelined chunks — the
+cluster tier's bulk mode).
+
+Every state generator takes ``seed: SeedLike`` — an int, ``None``, or an
+explicit ``numpy.random.Generator``.  Passing one shared Generator
+across several calls draws from a single deterministic stream, which is
+how the async harness gives many logical clients reproducible but
+distinct workloads.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from collections import Counter
@@ -40,7 +51,12 @@ def abr_request_states(
     seed: SeedLike = 0,
     trace_kind: str = "hsdpa",
 ) -> np.ndarray:
-    """Pensieve-layout states from rate-based ABR sessions, shape (n, 25)."""
+    """Pensieve-layout states from rate-based ABR sessions, shape (n, 25).
+
+    ``seed`` may be an explicit ``numpy.random.Generator``; the session
+    randomness is drawn from it (and advances it), so several calls can
+    share one deterministic stream.
+    """
     from repro.envs.abr import ABREnv, Video
     from repro.envs.abr.baselines import RateBased
     from repro.envs.traces import trace_set
@@ -72,7 +88,9 @@ def flow_request_states(
     """AuTO lRLA decision states from simulated flow arrivals, (n, 12).
 
     Simulation windows are repeated (fresh seeds) until at least
-    ``min_rows`` central decisions are recorded.
+    ``min_rows`` central decisions are recorded.  ``seed`` accepts an
+    explicit ``numpy.random.Generator``, which every window draws from
+    (one shared deterministic stream across callers).
     """
     from repro.envs.flows.mlfq import MLFQConfig
     from repro.envs.flows.simulator import FabricSimulator
@@ -116,7 +134,8 @@ def routing_request_states(
     Each row scores one candidate path for one demand pair under one
     gravity traffic matrix: ``[demand, hops, max_link_load,
     mean_link_load]`` — the per-candidate context RouteNet* builds when
-    it probes paths.
+    it probes paths.  ``seed`` accepts an explicit
+    ``numpy.random.Generator`` (traffic-matrix seeds are drawn from it).
     """
     from repro.envs.routing import gravity_demands, nsfnet
     from repro.envs.routing.delay import shortest_path_routing
@@ -261,6 +280,15 @@ def run_load(
             f"{failures[0]!r}"
         ) from failures[0]
 
+    return _assemble_report(outputs, duration, scenario, model, n_clients)
+
+
+def _assemble_report(
+    outputs, duration: float, scenario: str, model: str, n_clients: int
+) -> LoadReport:
+    """Merge per-client ``(latencies, versions, errors)`` tuples into
+    one :class:`LoadReport` (shared by the threaded and async
+    harnesses, so the two can never drift apart)."""
     all_latencies: List[float] = []
     versions: Counter = Counter()
     errors = 0
@@ -285,4 +313,82 @@ def run_load(
         latency_p99_ms=float(p99 * 1e3),
         latency_mean_ms=float(lat.mean() * 1e3) if lat.size else 0.0,
         versions=dict(versions),
+    )
+
+
+def run_load_async(
+    server,
+    model: str,
+    states: np.ndarray,
+    n_clients: int = 64,
+    repeats: int = 1,
+    scenario: str = "custom",
+    timeout_s: float = 60.0,
+    chunk: int = 1,
+) -> LoadReport:
+    """Closed-loop replay with coroutine clients instead of threads.
+
+    The async twin of :func:`run_load`: rows are dealt round-robin
+    across ``n_clients`` *coroutines* in one event loop, so a thousand
+    concurrent clients cost a thousand coroutine frames, not a thousand
+    OS threads fighting over the GIL.
+
+    Args:
+        chunk: requests each client keeps in flight per await.  1 is a
+            strict closed loop (one request, await, repeat) measuring
+            per-decision latency; larger values submit ``chunk`` rows
+            per await through :meth:`AsyncPolicyClient.predict_many` —
+            on a cluster backend that is the bulk array path, the
+            throughput mode.
+    """
+    from repro.serve.aio import AsyncPolicyClient
+
+    if chunk < 1:
+        raise ValueError("chunk must be at least 1")
+    states = np.atleast_2d(np.asarray(states, dtype=float))
+    if states.shape[0] == 0:
+        raise ValueError("states must contain at least one row")
+    n_clients = max(1, min(n_clients, states.shape[0]))
+    deals = [states[i::n_clients] for i in range(n_clients)]
+    timing: Dict[str, float] = {}
+
+    async def client(aio: "AsyncPolicyClient", rows: np.ndarray):
+        latencies: List[float] = []
+        versions: Counter = Counter()
+        errors = 0
+        for _ in range(repeats):
+            for start in range(0, rows.shape[0], chunk):
+                sub = rows[start:start + chunk]
+                begin = time.perf_counter()
+                if chunk == 1:
+                    results = [await asyncio.wait_for(
+                        aio.predict(model, sub[0]), timeout_s
+                    )]
+                else:
+                    results = await asyncio.wait_for(
+                        aio.predict_many(model, sub), timeout_s
+                    )
+                elapsed = time.perf_counter() - begin
+                # Per-row latency within one awaited chunk is the chunk
+                # round trip (each row waited for the whole answer).
+                latencies.extend([elapsed] * len(results))
+                for result in results:
+                    if result.ok:
+                        versions[result.version] += 1
+                    else:
+                        errors += 1
+        return latencies, versions, errors
+
+    async def main():
+        aio = AsyncPolicyClient(server)
+        timing["start"] = time.perf_counter()
+        outputs = await asyncio.gather(
+            *[client(aio, rows) for rows in deals]
+        )
+        timing["duration"] = time.perf_counter() - timing["start"]
+        return outputs
+
+    outputs = asyncio.run(main())
+    return _assemble_report(
+        outputs, timing["duration"], scenario, model, n_clients
     )

@@ -17,6 +17,12 @@ References accepted by :meth:`resolve`:
 * ``"abr"`` — latest version of model ``abr``;
 * ``"abr@2"`` — pinned version 2;
 * ``"abr/prod"`` — an alias, tracking latest or pinned at alias time.
+
+Old versions can be retired via :meth:`retire` (long-running servers must not
+leak every artifact ever published).  Retirement tombstones the slot —
+version numbers never shift, so ``abr@2`` means the same bundle forever
+— and refuses to remove the latest version or any version a pinned
+alias still routes traffic to.
 """
 
 from __future__ import annotations
@@ -46,7 +52,9 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._models: Dict[str, List[PolicyArtifact]] = {}
+        # A slot is None once its version has been retired (tombstone:
+        # version numbers are stable identifiers and never shift).
+        self._models: Dict[str, List[Optional[PolicyArtifact]]] = {}
         self._aliases: Dict[str, Tuple[str, Optional[int]]] = {}
 
     # -- mutation --------------------------------------------------------
@@ -80,8 +88,84 @@ class ModelRegistry:
             if target not in self._models:
                 raise KeyError(f"unknown model {target!r}")
             if version is not None:
-                self._check_version(target, version)
+                self._get_artifact(target, version)  # in-range, not retired
             self._aliases[alias] = (target, version)
+
+    def rollback_publish(self, name: str, version: int) -> None:
+        """Crash-consistency helper: remove a *just-published latest*.
+
+        Exists for replicated registries (the cluster tier): when a
+        publish broadcast fails partway, every replica that applied it
+        — and the parent mirror — must drop the new version again or
+        the replicas diverge.  This is NOT retire: it only accepts the
+        current latest version, refuses if a pinned alias already
+        points at it, and removes the slot entirely (the number will be
+        reused by the retried publish, which is the point — replicas
+        must agree on numbering).
+        """
+        with self._lock:
+            versions = self._models.get(name)
+            if not versions or len(versions) != version:
+                raise ValueError(
+                    f"rollback_publish only removes the current latest "
+                    f"of {name!r}, not version {version}"
+                )
+            holders = [
+                alias for alias, (target, pinned) in self._aliases.items()
+                if target == name and pinned == version
+            ]
+            if holders:
+                raise ValueError(
+                    f"cannot roll back {name}@{version}: alias(es) "
+                    f"{sorted(holders)} already pin it"
+                )
+            versions.pop()
+            if not versions or all(v is None for v in versions):
+                # Nothing servable remains (first publish rolled back,
+                # or only tombstones left) — drop the model entirely so
+                # names()/latest_version() never advertise a model that
+                # every bare-name reference would fail to resolve.
+                # Aliases can only target it untracked (pins at retired
+                # versions are impossible), so they go too.
+                del self._models[name]
+                for alias in [
+                    a for a, (target, _v) in self._aliases.items()
+                    if target == name
+                ]:
+                    del self._aliases[alias]
+
+    def retire(self, name: str, version: int) -> None:
+        """Delete one old version so long-running servers don't leak
+        artifacts.
+
+        Refuses (``ValueError``) to retire the *latest* version — that
+        is what bare-name and latest-tracking-alias references serve —
+        or a version a pinned alias still points at.  The slot becomes a
+        tombstone: later versions keep their numbers, and resolving the
+        retired reference raises ``KeyError``.
+        """
+        with self._lock:
+            if name in self._aliases:
+                raise ValueError(f"{name!r} is an alias, not a model name")
+            if name not in self._models:
+                raise KeyError(f"unknown model {name!r}")
+            self._get_artifact(name, version)  # in-range, not yet retired
+            versions = self._models[name]
+            if version == self._effective_latest(versions):
+                raise ValueError(
+                    f"cannot retire {name}@{version}: it is the latest "
+                    f"live version (publish a newer one first)"
+                )
+            holders = sorted(
+                alias for alias, (target, pinned) in self._aliases.items()
+                if target == name and pinned == version
+            )
+            if holders:
+                raise ValueError(
+                    f"cannot retire {name}@{version}: pinned alias(es) "
+                    f"{holders} still route traffic to it"
+                )
+            versions[version - 1] = None
 
     # -- resolution ------------------------------------------------------
     def resolve(self, ref: str) -> ResolvedModel:
@@ -100,9 +184,10 @@ class ModelRegistry:
             if versions is None:
                 raise KeyError(f"unknown model {ref!r}")
             if version is None:
-                version = len(versions)
-            self._check_version(name, version)
-            return ResolvedModel(name, version, versions[version - 1])
+                version = self._effective_latest(versions)
+            return ResolvedModel(
+                name, version, self._get_artifact(name, version)
+            )
 
     def resolve_many(
         self, refs
@@ -124,12 +209,29 @@ class ModelRegistry:
                     out[ref] = None
             return out
 
-    def _check_version(self, name: str, version: int) -> None:
-        count = len(self._models[name])
+    @staticmethod
+    def _effective_latest(versions: List[Optional[PolicyArtifact]]) -> int:
+        """The version bare-name traffic serves: the highest live slot
+        (trailing tombstones from rolled-back publishes are skipped).
+        The single definition of "latest" — resolve, retire's guard,
+        and latest_version must never disagree on it."""
+        version = len(versions)
+        while version > 1 and versions[version - 1] is None:
+            version -= 1
+        return version
+
+    def _get_artifact(self, name: str, version: int) -> PolicyArtifact:
+        """Version bounds + tombstone check (caller holds the lock)."""
+        versions = self._models[name]
+        count = len(versions)
         if not 1 <= version <= count:
             raise KeyError(
                 f"model {name!r} has versions 1..{count}, not {version}"
             )
+        artifact = versions[version - 1]
+        if artifact is None:
+            raise KeyError(f"version {name}@{version} has been retired")
+        return artifact
 
     # -- inspection ------------------------------------------------------
     def names(self) -> List[str]:
@@ -141,10 +243,23 @@ class ModelRegistry:
             return dict(self._aliases)
 
     def latest_version(self, name: str) -> int:
+        """Highest *live* version number (what a bare-name reference
+        serves) — trailing tombstones are skipped, matching
+        :meth:`resolve`'s latest semantics."""
         with self._lock:
             if name not in self._models:
                 raise KeyError(f"unknown model {name!r}")
-            return len(self._models[name])
+            return self._effective_latest(self._models[name])
+
+    def live_versions(self, name: str) -> List[int]:
+        """Version numbers of ``name`` that have not been retired."""
+        with self._lock:
+            if name not in self._models:
+                raise KeyError(f"unknown model {name!r}")
+            return [
+                i + 1 for i, art in enumerate(self._models[name])
+                if art is not None
+            ]
 
     def __contains__(self, ref: str) -> bool:
         try:

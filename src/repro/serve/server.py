@@ -19,9 +19,16 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.serve.adaptive import AdaptiveDelay, batching_state
 from repro.serve.artifact import PolicyArtifact
 from repro.serve.batcher import MicroBatcher, ServeResult
 from repro.serve.registry import ModelRegistry
+from repro.serve.splitter import (
+    TrafficSplitter,
+    check_split_targets,
+    guard_retire_against_splits,
+)
+from repro.utils.rng import SeedLike
 
 
 class ServeError(RuntimeError):
@@ -190,6 +197,11 @@ class PolicyServer:
         max_batch / max_delay_s: microbatching knobs (see
             :class:`~repro.serve.batcher.MicroBatcher`).
         max_latency_samples: metrics retention cap.
+        adaptive_delay: replace the fixed flush deadline with a
+            load-aware :class:`AdaptiveDelay` controller capped at
+            ``max_delay_s``.
+        split_seed: RNG seed for the server's traffic splitter (canary
+            assignment); None draws fresh entropy.
 
     Usage::
 
@@ -205,14 +217,27 @@ class PolicyServer:
         max_batch: int = 64,
         max_delay_s: float = 2e-3,
         max_latency_samples: int = 200_000,
+        adaptive_delay: bool = False,
+        split_seed: SeedLike = None,
     ) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
         self._metrics = ServerMetrics(max_latency_samples)
+        self.splitter = TrafficSplitter(seed=split_seed)
+        # Serializes split reconfiguration against retire: the retire
+        # guard is check-then-act over the split table, so the two must
+        # not interleave.
+        self._control_lock = threading.Lock()
+        self.delay = (
+            AdaptiveDelay(max_delay_s=max_delay_s) if adaptive_delay
+            else None
+        )
         self._batcher = MicroBatcher(
             self.registry,
             metrics=self._metrics,
             max_batch=max_batch,
             max_delay_s=max_delay_s,
+            delay=self.delay,
+            splitter=self.splitter,
         ).start()
 
     # -- registry passthrough --------------------------------------------
@@ -228,6 +253,49 @@ class PolicyServer:
         if alias is not None:
             self.registry.alias(alias, name)
         return version
+
+    def retire(self, name: str, version: int) -> None:
+        """Drop one old version (see :meth:`ModelRegistry.retire`).
+
+        Also refuses while an active traffic split still routes canary
+        or shadow traffic to that version — the registry cannot see
+        splits, but retiring under one would blackhole live traffic.
+        """
+        with self._control_lock:
+            guard_retire_against_splits(
+                self.splitter.splits(), self.registry, name, version
+            )
+            self.registry.retire(name, version)
+
+    # -- traffic splitting -----------------------------------------------
+    def set_split(
+        self,
+        ref: str,
+        canary: Optional[str] = None,
+        canary_fraction: float = 0.0,
+        shadow: Optional[str] = None,
+    ) -> None:
+        """Canary and/or shadow a fraction of ``ref``'s traffic.
+
+        Validates that every target reference resolves — and serves the
+        same feature space as ``ref`` — before installing, so a typo
+        cannot blackhole live traffic; the swap itself is atomic at
+        flush granularity.
+        """
+        with self._control_lock:
+            check_split_targets(self.registry, ref, canary, shadow)
+            self.splitter.set_split(
+                ref, canary=canary, canary_fraction=canary_fraction,
+                shadow=shadow,
+            )
+
+    def clear_split(self, ref: str) -> None:
+        with self._control_lock:
+            self.splitter.clear(ref)
+
+    def shadow_report(self) -> Dict[str, dict]:
+        """Shadow fidelity per split reference (never sent to clients)."""
+        return self.splitter.shadow_report()
 
     # -- traffic ---------------------------------------------------------
     def submit(self, model: str, state: Any) -> "Future[ServeResult]":
@@ -249,6 +317,11 @@ class PolicyServer:
         Raises :class:`ServeError` if any request fails — use ``submit``
         when per-request error handling is wanted.
         """
+        if self._batcher.closed:
+            raise RuntimeError(
+                "PolicyServer is closed: predict() after close() can "
+                "never complete"
+            )
         futures = self.submit_many(model, states)
         results = [f.result(timeout=timeout_s) for f in futures]
         for res in results:
@@ -258,10 +331,19 @@ class PolicyServer:
                 )
         return np.asarray([res.action for res in results])
 
+    def submit_async(self, model: str, state: Any):
+        """Asyncio submission path (see :meth:`MicroBatcher.submit_async`);
+        awaitable from a running event loop."""
+        return self._batcher.submit_async(model, state)
+
     # -- observability / lifecycle ---------------------------------------
     def metrics(self) -> Dict[str, dict]:
         """Per-model metrics snapshot (see :class:`ServerMetrics`)."""
         return self._metrics.snapshot()
+
+    def batching_state(self) -> Dict[str, Any]:
+        """Current microbatching posture (adaptive-delay telemetry)."""
+        return batching_state(self.delay, self._batcher.max_delay_s)
 
     def close(self) -> None:
         """Drain and stop; every submitted request still completes."""

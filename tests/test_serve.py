@@ -182,6 +182,214 @@ class TestRegistry:
             reg.publish("m/prod", self._artifact(1))
 
 
+class TestRegistryRetire:
+    """Satellite: retire() frees old versions without shifting numbers."""
+
+    def _artifact(self, tag: int) -> PolicyArtifact:
+        return PolicyArtifact(
+            name=f"a{tag}", kind="function", n_features=2, n_outputs=2,
+            predict_batch=lambda x, t=tag: np.full(x.shape[0], t),
+            content_hash=f"{tag:016x}",
+        )
+
+    def test_retire_tombstones_without_renumbering(self):
+        reg = ModelRegistry()
+        for tag in range(3):
+            reg.publish("m", self._artifact(tag))
+        reg.retire("m", 1)
+        assert reg.live_versions("m") == [2, 3]
+        assert reg.latest_version("m") == 3  # numbering is stable
+        with pytest.raises(KeyError, match="retired"):
+            reg.resolve("m@1")
+        assert "m@1" not in reg
+        # untouched versions keep serving, and publish keeps counting
+        assert reg.resolve("m@2").version == 2
+        assert reg.publish("m", self._artifact(9)) == 4
+        # resolve_many maps the retired ref to None like any bad ref
+        assert reg.resolve_many(["m@1", "m@2"])["m@1"] is None
+
+    def test_refuses_latest(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.publish("m", self._artifact(1))
+        with pytest.raises(ValueError, match="latest"):
+            reg.retire("m", 2)
+        reg.retire("m", 1)  # non-latest is fine
+
+    def test_refuses_alias_backed_version(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.publish("m", self._artifact(1))
+        reg.publish("m", self._artifact(2))
+        reg.alias("m/pinned", "m", version=1)
+        reg.alias("m/prod", "m")  # tracking latest: no pin on v2
+        with pytest.raises(ValueError, match="m/pinned"):
+            reg.retire("m", 1)
+        reg.retire("m", 2)  # only pinned aliases block retirement
+
+    def test_bad_retire_references(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.publish("m", self._artifact(1))
+        with pytest.raises(KeyError):
+            reg.retire("ghost", 1)
+        with pytest.raises(KeyError):
+            reg.retire("m", 7)
+        reg.alias("m/prod", "m")
+        with pytest.raises(ValueError, match="alias"):
+            reg.retire("m/prod", 1)
+        reg.retire("m", 1)
+        with pytest.raises(KeyError, match="retired"):
+            reg.retire("m", 1)  # double retire
+        with pytest.raises(KeyError, match="retired"):
+            reg.alias("m/old", "m", version=1)  # no aliasing a tombstone
+
+    def test_server_passthrough(self, toy_tree):
+        tree, x, _ = toy_tree
+        with PolicyServer(max_batch=8, max_delay_s=1e-4) as server:
+            server.publish("toy", PolicyArtifact.from_tree(tree))
+            server.publish("toy", PolicyArtifact.from_tree(tree))
+            server.retire("toy", 1)
+            gone = server.submit("toy@1", x[0]).result(10)
+            ok = server.submit("toy", x[0]).result(10)
+        assert (gone.ok, gone.error) == (False, "unknown_model")
+        assert ok.ok and ok.version == 2
+
+
+class TestRollbackPublish:
+    """Crash-consistency helper for replicated publishes."""
+
+    def _artifact(self, tag: int) -> PolicyArtifact:
+        return PolicyArtifact(
+            name=f"a{tag}", kind="function", n_features=2, n_outputs=2,
+            predict_batch=lambda x, t=tag: np.full(x.shape[0], t),
+            content_hash=f"{tag:016x}",
+        )
+
+    def test_rolls_back_only_the_latest(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.publish("m", self._artifact(1))
+        with pytest.raises(ValueError, match="latest"):
+            reg.rollback_publish("m", 1)  # not the latest
+        reg.rollback_publish("m", 2)
+        assert reg.latest_version("m") == 1
+        # the number is reusable — replicas must agree on numbering
+        assert reg.publish("m", self._artifact(2)) == 2
+        assert reg.resolve("m@2").artifact.content_hash.endswith("2")
+
+    def test_first_publish_rollback_removes_the_model(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.alias("m/prod", "m")
+        reg.rollback_publish("m", 1)
+        assert "m" not in reg and "m/prod" not in reg
+        assert reg.names() == [] and reg.aliases() == {}
+
+    def test_all_tombstone_rollback_removes_the_model(self):
+        """retire v1 then roll back v2: nothing servable remains, so
+        the model must vanish rather than advertise only tombstones."""
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.publish("m", self._artifact(1))
+        reg.alias("m/prod", "m")
+        reg.retire("m", 1)
+        reg.rollback_publish("m", 2)
+        assert "m" not in reg and "m/prod" not in reg
+        assert reg.names() == []
+        with pytest.raises(KeyError):
+            reg.latest_version("m")
+        # the name is fully reusable afterwards
+        assert reg.publish("m", self._artifact(5)) == 1
+
+    def test_refuses_when_pinned(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.alias("m/pin", "m", version=1)
+        with pytest.raises(ValueError, match="pin"):
+            reg.rollback_publish("m", 1)
+
+    def test_trailing_tombstone_does_not_break_latest(self):
+        """Rollback after a retire can leave a tombstone in the last
+        slot; bare-name (and tracking-alias) traffic must keep flowing
+        to the newest *live* version."""
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.publish("m", self._artifact(1))
+        reg.publish("m", self._artifact(2))
+        reg.alias("m/prod", "m")
+        reg.retire("m", 2)          # legal: not latest
+        reg.rollback_publish("m", 3)  # failed replicated publish
+        # versions are now [v1, tombstone]; latest live is v1
+        assert reg.resolve("m").version == 1
+        assert reg.resolve("m/prod").version == 1
+        assert reg.resolve_many(["m"])["m"].version == 1
+        assert reg.latest_version("m") == 1  # agrees with resolve
+        # explicit pin at the tombstone still reports retirement
+        with pytest.raises(KeyError, match="retired"):
+            reg.resolve("m@2")
+        # and the retire guard protects the *effective* latest: v1 is
+        # what bare-name traffic serves, so it must refuse to go
+        with pytest.raises(ValueError, match="latest"):
+            reg.retire("m", 1)
+
+
+class TestResolveMany:
+    """Satellite: resolve_many edge cases the batcher's flush relies on."""
+
+    def _artifact(self, tag: int) -> PolicyArtifact:
+        return PolicyArtifact(
+            name=f"a{tag}", kind="function", n_features=2, n_outputs=2,
+            predict_batch=lambda x, t=tag: np.full(x.shape[0], t),
+            content_hash=f"{tag:016x}",
+        )
+
+    def test_duplicate_refs_resolve_to_one_version(self):
+        """Canonical name, @latest pin, and alias all land on the same
+        ResolvedModel in one critical section — one flush, one group."""
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.publish("m", self._artifact(1))
+        reg.alias("m/prod", "m")
+        out = reg.resolve_many(["m", "m@2", "m/prod", "m", "m/prod"])
+        # dict semantics: each distinct ref resolved exactly once
+        assert set(out) == {"m", "m@2", "m/prod"}
+        triples = {
+            (r.name, r.version, r.artifact.content_hash)
+            for r in out.values()
+        }
+        assert triples == {("m", 2, self._artifact(1).content_hash)}
+
+    def test_alias_pinned_version(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        reg.alias("m/pinned", "m", version=1)
+        reg.publish("m", self._artifact(1))
+        out = reg.resolve_many(["m/pinned", "m"])
+        assert out["m/pinned"].version == 1
+        assert out["m"].version == 2
+        # the pinned alias resolves to the old artifact, not the latest
+        assert out["m/pinned"].artifact.content_hash == (
+            self._artifact(0).content_hash
+        )
+
+    def test_unknown_refs_map_to_none_with_clear_messages(self):
+        reg = ModelRegistry()
+        reg.publish("m", self._artifact(0))
+        out = reg.resolve_many(["m", "ghost", "m@9", "m@latest"])
+        assert out["m"] is not None
+        assert out["ghost"] is None
+        assert out["m@9"] is None
+        assert out["m@latest"] is None
+        # the single-ref path spells out why each one failed
+        with pytest.raises(KeyError, match="unknown model 'ghost'"):
+            reg.resolve("ghost")
+        with pytest.raises(KeyError, match="versions 1..1, not 9"):
+            reg.resolve("m@9")
+        with pytest.raises(KeyError, match="bad version"):
+            reg.resolve("m@latest")
+
+
 class TestServerBoundary:
     """Satellite: mis-shaped / non-finite states fail structurally."""
 
@@ -353,6 +561,28 @@ class TestServer:
         assert all(r.ok for r in results)  # zero dropped futures
         with pytest.raises(RuntimeError):
             server.submit("toy", x[0])
+
+    def test_submit_and_predict_after_close_raise_immediately(
+        self, toy_tree
+    ):
+        """Satellite bugfix guard: a closed batcher must reject new work
+        with a clear RuntimeError, never enqueue an unresolvable future
+        or hang until the predict timeout."""
+        import time as _time
+
+        tree, x, _ = toy_tree
+        server = PolicyServer(max_batch=8, max_delay_s=1e-3)
+        server.publish("toy", PolicyArtifact.from_tree(tree))
+        server.close()
+        with pytest.raises(RuntimeError, match="close"):
+            server.submit("toy", x[0])
+        start = _time.perf_counter()
+        with pytest.raises(RuntimeError, match="close"):
+            server.predict("toy", x[:4], timeout_s=30.0)
+        # the guard fired immediately, not via the 30s result timeout
+        assert _time.perf_counter() - start < 1.0
+        with pytest.raises(RuntimeError, match="close"):
+            server.submit_many("toy", x[:4])
 
 
 class TestServingLatencyReport:

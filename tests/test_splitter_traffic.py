@@ -1,0 +1,446 @@
+"""Canary/shadow traffic splitting, including hot-swap under load.
+
+The staged-rollout guarantees under test:
+
+* a canary split routes ~the configured fraction and every response is
+  attributable to the version that actually served it;
+* shadow answers are recorded in the shadow report and **never**
+  returned to a client future;
+* split reconfiguration under live load is atomic at flush granularity;
+* a registry hot-swap racing live traffic *with a split active* drops
+  zero futures and tears no artifact.
+"""
+
+import threading
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.tree import DecisionTreeClassifier
+from repro.serve import (
+    PolicyArtifact,
+    PolicyServer,
+    TrafficSplit,
+    TrafficSplitter,
+)
+
+N_FEATURES = 6
+
+
+def constant_artifact(action: int) -> PolicyArtifact:
+    """A fitted single-leaf tree that always answers ``action``."""
+    rng = np.random.default_rng(action)
+    x = rng.uniform(0, 1, (40, N_FEATURES))
+    y = np.full(40, action, dtype=int)
+    tree = DecisionTreeClassifier(n_classes=16, max_leaf_nodes=4).fit(x, y)
+    return PolicyArtifact.from_tree(tree, name=f"const-{action}")
+
+
+@pytest.fixture()
+def states():
+    return np.random.default_rng(9).uniform(0, 1, (256, N_FEATURES))
+
+
+class TestTrafficSplitConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSplit(ref="m")  # neither canary nor shadow
+        with pytest.raises(ValueError):
+            TrafficSplit(ref="m", canary="m@2", canary_fraction=0.0)
+        with pytest.raises(ValueError):
+            TrafficSplit(ref="m", canary_fraction=0.3)
+        with pytest.raises(ValueError):
+            TrafficSplit(ref="m", canary="m@2", canary_fraction=1.5)
+
+    def test_assign_fraction_and_determinism(self):
+        splitter = TrafficSplitter(seed=7)
+        splitter.set_split("m", canary="m@2", canary_fraction=0.25)
+        plan = splitter.assign("m", 20_000)
+        frac = plan.canary_mask.mean()
+        assert 0.22 < frac < 0.28
+        # same seed -> same assignment stream
+        again = TrafficSplitter(seed=7)
+        again.set_split("m", canary="m@2", canary_fraction=0.25)
+        assert np.array_equal(
+            again.assign("m", 20_000).canary_mask, plan.canary_mask
+        )
+        assert splitter.assign("other", 5) is None
+
+    def test_clear_and_active_flag(self):
+        splitter = TrafficSplitter(seed=0)
+        assert not splitter.active
+        splitter.set_split("m", shadow="m@2")
+        assert splitter.active
+        splitter.clear("m")
+        assert not splitter.active
+        assert splitter.assign("m", 4) is None
+
+    def test_shadow_report_accumulates(self):
+        splitter = TrafficSplitter(seed=0)
+        splitter.set_split("m", shadow="m@2")
+        splitter.record_shadow("m", "m@2", [1, 2, 3, 4], [1, 2, 0, 4])
+        splitter.record_shadow_error("m", "m@2", 2)
+        report = splitter.shadow_report()["m"]
+        assert report["requests"] == 6
+        assert report["agreements"] == 3
+        assert report["errors"] == 2
+        assert report["agreement_rate"] == pytest.approx(0.5)
+
+    def test_merge_shadow_reports(self):
+        a = TrafficSplitter()
+        a.record_shadow("m", "m@2", [1, 1], [1, 0])
+        b = TrafficSplitter()
+        b.record_shadow("m", "m@2", [2, 2, 2], [2, 2, 2])
+        a.merge_shadow_report(b.shadow_report())
+        merged = a.shadow_report()["m"]
+        assert merged["requests"] == 5 and merged["agreements"] == 4
+
+
+class TestServerSplitting:
+    def test_canary_fraction_routes_and_attributes(self, states):
+        with PolicyServer(max_batch=32, max_delay_s=1e-3,
+                          split_seed=3) as server:
+            server.publish("policy", constant_artifact(0))
+            server.publish("policy", constant_artifact(1))
+            # prod pinned at stable v1; the canary earns trust on 30%
+            server.registry.alias("policy/prod", "policy", version=1)
+            server.set_split("policy/prod", canary="policy@2",
+                             canary_fraction=0.3)
+            results = [
+                server.submit("policy/prod", row).result(timeout=30)
+                for row in np.tile(states, (4, 1))
+            ]
+        assert all(r.ok for r in results)
+        versions = Counter(r.version for r in results)
+        # canary got a real share, primary kept the rest
+        assert versions[1] > 0 and versions[2] > 0
+        frac = versions[2] / sum(versions.values())
+        assert 0.15 < frac < 0.45
+        # attribution: the decision matches the version that claims it
+        assert all(r.action == r.version - 1 for r in results)
+
+    def test_shadow_recorded_never_returned(self, states):
+        with PolicyServer(max_batch=32, max_delay_s=1e-3) as server:
+            server.publish("policy", constant_artifact(0))  # v1 primary
+            server.publish("policy", constant_artifact(0))  # v2 agrees
+            server.publish("policy", constant_artifact(5))  # v3 disagrees
+            server.registry.alias("policy/prod", "policy", version=1)
+            server.set_split("policy/prod", shadow="policy@3")
+            results = [
+                server.submit("policy/prod", row).result(timeout=30)
+                for row in states[:64]
+            ]
+            report = server.shadow_report()["policy/prod"]
+            metrics = server.metrics()["policy"]
+        # every client answer came from the primary — the shadow's
+        # action (5) never leaked
+        assert all(r.ok and r.version == 1 and r.action == 0
+                   for r in results)
+        assert report["shadow"] == "policy@3"
+        assert report["requests"] == 64
+        assert report["agreements"] == 0  # total disagreement, recorded
+        # shadow traffic does not pollute serving metrics
+        assert metrics["requests"] == 64
+        assert metrics["versions"] == {1: 64}
+
+    def test_shadow_mirrors_only_primary_traffic(self, states):
+        """Canaried rows are served by the candidate itself — mirroring
+        them against the same candidate would fake perfect agreement.
+        With canary == shadow and a disagreeing candidate, the rate
+        must read ~0, not ~fraction."""
+        with PolicyServer(max_batch=16, max_delay_s=1e-3,
+                          split_seed=2) as server:
+            server.publish("policy", constant_artifact(0))
+            server.publish("policy", constant_artifact(7))  # candidate
+            server.registry.alias("policy/prod", "policy", version=1)
+            server.set_split("policy/prod", canary="policy@2",
+                             canary_fraction=0.5, shadow="policy@2")
+            results = [
+                server.submit("policy/prod", row).result(timeout=30)
+                for row in np.tile(states, (2, 1))
+            ]
+            report = server.shadow_report()["policy/prod"]
+        served_by_primary = sum(1 for r in results if r.version == 1)
+        assert 0 < served_by_primary < len(results)
+        # only primary-served rows were mirrored...
+        assert report["requests"] == served_by_primary
+        # ...and the candidate disagrees with all of them
+        assert report["agreements"] == 0
+        assert report["agreement_rate"] == 0.0
+
+    def test_shadow_agreement_counts(self, states):
+        with PolicyServer(max_batch=16, max_delay_s=1e-3) as server:
+            server.publish("policy", constant_artifact(2))
+            server.publish("policy", constant_artifact(2))
+            server.set_split("policy", shadow="policy@1")
+            for row in states[:32]:
+                assert server.submit("policy", row).result(30).ok
+            report = server.shadow_report()["policy"]
+        assert report["requests"] == 32
+        assert report["agreements"] == 32
+        assert report["agreement_rate"] == 1.0
+
+    def test_set_split_validates_refs(self, states):
+        with PolicyServer() as server:
+            server.publish("policy", constant_artifact(0))
+            with pytest.raises(KeyError):
+                server.set_split("policy", canary="ghost",
+                                 canary_fraction=0.5)
+            with pytest.raises(KeyError):
+                server.set_split("ghost", shadow="policy")
+
+    def test_set_split_rejects_feature_mismatch(self, states):
+        """A canary/shadow with a different feature space would fail
+        (canary) or silently mis-predict (shadow) its whole fraction —
+        refuse at install time."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (40, 3))  # 3 features, primary has 6
+        narrow = DecisionTreeClassifier(
+            n_classes=4, max_leaf_nodes=4
+        ).fit(x, np.zeros(40, dtype=int))
+        with PolicyServer() as server:
+            server.publish("policy", constant_artifact(0))
+            server.publish("narrow", PolicyArtifact.from_tree(narrow))
+            with pytest.raises(ValueError, match="features"):
+                server.set_split("policy", canary="narrow",
+                                 canary_fraction=0.3)
+            with pytest.raises(ValueError, match="features"):
+                server.set_split("policy", shadow="narrow")
+
+    def test_retire_refuses_split_targets(self, states):
+        """A version a split still routes to must not be retirable —
+        the registry alone cannot see the split."""
+        with PolicyServer(max_batch=16, max_delay_s=1e-3) as server:
+            server.publish("policy", constant_artifact(0))
+            server.publish("policy", constant_artifact(1))
+            server.publish("policy", constant_artifact(2))
+            server.set_split("policy", canary="policy@2",
+                             canary_fraction=0.5)
+            with pytest.raises(ValueError, match="split"):
+                server.retire("policy", 2)
+            server.retire("policy", 1)  # untargeted old version is fine
+            server.clear_split("policy")
+            server.retire("policy", 2)  # cleared split unblocks it
+
+    def test_cluster_retire_refuses_split_targets(self, states):
+        from repro.serve.cluster import ShardedPolicyService
+
+        with ShardedPolicyService(n_shards=2) as service:
+            service.publish("policy", constant_artifact(0))
+            service.publish("policy", constant_artifact(1))
+            service.publish("policy", constant_artifact(2))
+            service.set_split("policy", shadow="policy@1")
+            assert "policy" in service.splits()
+            with pytest.raises(ValueError, match="split"):
+                service.retire("policy", 1)
+            service.clear_split("policy")
+            service.retire("policy", 1)
+
+    def test_mixed_shape_canary_shadow_survives(self, states):
+        """A canary whose actions are shaped differently from the
+        primary's makes the shadow comparison ragged; that must count
+        as shadow error, not kill the batcher (or, cluster-side, the
+        already-served primaries)."""
+        from repro.core.tree import DecisionTreeRegressor
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (60, N_FEATURES))
+        y2 = np.stack([x[:, 0], x[:, 1] * 2.0], axis=1)
+        reg = DecisionTreeRegressor(max_leaf_nodes=8).fit(x, y2)
+        with PolicyServer(max_batch=64, max_delay_s=20e-3,
+                          split_seed=1) as server:
+            server.publish("policy", constant_artifact(0))
+            server.publish("vec", PolicyArtifact.from_tree(reg))
+            server.set_split("policy", canary="vec",
+                             canary_fraction=0.5, shadow="policy@1")
+            futures = [
+                server.submit("policy", row) for row in states[:32]
+            ]
+            results = [f.result(timeout=30) for f in futures]
+            # the batcher thread survived the ragged comparison
+            follow_up = server.submit("policy", states[0]).result(30)
+            report = server.shadow_report()["policy"]
+        assert all(r.ok for r in results)
+        assert follow_up.ok
+        assert report["requests"] > 0
+
+    def test_broken_shadow_cannot_hurt_primaries(self, states):
+        def boom(batch):
+            raise RuntimeError("shadow kaboom")
+
+        broken = PolicyArtifact(
+            name="broken", kind="function", n_features=N_FEATURES,
+            n_outputs=2, predict_batch=boom, content_hash="0" * 16,
+        )
+        with PolicyServer(max_batch=16, max_delay_s=1e-3) as server:
+            server.publish("policy", constant_artifact(1))
+            server.publish("shadowpol", broken)
+            server.set_split("policy", shadow="shadowpol")
+            results = [
+                server.submit("policy", row).result(timeout=30)
+                for row in states[:32]
+            ]
+            report = server.shadow_report()["policy"]
+        assert all(r.ok and r.action == 1 for r in results)
+        assert report["errors"] == 32 and report["agreements"] == 0
+
+
+class TestHotSwapUnderSplitLoad:
+    """Acceptance: publishes racing live traffic with splitting active —
+    zero dropped futures, shadow never returned, no torn artifacts."""
+
+    N_CLIENTS = 6
+
+    def test_hotswap_with_active_split(self, states):
+        with PolicyServer(max_batch=16, max_delay_s=1e-3,
+                          split_seed=11) as server:
+            server.publish("policy", constant_artifact(0))  # v1 stable
+            server.publish("policy", constant_artifact(1))  # v2 canary
+            server.publish("policy", constant_artifact(9))  # v3 shadow
+            server.registry.alias("policy/prod", "policy", version=1)
+            server.set_split("policy/prod", canary="policy@2",
+                             canary_fraction=0.3, shadow="policy@3")
+            stop = threading.Event()
+            outputs = [None] * self.N_CLIENTS
+
+            def client(idx: int) -> None:
+                rng = np.random.default_rng(100 + idx)
+                results = []
+                while not stop.is_set():
+                    row = states[int(rng.integers(len(states)))]
+                    results.append(
+                        server.submit("policy/prod", row).result(timeout=30)
+                    )
+                for _ in range(10):  # tail after the final re-pin
+                    row = states[int(rng.integers(len(states)))]
+                    results.append(
+                        server.submit("policy/prod", row).result(timeout=30)
+                    )
+                outputs[idx] = results
+
+            threads = [
+                threading.Thread(target=client, args=(i,), daemon=True)
+                for i in range(self.N_CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            # Hot-swap the primary by publishing and re-pinning the
+            # alias, and re-install the split, all while clients hammer
+            # the alias.
+            final_version = 3
+            for action in (3, 4):
+                threading.Event().wait(0.02)
+                version = server.publish(
+                    "policy", constant_artifact(action)
+                )
+                server.registry.alias("policy/prod", "policy",
+                                      version=version)
+                server.set_split(
+                    "policy/prod", canary="policy@2",
+                    canary_fraction=0.3, shadow="policy@3",
+                )
+                final_version = version
+            stop.set()
+            for t in threads:
+                t.join()
+            metrics = server.metrics()["policy"]
+            report = server.shadow_report()["policy/prod"]
+
+        total = 0
+        versions_seen = Counter()
+        for results in outputs:
+            total += len(results)
+            for res in results:
+                assert res.ok, (res.error, res.detail)
+                # no tearing: decision matches the claimed version
+                assert res.action == res.version - 1
+                # the shadow version's answer (9 -> action 8) never
+                # reached a client
+                assert res.version != 3
+                versions_seen[res.version] += 1
+        # zero dropped futures: the server accounted for every request
+        assert metrics["requests"] == total
+        assert metrics["errors"] == 0
+        assert sum(metrics["versions"].values()) == total
+        # the canary stayed in rotation and the swaps actually landed:
+        # the post-swap tail (10 requests x 6 clients) splits between
+        # the re-pinned primary (~70%) and the canary (~30%)
+        assert versions_seen[2] > 0
+        assert versions_seen[final_version] >= 20
+        assert len(versions_seen) >= 3
+        # shadow mirrored primary traffic throughout
+        assert report["requests"] > 0
+        assert report["shadow"] == "policy@3"
+
+    def test_cluster_hotswap_with_active_split(self, states):
+        """Same guarantees across process boundaries (2 shards)."""
+        from repro.serve.cluster import ShardedPolicyService
+
+        with ShardedPolicyService(n_shards=2, max_batch=32,
+                                  max_delay_s=1e-3,
+                                  split_seed=13) as service:
+            service.publish("policy", constant_artifact(0))  # v1
+            service.publish("policy", constant_artifact(1))  # v2 canary
+            service.publish("policy", constant_artifact(9))  # v3 shadow
+            service.alias("policy/prod", "policy", version=1)
+            service.set_split("policy/prod", canary="policy@2",
+                              canary_fraction=0.3, shadow="policy@3")
+            stop = threading.Event()
+            outputs = [None] * 4
+
+            def client(idx: int) -> None:
+                rng = np.random.default_rng(200 + idx)
+                results = []
+                while not stop.is_set():
+                    row = states[int(rng.integers(len(states)))]
+                    results.append(
+                        service.submit("policy/prod", row).result(
+                            timeout=30
+                        )
+                    )
+                for _ in range(10):
+                    row = states[int(rng.integers(len(states)))]
+                    results.append(
+                        service.submit("policy/prod", row).result(
+                            timeout=30
+                        )
+                    )
+                outputs[idx] = results
+
+            threads = [
+                threading.Thread(target=client, args=(i,), daemon=True)
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            final_version = 3
+            for action in (3, 4):
+                threading.Event().wait(0.05)
+                final_version = service.publish(
+                    "policy", constant_artifact(action)
+                )
+                service.alias("policy/prod", "policy",
+                              version=final_version)
+            stop.set()
+            for t in threads:
+                t.join()
+            metrics = service.metrics()["policy"]
+            report = service.shadow_report()["policy/prod"]
+
+        total = 0
+        versions_seen = Counter()
+        for results in outputs:
+            total += len(results)
+            for res in results:
+                assert res.ok, (res.error, res.detail)
+                assert res.action == res.version - 1
+                assert res.version != 3  # shadow never returned
+                versions_seen[res.version] += 1
+        assert metrics["requests"] == total
+        assert metrics["errors"] == 0
+        assert versions_seen[2] > 0  # canary served cross-process
+        # the post-swap tail splits ~70/30 with the canary
+        assert versions_seen[final_version] >= 12  # swap landed
+        assert report["requests"] > 0
+        assert report["shadow"] == "policy@3"
