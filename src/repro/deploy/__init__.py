@@ -6,6 +6,7 @@ from repro.deploy.latency import (
     SERVER_TREE,
     SMARTNIC_TREE,
     cluster_latency_report,
+    elasticity_report,
     decision_latency_dnn,
     decision_latency_tree,
     measure_wallclock_latency,
@@ -29,6 +30,7 @@ __all__ = [
     "measure_wallclock_latency",
     "serving_latency_report",
     "cluster_latency_report",
+    "elasticity_report",
     "dnn_bundle_bytes",
     "tree_bundle_bytes",
     "page_load_seconds",

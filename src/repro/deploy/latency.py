@@ -244,6 +244,39 @@ def cluster_latency_report(
     return rows
 
 
+def elasticity_report(service) -> dict:
+    """Operational summary of an elastic cluster's control plane.
+
+    The companion to :func:`cluster_latency_report`'s data-plane rows:
+    capacity (target vs live shard count), the router and each shard's
+    load signals (in-flight groups, EWMA service time), resident
+    shared-memory artifact footprint, and the autoscaler's event
+    history when one is configured.
+
+    Args:
+        service: a live
+            :class:`~repro.serve.cluster.ShardedPolicyService`
+            (anything with a ``cluster_metrics()`` view), or that view
+            itself.
+
+    Returns:
+        ``{"n_shards", "live_shards", "routing", "shm", "autoscale"}``
+        — plain JSON-friendly dicts, ready for the benchmark records
+        and the docs examples.
+    """
+    view = (
+        service.cluster_metrics()
+        if hasattr(service, "cluster_metrics") else dict(service)
+    )
+    return {
+        "n_shards": view["n_shards"],
+        "live_shards": view["live_shards"],
+        "routing": view.get("routing"),
+        "shm": view.get("shm"),
+        "autoscale": view.get("autoscale"),
+    }
+
+
 def measure_batch_throughput(
     predict_fn,
     states: np.ndarray,

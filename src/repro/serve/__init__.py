@@ -13,8 +13,10 @@ The subsystem turns compiled policies into a served system:
 * :class:`TrafficSplitter` — registry-layer canary routing and shadow
   mirroring for staged rollouts;
 * :class:`AdaptiveDelay` — load-aware microbatch flush deadlines;
-* :mod:`repro.serve.cluster` — sharded multi-process serving with
-  shared-memory artifacts (imported lazily; it spawns processes);
+* :mod:`repro.serve.cluster` — the elastic sharded multi-process tier:
+  shared-memory artifacts, load-aware routing, shard autoscaling, and
+  self-healing control-log replay (imported lazily; it spawns
+  processes — see ``docs/cluster.md``);
 * :mod:`repro.serve.aio` — :class:`AsyncPolicyClient`, the asyncio
   front end over any server (imported lazily);
 * :mod:`repro.serve.loadgen` — ABR / flows / routing trace-replay load

@@ -70,6 +70,16 @@ class AdaptiveDelay:
         self._fill += self.alpha * (fill - self._fill)
         self._observations += 1
 
+    @property
+    def fill(self) -> float:
+        """The EWMA fill estimate in [0, 1] — how saturated recent
+        flushes ran relative to ``max_batch``.  This is the cluster
+        autoscaler's primary scale-up signal; note it only updates
+        when flushes happen, so it goes stale on an idle server
+        (idleness detection needs its own clock).
+        """
+        return self._fill
+
     def current(self) -> float:
         """The deadline the next gather should use."""
         return self.floor_s + (self.max_delay_s - self.floor_s) * self._fill

@@ -188,6 +188,16 @@ class MicroBatcher:
     def closed(self) -> bool:
         return self._closed
 
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet gathered into a flush.
+
+        An approximate, lock-free reading (``SimpleQueue.qsize``) —
+        good enough for the load signals it feeds (adaptive-delay
+        observation, cluster autoscaling), not a synchronization
+        primitive.
+        """
+        return self._queue.qsize()
+
     def close(self) -> None:
         """Stop the worker; every already-submitted request completes."""
         with self._submit_lock:

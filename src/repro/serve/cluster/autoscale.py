@@ -1,0 +1,314 @@
+"""Shard autoscaling: spawn and retire workers from observed load.
+
+The cluster's capacity knob used to be fixed at construction
+(``n_shards=N``) — the scheduling-vs-capacity tradeoff was decided
+once, blind to the workload.  :class:`Autoscaler` closes that loop with
+the three signals the serving stack already produces:
+
+* the :class:`~repro.serve.adaptive.AdaptiveDelay` **fill estimate** —
+  an EWMA of how full each flush ran relative to ``max_batch``, the
+  most direct "are the batches saturated?" reading;
+* the front-end **queue depth** plus **in-flight groups** — backlog
+  that has not even reached a shard yet;
+* the client-observed **p95 latency** against a configurable SLO.
+
+Scale-up spawns a fresh worker through the service's lockstep control
+plane (``add_shard`` replays the linearized registry log, so the new
+replica is byte-identical before it takes traffic); scale-down picks
+the least-loaded shard and drains it (no new groups are routed at it,
+its in-flight replies complete, then it stops).
+
+The decision rule is the pure function :func:`decide`, unit-testable
+without processes; :class:`Autoscaler` is the thin thread that samples
+signals, applies cooldown, and records every action in ``events`` (the
+benchmarks persist scale-up/down counts into ``BENCH_cluster.json``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Autoscaling policy knobs.
+
+    Attributes:
+        min_shards / max_shards: capacity bounds (inclusive).
+        interval_s: signal sampling period.
+        cooldown_s: minimum time between two scaling actions — one
+            action must be observable in the signals before the next,
+            or the loop flaps.
+        scale_up_fill: AdaptiveDelay fill EWMA at or above which the
+            batches are considered saturated (scale up).
+        scale_down_fill: fill EWMA at or below which the fleet is
+            over-provisioned (scale down, if the queue is also empty).
+        queue_high_per_shard: front-end backlog per live shard that
+            forces a scale-up even when fill is unavailable.
+        slo_p95_ms: optional p95 latency SLO; sustained violation
+            scales up.
+        idle_ticks_down: consecutive idle samples (no queue, nothing
+            in flight, no new requests) before scaling down — idleness
+            must persist, not flicker.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 4
+    interval_s: float = 0.25
+    cooldown_s: float = 2.0
+    scale_up_fill: float = 0.75
+    scale_down_fill: float = 0.15
+    queue_high_per_shard: int = 64
+    slo_p95_ms: Optional[float] = None
+    idle_ticks_down: int = 8
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be at least 1")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if self.interval_s <= 0 or self.cooldown_s < 0:
+            raise ValueError("intervals must be positive")
+        if not 0.0 <= self.scale_down_fill <= self.scale_up_fill <= 1.0:
+            raise ValueError(
+                "need 0 <= scale_down_fill <= scale_up_fill <= 1"
+            )
+
+
+@dataclass(frozen=True)
+class AutoscaleSignals:
+    """One sample of the load signals :func:`decide` rules on.
+
+    ``fill`` is None when the service runs a fixed flush deadline (no
+    :class:`AdaptiveDelay` controller); the queue/SLO signals still
+    drive scaling then.  ``p95_ms`` is the client-observed p95 over
+    the metrics retention window.  ``idle_ticks`` counts consecutive
+    samples with an empty queue, nothing in flight, and no new
+    requests since the previous sample (maintained by the caller —
+    the fill EWMA goes stale when no flushes happen, so idleness
+    needs its own clock).
+    """
+
+    live_shards: int
+    fill: Optional[float] = None
+    queue_depth: int = 0
+    inflight: int = 0
+    p95_ms: float = 0.0
+    idle_ticks: int = 0
+
+
+def decide(
+    config: AutoscaleConfig, signals: AutoscaleSignals
+) -> Tuple[int, str]:
+    """The autoscaling decision rule: ``(+1 | 0 | -1, reason)``.
+
+    Pure — cooldown and actuation live in :class:`Autoscaler`.  Scale
+    up wins over scale down when both could fire (capacity mistakes
+    are cheaper in the slow direction).
+    """
+    live = signals.live_shards
+    if live < config.min_shards:
+        return +1, f"below min_shards ({live} < {config.min_shards})"
+    backlog = signals.queue_depth + signals.inflight
+    if live < config.max_shards:
+        # The fill EWMA and the p95 window only move when requests
+        # flow, so on an idle server they freeze at their last
+        # (possibly saturated/violating) values — a positive idle-tick
+        # count proves no traffic is arriving and overrides both
+        # (otherwise one bad burst would scale an idle fleet to max
+        # and flap there forever).  Queue depth is a live reading and
+        # cannot go stale this way.
+        if (signals.idle_ticks == 0 and signals.fill is not None
+                and signals.fill >= config.scale_up_fill):
+            return +1, (
+                f"fill {signals.fill:.2f} >= {config.scale_up_fill:.2f}"
+            )
+        if signals.queue_depth >= config.queue_high_per_shard * live:
+            return +1, (
+                f"queue depth {signals.queue_depth} >= "
+                f"{config.queue_high_per_shard}/shard x {live}"
+            )
+        if (signals.idle_ticks == 0 and config.slo_p95_ms is not None
+                and signals.p95_ms > config.slo_p95_ms):
+            return +1, (
+                f"p95 {signals.p95_ms:.2f}ms > SLO "
+                f"{config.slo_p95_ms:.2f}ms"
+            )
+    if live > config.min_shards:
+        if signals.idle_ticks >= config.idle_ticks_down:
+            return -1, f"idle for {signals.idle_ticks} samples"
+        if (signals.fill is not None
+                and signals.fill <= config.scale_down_fill
+                and backlog == 0
+                and (config.slo_p95_ms is None
+                     or signals.p95_ms <= config.slo_p95_ms / 2)):
+            return -1, (
+                f"fill {signals.fill:.2f} <= {config.scale_down_fill:.2f} "
+                f"with empty backlog"
+            )
+    return 0, "steady"
+
+
+@dataclass
+class ScaleEvent:
+    """One actuated scaling decision (kept in ``Autoscaler.events``)."""
+
+    action: str  #: "up" or "down"
+    reason: str
+    live_shards_before: int
+    live_shards_after: int
+    t_rel_s: float  #: seconds since the autoscaler started
+    signals: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "reason": self.reason,
+            "live_shards_before": self.live_shards_before,
+            "live_shards_after": self.live_shards_after,
+            "t_rel_s": self.t_rel_s,
+            "signals": dict(self.signals),
+        }
+
+
+class Autoscaler:
+    """Background controller that resizes a
+    :class:`~repro.serve.cluster.ShardedPolicyService`.
+
+    The service wires one in via ``autoscale=AutoscaleConfig(...)``
+    and owns its lifecycle (started after the shards exist, stopped
+    first at close).  Each tick samples
+    ``service._autoscale_signals()``, maintains the idle-tick counter,
+    applies :func:`decide` under cooldown, and actuates through
+    ``service.add_shard()`` / ``service.remove_shard()`` — the same
+    lockstep control plane every other registry operation uses, so a
+    scale-up never races a publish.
+    """
+
+    def __init__(self, service: Any, config: AutoscaleConfig) -> None:
+        self.service = service
+        self.config = config
+        self.events: List[ScaleEvent] = []
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self._last_action_at: Optional[float] = None
+        self._last_total_requests: Optional[int] = None
+        self._idle_ticks = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            return self
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # -- control loop ----------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            try:
+                self._tick()
+            except Exception:  # noqa: BLE001 - the loop must survive a
+                # racing close(); a broken tick skips, the next samples
+                # fresh state.
+                if self._stop.is_set():
+                    return
+
+    def _tick(self) -> None:
+        signals = self._sample()
+        if signals is None:
+            return
+        now = time.monotonic()
+        if (self._last_action_at is not None
+                and now - self._last_action_at < self.config.cooldown_s):
+            return
+        delta, reason = decide(self.config, signals)
+        if delta == 0:
+            return
+        before = signals.live_shards
+        try:
+            if delta > 0:
+                self.service.add_shard()
+                action = "up"
+                self.scale_ups += 1
+            else:
+                self.service.remove_shard()
+                action = "down"
+                self.scale_downs += 1
+        finally:
+            # A failed actuation must also start the cooldown clock: a
+            # persistently failing add_shard (fork failure, /dev/shm
+            # exhausted during replay) would otherwise retry a full
+            # spawn+replay+teardown every interval_s — an unbounded
+            # process storm instead of one bounded attempt per cooldown.
+            self._last_action_at = time.monotonic()
+            self._idle_ticks = 0
+        with self._lock:
+            self.events.append(ScaleEvent(
+                action=action,
+                reason=reason,
+                live_shards_before=before,
+                live_shards_after=before + delta,
+                t_rel_s=time.monotonic() - self._started_at,
+                signals={
+                    "fill": signals.fill,
+                    "queue_depth": signals.queue_depth,
+                    "inflight": signals.inflight,
+                    "p95_ms": signals.p95_ms,
+                    "idle_ticks": signals.idle_ticks,
+                },
+            ))
+
+    def _sample(self) -> Optional[AutoscaleSignals]:
+        raw = self.service._autoscale_signals(
+            want_p95=self.config.slo_p95_ms is not None
+        )
+        if raw is None:
+            return None
+        total = raw["total_requests"]
+        quiet = (
+            raw["queue_depth"] == 0
+            and raw["inflight"] == 0
+            and self._last_total_requests is not None
+            and total == self._last_total_requests
+        )
+        self._idle_ticks = self._idle_ticks + 1 if quiet else 0
+        self._last_total_requests = total
+        return AutoscaleSignals(
+            live_shards=raw["live_shards"],
+            fill=raw["fill"],
+            queue_depth=raw["queue_depth"],
+            inflight=raw["inflight"],
+            p95_ms=raw["p95_ms"],
+            idle_ticks=self._idle_ticks,
+        )
+
+    # -- observability ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """Monitoring view (merged into ``cluster_metrics()`` and the
+        benchmark records)."""
+        with self._lock:
+            events = [event.as_dict() for event in self.events]
+        return {
+            "min_shards": self.config.min_shards,
+            "max_shards": self.config.max_shards,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "events": events,
+        }

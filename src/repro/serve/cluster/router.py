@@ -1,0 +1,145 @@
+"""Pluggable shard routing for the cluster front end.
+
+PR 4's dispatcher rotated whole flush groups round-robin, which is
+blind to two things the parent can observe for free: how many groups
+each shard still has in flight, and how long that shard has been
+taking to serve one (the worker reports its pure service time with
+every reply).  Routing by observed service quality instead of position
+is the gateway-selection lesson of the related work: the client sees
+enough to avoid the slow replica without any shard-side coordination.
+
+Two routers ship:
+
+* :class:`RoundRobinRouter` — the PR-4 behaviour, kept as the baseline
+  the benchmarks compare against;
+* :class:`LeastLoadedRouter` — scores each live shard by its expected
+  backlog drain time, ``inflight * ewma_service_s`` (an idle shard
+  scores 0 regardless of history — see the class docstring for why
+  the new group's own cost must not be charged), and picks the
+  minimum.  A shard with no service-time history yet (a fresh
+  replacement or autoscaled spawn) competes at the fleet's mean
+  service time, so a cold shard is neither flooded (a zero estimate
+  would win every contest) nor starved.  Ties break round-robin so
+  idle fleets still spread.
+
+Hash affinity is *not* a router: it is an override applied by the
+dispatcher before routing (a sticky key pins its shard while that
+shard lives), and the router only handles the remainder — dead-target
+fallback and non-sticky traffic.
+
+Routers are intentionally stateless about shards: they read the
+``inflight`` / ``ewma_service_s`` counters the service maintains on
+its shard handles, so a replacement shard slots in with no router
+bookkeeping to repair.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Union
+
+
+class Router:
+    """Strategy interface: pick one shard for the next flush group.
+
+    ``shards`` is the live candidate list (never empty — the service
+    fails the group itself when no shard is alive).  Implementations
+    read each handle's ``inflight`` (outstanding predict groups) and
+    ``ewma_service_s`` (EWMA of worker-reported service time, 0.0
+    until the first reply) and must not mutate them.
+    """
+
+    name = "router"
+
+    def select(self, shards: Sequence) -> Optional[object]:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """Monitoring view (merged into ``cluster_metrics()``)."""
+        return {"router": self.name}
+
+
+class RoundRobinRouter(Router):
+    """Rotate groups across live shards in arrival order (the PR-4
+    baseline: position-aware, load-blind)."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._rr = itertools.count()
+
+    def select(self, shards: Sequence) -> Optional[object]:
+        if not shards:
+            return None
+        return shards[next(self._rr) % len(shards)]
+
+
+class LeastLoadedRouter(Router):
+    """Route each group to the shard with the smallest expected drain
+    time.
+
+    Score = ``inflight * service_estimate`` — how long the shard needs
+    to finish what it already holds before this group could start.  An
+    idle shard scores 0 regardless of its history: the estimate must
+    not be charged for the *new* group's own cost, because per-shard
+    EWMAs mix model costs (a shard that just drained an expensive
+    batch would look worse than one actively serving a cheap one, and
+    traffic would pile onto the busy shard — exactly the failure the
+    router exists to avoid).  The estimate is the shard's own EWMA
+    service time when it has one; otherwise the mean of the shards
+    that do (1.0 relative units when nobody has history, which reduces
+    to least-in-flight).  Ties — the whole fleet idle, typically —
+    fall back to round-robin so load spreads instead of dogpiling
+    shard 0.
+    """
+
+    name = "least_loaded"
+
+    def __init__(self) -> None:
+        self._rr = itertools.count()
+
+    def select(self, shards: Sequence) -> Optional[object]:
+        if not shards:
+            return None
+        if len(shards) == 1:
+            return shards[0]
+        known = [s.ewma_service_s for s in shards if s.ewma_service_s > 0]
+        baseline = (sum(known) / len(known)) if known else 1.0
+        scores: List[float] = []
+        for shard in shards:
+            estimate = (
+                shard.ewma_service_s if shard.ewma_service_s > 0
+                else baseline
+            )
+            scores.append(shard.inflight * estimate)
+        best = min(scores)
+        candidates = [
+            shard for shard, score in zip(shards, scores) if score == best
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[next(self._rr) % len(candidates)]
+
+
+#: Routing specs ``ShardedPolicyService(routing=...)`` accepts.  "hash"
+#: is handled by the dispatcher (affinity override) with a
+#: least-loaded router underneath for fallback traffic.
+ROUTINGS = ("round_robin", "hash", "least_loaded")
+
+
+def make_router(spec: Union[str, Router]) -> Router:
+    """Build the router behind a routing spec.
+
+    Accepts a :class:`Router` instance (used as-is — the pluggable
+    path) or one of :data:`ROUTINGS`.
+    """
+    if isinstance(spec, Router):
+        return spec
+    if spec == "round_robin":
+        return RoundRobinRouter()
+    if spec in ("least_loaded", "hash"):
+        return LeastLoadedRouter()
+    raise ValueError(
+        f"routing must be one of {ROUTINGS} or a Router instance, "
+        f"not {spec!r}"
+    )

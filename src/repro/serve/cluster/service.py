@@ -1,24 +1,46 @@
-"""Sharded multi-process policy serving.
+"""Sharded multi-process policy serving — the elastic cluster tier.
 
 :class:`ShardedPolicyService` scales the PR-3 serving stack past the
 GIL: N worker processes each hold a full registry replica (model arrays
 shared zero-copy through :mod:`repro.serve.cluster.shm`), a front-end
 microbatcher coalesces single-state requests exactly like the
-single-process server, and whole flush groups are round-robined (or
-hash-routed) across shards as stacked arrays — one IPC message per
-group, never per request.
+single-process server, and whole flush groups ship to shards as stacked
+arrays — one IPC message per group, never per request.
+
+Since PR 5 the fan-out is *elastic* rather than static:
+
+* **load-aware routing** — flush groups are placed by a pluggable
+  :class:`~repro.serve.cluster.router.Router` (default: least expected
+  drain time from each shard's in-flight count and EWMA service time);
+  hash affinity remains available as an override, and round-robin as
+  the measurable baseline;
+* **shard autoscaling** — an optional
+  :class:`~repro.serve.cluster.autoscale.Autoscaler` watches the
+  adaptive-delay fill estimate, front-end queue depth, and p95 latency
+  against an SLO, and grows/shrinks the fleet through
+  :meth:`add_shard` / :meth:`remove_shard`;
+* **resilient republish** — every control operation is appended to a
+  linearized **control log**; when a shard dies (and ``self_heal`` is
+  on) a replacement is spawned and the log is replayed into it —
+  publishes re-attach the parent-owned shared-memory segments by
+  transport hash, retired versions replay as tombstones so numbering
+  never shifts, and splits/aliases restore routing state — so capacity
+  returns without a restart and without a byte of divergence
+  (:meth:`replica_states` proves it).
 
 What the parent keeps:
 
 * a **mirror registry** — publishes validate and version here first, so
   version numbers are authoritative and `retire`'s refusal paths run
   before anything is broadcast;
+* the **control log** — the single linearized history replay works
+  from;
 * **end-to-end metrics** — client-observed latency (queue + IPC +
   service) per model, the cluster-level percentiles; each worker also
   keeps its own service-time metrics, surfaced via
   :meth:`cluster_metrics`;
-* the **shared-memory segments** — the parent owns their lifetime and
-  unlinks them at close.
+* the **shared-memory segments** — the parent owns their lifetime
+  (replay re-attaches them) and unlinks them at close.
 
 Guarantees carried over from the single-process stack: zero dropped
 futures (close() drains, shard death fails pending requests with a
@@ -35,7 +57,7 @@ import pickle
 import threading
 import time
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,7 +69,13 @@ from repro.serve.batcher import (
     _Request,
     coerce_state_row,
 )
-from repro.serve.cluster.shm import ensure_tracker_running, share_artifact
+from repro.serve.cluster.autoscale import AutoscaleConfig, Autoscaler
+from repro.serve.cluster.router import Router, make_router
+from repro.serve.cluster.shm import (
+    ensure_tracker_running,
+    segment_footprint,
+    share_artifact,
+)
 from repro.serve.cluster.worker import ERR_SHARD, worker_main
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import ServeError, ServerMetrics
@@ -56,17 +84,30 @@ from repro.serve.splitter import (
     TrafficSplitter,
     check_split_targets,
     guard_retire_against_splits,
+    split_state,
 )
 from repro.utils.rng import SeedLike
 
 _RPC_TIMEOUT_S = 60.0
 
+#: EWMA weight for folding each worker-reported batch service time into
+#: its shard's estimate (what the least-loaded router scores by).
+_SERVICE_EWMA_ALPHA = 0.3
+
 
 class _Shard:
-    """Parent-side handle for one worker process."""
+    """Parent-side handle for one worker process.
+
+    ``inflight`` (outstanding predict groups, maintained under the
+    service's pending lock) and ``ewma_service_s`` (EWMA of the
+    worker's reported batch service time) are the two load signals the
+    router reads.  ``draining`` marks a shard being gracefully removed:
+    still alive — its in-flight replies complete — but no longer
+    routable.
+    """
 
     __slots__ = ("shard_id", "process", "conn", "send_lock", "alive",
-                 "reader")
+                 "reader", "inflight", "ewma_service_s", "draining")
 
     def __init__(self, shard_id: int, process, conn) -> None:
         self.shard_id = shard_id
@@ -75,6 +116,9 @@ class _Shard:
         self.send_lock = threading.Lock()
         self.alive = True
         self.reader: Optional[threading.Thread] = None
+        self.inflight = 0
+        self.ewma_service_s = 0.0
+        self.draining = False
 
     def send(self, message) -> None:
         with self.send_lock:
@@ -179,17 +223,33 @@ class _ClusterDispatcher(MicroBatcher):
 
 
 class ShardedPolicyService:
-    """Multi-process serving front door (same surface as PolicyServer).
+    """Elastic multi-process serving front door (same surface as
+    PolicyServer).
 
     Args:
-        n_shards: worker process count.
+        n_shards: initial worker process count (the autoscaler, if
+            configured, moves it within its ``min_shards`` /
+            ``max_shards`` bounds afterwards).
         registry: parent mirror registry (fresh one by default).
         max_batch / max_delay_s: front-end microbatching knobs.
         adaptive_delay: use a load-aware flush deadline capped at
-            ``max_delay_s`` (recommended for mixed load).
-        routing: ``"round_robin"`` rotates whole flush groups across
-            shards; ``"hash"`` routes each request by a stable hash of
-            its state (shard affinity for cache-warm models).
+            ``max_delay_s`` (recommended for mixed load; also the
+            autoscaler's primary fill signal).
+        routing: ``"least_loaded"`` (default) scores shards by expected
+            drain time — in-flight groups x EWMA service time, an idle
+            shard scoring 0; ``"round_robin"`` rotates whole flush
+            groups; ``"hash"``
+            routes each request by a stable hash of its state (shard
+            affinity for cache-warm models) with least-loaded fallback
+            for dead targets.  A :class:`Router` instance plugs in a
+            custom strategy.
+        self_heal: respawn a replacement worker when a shard dies and
+            replay the control log into it, so capacity returns without
+            a restart.  Off by default: a chaos test usually wants to
+            observe the degraded state, and production wants this True.
+        autoscale: optional :class:`AutoscaleConfig`; when given, an
+            :class:`Autoscaler` thread resizes the fleet from observed
+            load (see :mod:`repro.serve.cluster.autoscale`).
         split_seed: base seed for per-worker canary assignment RNGs
             (each shard derives an independent child seed).
         start_method: multiprocessing start method; default prefers
@@ -198,7 +258,7 @@ class ShardedPolicyService:
 
     Usage::
 
-        with ShardedPolicyService(n_shards=2) as service:
+        with ShardedPolicyService(n_shards=2, self_heal=True) as service:
             service.publish("abr", PolicyArtifact.from_tree(tree))
             result = service.submit("abr", state).result()
             actions = [r.action for r in
@@ -213,14 +273,19 @@ class ShardedPolicyService:
         max_delay_s: float = 1e-3,
         max_latency_samples: int = 200_000,
         adaptive_delay: bool = False,
-        routing: str = "round_robin",
+        routing: Union[str, Router] = "least_loaded",
+        self_heal: bool = False,
+        autoscale: Optional[AutoscaleConfig] = None,
         split_seed: SeedLike = None,
         start_method: Optional[str] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
-        if routing not in ("round_robin", "hash"):
-            raise ValueError("routing must be 'round_robin' or 'hash'")
+        #: Hash affinity is an override applied before routing; the
+        #: router underneath handles fallback and non-sticky traffic.
+        self._hash_affinity = routing == "hash"
+        self._router = make_router(routing)
+        self.routing = routing if isinstance(routing, str) else routing.name
         # Validate the batcher knobs *before* anything spawns; the
         # dispatcher would reject them anyway, but only after worker
         # processes exist.
@@ -229,17 +294,30 @@ class ShardedPolicyService:
         if max_delay_s < 0:
             raise ValueError("max_delay_s must be non-negative")
         self.n_shards = n_shards
-        self.routing = routing
+        self.self_heal = bool(self_heal)
         self.registry = registry if registry is not None else ModelRegistry()
         self._metrics = ServerMetrics(max_latency_samples)
         #: (name, version) -> SharedMemory the parent owns; released on
-        #: retire (workers unmapped theirs) or at close.
+        #: retire (workers unmapped theirs) or at close.  Kept alive for
+        #: the version's whole life — replacement replicas re-attach
+        #: these segments during log replay.
         self._segments: Dict[Tuple[str, int], Any] = {}
         #: Parent-side record of active splits (workers hold the live
         #: routing state; this mirror backs the retire refusal check).
         self._splits: Dict[str, TrafficSplit] = {}
-        # Serializes split reconfiguration against retire (the retire
-        # guard is check-then-act over the split mirror).
+        #: Linearized history of applied control operations — entries
+        #: are mutable lists so retire can tombstone a publish in
+        #: place:
+        #:   ["publish", name, payload, version]
+        #:   ["publish_tombstone", name, version]
+        #:   ["alias", (alias, target, version)]
+        #:   ["set_split", (ref, canary, fraction, shadow)]
+        #: Replaying the log into a fresh replica reproduces the exact
+        #: registry/alias/split state of every live shard.
+        self._control_log: List[list] = []
+        # Serializes control-plane mutation (publish/alias/retire/
+        # splits/scale) and the log against each other — interleaved
+        # broadcasts would diverge the replicas.
         self._control_lock = threading.Lock()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -248,26 +326,28 @@ class ShardedPolicyService:
         self._pending_lock = threading.Lock()
         self._pending_empty = threading.Condition(self._pending_lock)
         self._msg_ids = itertools.count(1)
-        self._rr = itertools.count()
+        self._next_shard_id = itertools.count(n_shards)
+        self._repairs: List[threading.Thread] = []
+        # Guards the _repairs prune-and-append: two shards dying
+        # concurrently race their reader threads here, and an unlocked
+        # read-modify-write would drop one repair from the list close()
+        # joins.
+        self._repairs_lock = threading.Lock()
 
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
-        ctx = mp.get_context(start_method)
+        self._ctx = mp.get_context(start_method)
         # Children must inherit OUR resource tracker (fork inherits the
         # fd, spawn ships it in the preparation data), not grow private
         # ones that reap live segments when a worker exits.
         ensure_tracker_running()
         if split_seed is None:
-            child_seeds: List[Optional[int]] = [None] * n_shards
+            self._seed_seq: Optional[np.random.SeedSequence] = None
         else:
-            seq = np.random.SeedSequence(
+            self._seed_seq = np.random.SeedSequence(
                 int(np.random.default_rng(split_seed).integers(1 << 31))
             )
-            child_seeds = [
-                int(child.generate_state(1)[0])
-                for child in seq.spawn(n_shards)
-            ]
         # Any failure after the first process spawns must tear down
         # what already started — the constructor raised, so the caller
         # never gets an object to close(), and half-started workers,
@@ -275,28 +355,21 @@ class ShardedPolicyService:
         # lifetime.  (The knob validation that MicroBatcher repeats ran
         # above, before anything spawned.)
         self._shards: List[_Shard] = []
+        self._shards_by_id: Dict[int, _Shard] = {}
         self._dispatcher: Optional[_ClusterDispatcher] = None
+        self.autoscaler: Optional[Autoscaler] = None
         try:
-            # Workers fork/spawn *before* any parent thread starts, so
-            # the children never inherit a half-held lock.
+            # The initial workers fork/spawn *before* any parent thread
+            # starts, so these children never inherit a half-held lock.
+            # (Elastic spawns later fork while parent threads run; the
+            # worker entry point touches none of the parent's locks,
+            # and segment registration is serialized under the control
+            # lock, which add_shard holds across the fork.)
             for shard_id in range(n_shards):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                process = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, shard_id, child_seeds[shard_id]),
-                    name=f"repro-serve-shard-{shard_id}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._shards.append(_Shard(shard_id, process, parent_conn))
+                self._shards.append(self._spawn_worker(shard_id))
             for shard in self._shards:
-                shard.reader = threading.Thread(
-                    target=self._reader_loop, args=(shard,),
-                    name=f"repro-serve-shard-{shard.shard_id}-reader",
-                    daemon=True,
-                )
-                shard.reader.start()
+                self._start_reader(shard)
+            self._shards_by_id = {s.shard_id: s for s in self._shards}
             self._dispatcher = _ClusterDispatcher(
                 self,
                 max_batch=max_batch,
@@ -311,9 +384,243 @@ class ShardedPolicyService:
                     raise RuntimeError(
                         f"shard {shard.shard_id} failed its startup ping"
                     )
+            if autoscale is not None:
+                self.autoscaler = Autoscaler(self, autoscale).start()
         except BaseException:
             self.close()
             raise
+
+    # -- worker lifecycle --------------------------------------------------
+    def _next_child_seed(self) -> Optional[int]:
+        if self._seed_seq is None:
+            return None
+        child = self._seed_seq.spawn(1)[0]
+        return int(child.generate_state(1)[0])
+
+    def _spawn_worker(self, shard_id: int) -> _Shard:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, shard_id, self._next_child_seed()),
+            name=f"repro-serve-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Shard(shard_id, process, parent_conn)
+
+    def _start_reader(self, shard: _Shard) -> None:
+        shard.reader = threading.Thread(
+            target=self._reader_loop, args=(shard,),
+            name=f"repro-serve-shard-{shard.shard_id}-reader",
+            daemon=True,
+        )
+        shard.reader.start()
+
+    def _destroy_shard(self, shard: _Shard) -> None:
+        """Best-effort teardown of a shard that never joined the fleet
+        (failed spawn/replay)."""
+        shard.alive = False
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        try:
+            shard.process.terminate()
+        except Exception:  # noqa: BLE001
+            pass
+        shard.process.join(timeout=5.0)
+        if shard.reader is not None:
+            shard.reader.join(timeout=5.0)
+
+    def _live_shards(self) -> List[_Shard]:
+        """Routable shards: alive and not being drained for removal."""
+        return [s for s in self._shards if s.alive and not s.draining]
+
+    def add_shard(self) -> int:
+        """Grow the fleet by one replica (the autoscaler's scale-up
+        actuator, also a public capacity knob).
+
+        The new worker is spawned, pinged, and fed the full control log
+        before it becomes routable, so it can never serve a request
+        against partial state.  Returns the new shard id.
+        """
+        with self._control_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            shard = self._provision_shard_locked()
+            if self._closed:
+                # close() raced the provisioning; installing now would
+                # leak a worker the (finished) shutdown never stops.
+                self._destroy_shard(shard)
+                raise RuntimeError("service closed during add_shard")
+            self._shards = list(self._shards) + [shard]
+            self._shards_by_id[shard.shard_id] = shard
+            self.n_shards += 1
+            return shard.shard_id
+
+    def remove_shard(self, shard_id: Optional[int] = None,
+                     timeout_s: float = 30.0) -> int:
+        """Gracefully retire one worker (the scale-down actuator).
+
+        The victim (least-loaded live shard unless ``shard_id`` pins
+        one) is marked draining — no new groups route at it — its
+        in-flight replies complete, then it stops.  Refuses to remove
+        the last live shard.  Returns the removed shard id.
+
+        Only victim selection and the membership update hold the
+        control lock; the drain wait (seconds under heavy batches)
+        runs outside it, so publishes, metrics, and the self-healing
+        of *other* shards are never stalled behind a scale-down.
+        """
+        with self._control_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            live = self._live_shards()
+            if len(live) <= 1:
+                raise RuntimeError("cannot remove the last live shard")
+            if shard_id is None:
+                shard = min(live, key=lambda s: (s.inflight, s.shard_id))
+            else:
+                shard = self._shards_by_id.get(shard_id)
+                if shard is None or not shard.alive or shard.draining:
+                    raise KeyError(f"no live shard {shard_id}")
+            # The flag is what needs the lock: a concurrent
+            # remove_shard selects from live = alive-and-not-draining,
+            # so two removals can never pick the same victim or drain
+            # the fleet past the last-shard check.
+            shard.draining = True
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._pending_lock:
+                if shard.inflight == 0:
+                    break
+            time.sleep(0.005)
+        # The pipe is FIFO: the worker answers everything queued
+        # before the stop, then exits; its EOF runs the
+        # _on_shard_death sweep, which fails any straggler that
+        # raced the draining flag (zero stranded futures).
+        try:
+            self._rpc(shard, "stop", None, timeout_s=10.0)
+        except RuntimeError:
+            pass
+        if shard.reader is not None:
+            shard.reader.join(timeout=10.0)
+        shard.process.join(timeout=10.0)
+        if shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(timeout=5.0)
+        shard.alive = False
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        with self._control_lock:
+            self._shards = [s for s in self._shards if s is not shard]
+            self._shards_by_id.pop(shard.shard_id, None)
+            self.n_shards -= 1
+        return shard.shard_id
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Chaos helper: hard-kill one worker process (SIGTERM).
+
+        Pending groups routed at it fail with structured
+        ``shard_error`` results; with ``self_heal`` the death triggers
+        a replacement replica that replays the control log.  Raises
+        ``KeyError`` for an unknown or already-dead shard.
+        """
+        shard = self._shards_by_id.get(shard_id)
+        if shard is None or not shard.alive:
+            raise KeyError(f"no live shard {shard_id}")
+        shard.process.terminate()
+        shard.process.join(timeout=10.0)
+
+    def _provision_shard_locked(self) -> _Shard:
+        """Spawn + ping + replay one replica (caller holds the control
+        lock); the shard is fully caught up but not yet routable."""
+        shard = self._spawn_worker(next(self._next_shard_id))
+        try:
+            self._start_reader(shard)
+            reply = self._rpc(shard, "ping", None, timeout_s=30.0)
+            if reply != ("pong", shard.shard_id):
+                raise RuntimeError(
+                    f"shard {shard.shard_id} failed its startup ping"
+                )
+            self._replay_log_locked(shard)
+        except BaseException:
+            self._destroy_shard(shard)
+            raise
+        return shard
+
+    def _replay_log_locked(self, shard: _Shard) -> None:
+        """Feed the linearized control log into a fresh replica.
+
+        Version numbers are cross-checked op by op — replay that does
+        not reproduce the parent mirror's numbering exactly is replica
+        divergence and fails the provisioning.
+        """
+        for entry in self._control_log:
+            op = entry[0]
+            if op == "publish":
+                _, name, payload, version = entry
+                worker_version = self._rpc(shard, "publish",
+                                           (name, payload))
+                if worker_version != version:
+                    raise RuntimeError(
+                        f"replay diverged: shard {shard.shard_id} "
+                        f"registered {name!r} as version "
+                        f"{worker_version}, log has {version}"
+                    )
+            elif op == "publish_tombstone":
+                _, name, version = entry
+                worker_version = self._rpc(shard, "publish_tombstone",
+                                           name)
+                if worker_version != version:
+                    raise RuntimeError(
+                        f"replay diverged: shard {shard.shard_id} "
+                        f"tombstoned {name!r} at version "
+                        f"{worker_version}, log has {version}"
+                    )
+            elif op == "alias":
+                self._rpc(shard, "alias", entry[1])
+            elif op == "set_split":
+                self._rpc(shard, "set_split", entry[1])
+
+    def _repair(self, dead: _Shard) -> None:
+        """Self-heal worker: replace ``dead`` with a caught-up replica.
+
+        Runs on its own thread (shard death is detected on the reader
+        thread, which must keep failing pending futures, not block on
+        the control lock).  Failure to heal is logged into nothing —
+        the cluster keeps serving on the survivors, and the next death
+        or scale-up tries again.
+        """
+        try:
+            with self._control_lock:
+                if self._closed:
+                    return
+                shard = self._provision_shard_locked()
+                if self._closed:
+                    # close() ran while we were provisioning (its
+                    # repair-join timeout is shorter than a worst-case
+                    # spawn+replay): installing now would hand a live
+                    # worker to a service that already stopped its
+                    # fleet and unlinked its segments — tear the
+                    # replacement down instead.
+                    self._destroy_shard(shard)
+                    return
+                shards = list(self._shards)
+                if dead in shards:
+                    # Replace in place so hash-affinity bucket order
+                    # stays as stable as membership allows.
+                    shards[shards.index(dead)] = shard
+                else:
+                    shards.append(shard)
+                self._shards_by_id.pop(dead.shard_id, None)
+                self._shards_by_id[shard.shard_id] = shard
+                self._shards = shards
+        except Exception:  # noqa: BLE001 - healing is best effort
+            pass
 
     # -- registry control -------------------------------------------------
     def publish(
@@ -331,11 +638,14 @@ class ShardedPolicyService:
         shard rejects the publish, the shards that already applied it
         and the parent mirror are rolled back before the error is
         raised, so the replicas never diverge; the alias (if any) is
-        installed only after every shard accepted.
+        installed only after every shard accepted.  A successful
+        publish is appended to the control log, so replacement replicas
+        replay it (re-attaching the same shared segment).
 
-        Control-plane operations (publish / alias / retire / splits)
-        serialize under one lock so every shard sees them in the same
-        order — interleaved broadcasts would diverge the replicas.
+        Control-plane operations (publish / alias / retire / splits /
+        scaling) serialize under one lock so every shard sees them in
+        the same order — interleaved broadcasts would diverge the
+        replicas.
         """
         with self._control_lock:
             return self._publish_locked(name, artifact, alias)
@@ -385,7 +695,11 @@ class ShardedPolicyService:
         applied: List[_Shard] = []
         try:
             for shard in self._shards:
-                if not shard.alive:
+                # A draining shard is leaving the fleet (scale-down
+                # waits outside the control lock): it serves what it
+                # already holds and must not make a racing publish
+                # fail-and-roll-back when its stop lands first.
+                if not shard.alive or shard.draining:
                     continue
                 worker_version = self._rpc(
                     shard, "publish", (name, payload)
@@ -422,6 +736,7 @@ class ShardedPolicyService:
                 except Exception:  # noqa: BLE001
                     pass
             raise
+        self._control_log.append(["publish", name, payload, version])
         if alias is not None:
             self._alias_locked(alias, name, None)
         return version
@@ -429,6 +744,8 @@ class ShardedPolicyService:
     def alias(
         self, alias: str, target: str, version: Optional[int] = None
     ) -> None:
+        """Install (or repoint) an alias on the parent mirror and every
+        live shard, and log it for replay."""
         with self._control_lock:
             self._alias_locked(alias, target, version)
 
@@ -436,22 +753,50 @@ class ShardedPolicyService:
         self, alias: str, target: str, version: Optional[int]
     ) -> None:
         self.registry.alias(alias, target, version)
+        # Log with the mirror, *before* the broadcast: the log's
+        # invariant is "replaying it reproduces the parent mirror".
+        # If the broadcast fails outright (every shard evicted), the
+        # mirror has the alias — so the log must too, or the repaired
+        # replicas would replay to a divergent state.  Only the final
+        # binding matters to a fresh replica; earlier repoints of the
+        # same alias are compacted away.
+        self._control_log = [
+            entry for entry in self._control_log
+            if not (entry[0] == "alias" and entry[1][0] == alias)
+        ]
+        self._control_log.append(["alias", (alias, target, version)])
         self._broadcast_or_evict("alias", (alias, target, version))
 
     def retire(self, name: str, version: int) -> None:
         """Retire an old version cluster-wide (parent refusal rules —
         including active splits routing to it — run first, so an
-        illegal retire never reaches a shard)."""
+        illegal retire never reaches a shard).
+
+        The version's control-log publish entry is tombstoned in place:
+        a replacement replica replays the slot as
+        ``publish_tombstone``, keeping version numbering identical
+        while the artifact bytes (and their shared segment) are gone.
+        """
         with self._control_lock:
             guard_retire_against_splits(
                 dict(self._splits), self.registry, name, version
             )
             self.registry.retire(name, version)
+            # Tombstone the log with the mirror, before the broadcast:
+            # if the broadcast fails wholesale, the mirror considers
+            # the version gone, and a repaired replica must not replay
+            # it back to life.
+            for entry in self._control_log:
+                if (entry[0] == "publish" and entry[1] == name
+                        and entry[3] == version):
+                    entry[:] = ["publish_tombstone", name, version]
+                    break
             self._broadcast_or_evict("retire", (name, version))
-        # Workers have unmapped the retired version; release the
-        # parent-owned segment so memory tracks the live set, not the
-        # publish history.
-        shm = self._segments.pop((name, version), None)
+            # Workers have unmapped the retired version; drop the
+            # parent's mapping (under the lock — metrics readers
+            # snapshot this dict) so memory tracks the live set, not
+            # the publish history.
+            shm = self._segments.pop((name, version), None)
         if shm is not None:
             try:
                 shm.close()
@@ -483,14 +828,26 @@ class ShardedPolicyService:
             # fails partway, some shard may already be routing under
             # this split, and the retire() guard must keep seeing it.
             self._splits[ref] = split
-            self._broadcast_or_evict(
-                "set_split", (ref, canary, float(canary_fraction), shadow)
-            )
+            payload = (ref, canary, float(canary_fraction), shadow)
+            # Mirror and log first (same invariant as _alias_locked:
+            # log == mirror even when the broadcast fails wholesale).
+            self._drop_split_log_entries(ref)
+            self._control_log.append(["set_split", payload])
+            self._broadcast_or_evict("set_split", payload)
 
     def clear_split(self, ref: str) -> None:
+        """Remove ``ref``'s split on every shard (and from the replay
+        log — a fresh replica simply never installs it)."""
         with self._control_lock:
             self._broadcast_or_evict("clear_split", ref)
             self._splits.pop(ref, None)
+            self._drop_split_log_entries(ref)
+
+    def _drop_split_log_entries(self, ref: str) -> None:
+        self._control_log = [
+            entry for entry in self._control_log
+            if not (entry[0] == "set_split" and entry[1][0] == ref)
+        ]
 
     def splits(self) -> Dict[str, TrafficSplit]:
         """Active splits as recorded by the parent."""
@@ -499,9 +856,32 @@ class ShardedPolicyService:
     def shadow_report(self) -> Dict[str, dict]:
         """Cluster-wide shadow fidelity (summed over shards)."""
         merger = TrafficSplitter()
-        for _shard, report in self._broadcast("shadow_report", None):
+        for _shard, report in self._broadcast_tolerant("shadow_report",
+                                                       None):
             merger.merge_shadow_report(report)
         return merger.shadow_report()
+
+    def replica_states(self) -> Dict[str, Any]:
+        """Control-state fingerprints of the parent mirror and every
+        live shard.
+
+        Returns ``{"parent": state, "shards": {shard_id: state}}``
+        where each state is ``{"models": {name: [hash-or-None, ...]},
+        "aliases": {...}, "splits": {...}}``.  Lockstep means every
+        value here is *identical* — the replacement-replay tests
+        compare them byte for byte (via ``repr``) after healing a
+        killed shard.  Taken under the control lock, so no broadcast
+        can land between the parent's view and the shards'.
+        """
+        with self._control_lock:
+            parent = dict(self.registry.fingerprint())
+            parent["splits"] = split_state(self._splits)
+            shards = {
+                shard.shard_id: reply
+                for shard, reply in self._broadcast_tolerant("describe",
+                                                             None)
+            }
+        return {"parent": parent, "shards": shards}
 
     # -- traffic -----------------------------------------------------------
     def submit(self, model: str, state: Any) -> "Future[ServeResult]":
@@ -515,6 +895,8 @@ class ShardedPolicyService:
     def submit_many(
         self, model: str, states: Any
     ) -> List["Future[ServeResult]"]:
+        """Submit a stack of single-state requests (they may co-batch
+        at the front end and ship as one group)."""
         states = np.atleast_2d(np.asarray(states, dtype=float))
         return [self._dispatcher.submit(model, row) for row in states]
 
@@ -536,7 +918,7 @@ class ShardedPolicyService:
         x = np.atleast_2d(np.ascontiguousarray(states, dtype=float))
         if x.ndim != 2:
             raise ValueError("submit_batch expects an (n, d) state matrix")
-        shards = [s for s in self._shards if s.alive]
+        shards = self._live_shards()
         n = x.shape[0]
         if not shards or n == 0:
             job = _BulkJob(n, 1, model)
@@ -576,24 +958,30 @@ class ShardedPolicyService:
 
     # -- dispatch internals ------------------------------------------------
     def _pick_shard(self) -> Optional[_Shard]:
-        shards = [s for s in self._shards if s.alive]
-        if not shards:
-            return None
-        return shards[next(self._rr) % len(shards)]
+        return self._router.select(self._live_shards())
 
     def _dispatch_group(self, ref: str, requests: List[_Request]) -> None:
-        """Route one stacked flush group to a shard (or fail it fast)."""
-        if self.routing == "hash" and len(self._shards) > 1:
+        """Route one stacked flush group to a shard (or fail it fast).
+
+        Hash affinity (when configured) pins each request to a shard by
+        a stable hash of its state while the live membership holds;
+        everything else — including fallback for a just-died target —
+        goes through the pluggable router.
+        """
+        live = self._live_shards()
+        if self._hash_affinity and len(live) > 1:
             buckets: Dict[int, List[_Request]] = {}
             for request in requests:
-                key = hash(request.row.tobytes()) % self.n_shards
+                key = hash(request.row.tobytes()) % len(live)
                 buckets.setdefault(key, []).append(request)
-            parts = list(buckets.items())
+            parts: List[Tuple[Optional[_Shard], List[_Request]]] = [
+                (live[key], group) for key, group in buckets.items()
+            ]
         else:
-            parts = [(-1, requests)]
-        for key, group in parts:
-            if key >= 0 and self._shards[key].alive:
-                shard: Optional[_Shard] = self._shards[key]
+            parts = [(None, requests)]
+        for target, group in parts:
+            if target is not None and target.alive and not target.draining:
+                shard: Optional[_Shard] = target
             else:
                 shard = self._pick_shard()
             if shard is None:
@@ -608,11 +996,14 @@ class ShardedPolicyService:
         msg_id = next(self._msg_ids)
         with self._pending_lock:
             self._pending[msg_id] = entry
+            shard.inflight += 1
         try:
             shard.send((msg_id, "predict", (ref, x)))
         except Exception as exc:  # noqa: BLE001 - fail, never strand
             with self._pending_lock:
                 owned = self._pending.pop(msg_id, None)
+                if owned is not None:
+                    shard.inflight -= 1
             if isinstance(exc, OSError):  # broken pipe == dead shard
                 self._on_shard_death(shard)
                 detail = f"shard {shard.shard_id} is unreachable"
@@ -667,10 +1058,24 @@ class ShardedPolicyService:
                 break
             with self._pending_lock:
                 entry = self._pending.pop(msg_id, None)
+                if isinstance(entry, (_PredictJob, _BulkChunk)):
+                    shard.inflight -= 1
                 if not self._pending:
                     self._pending_empty.notify_all()
             if entry is None:
                 continue
+            if (ok and isinstance(entry, (_PredictJob, _BulkChunk))
+                    and isinstance(payload, dict)):
+                # Fold the worker's reported pure service time into
+                # the shard's EWMA — the router's quality signal.
+                service_s = float(payload.get("service_s") or 0.0)
+                if service_s > 0.0:
+                    if shard.ewma_service_s > 0.0:
+                        shard.ewma_service_s += _SERVICE_EWMA_ALPHA * (
+                            service_s - shard.ewma_service_s
+                        )
+                    else:
+                        shard.ewma_service_s = service_s
             if isinstance(entry, _Control):
                 entry.ok = bool(ok)
                 entry.result = payload
@@ -747,18 +1152,21 @@ class ShardedPolicyService:
         job.chunk_done()
 
     def _on_shard_death(self, shard: _Shard) -> None:
-        if not shard.alive:
-            return
-        shard.alive = False
-        # Fail everything still routed at the dead shard — a crashed
-        # worker must never strand a future.
+        # Claim the death atomically: the reader thread (EOF) and a
+        # sender (EPIPE) can detect it concurrently, and two claimants
+        # would sweep twice and — with self_heal — spawn two repairs
+        # for one corpse, growing the fleet past n_shards.
         with self._pending_lock:
+            if not shard.alive:
+                return
+            shard.alive = False
             doomed = [
                 (msg_id, entry) for msg_id, entry in self._pending.items()
                 if getattr(entry, "shard_id", None) == shard.shard_id
             ]
             for msg_id, _entry in doomed:
                 del self._pending[msg_id]
+            shard.inflight = 0
             if not self._pending:
                 self._pending_empty.notify_all()
         for _msg_id, entry in doomed:
@@ -773,6 +1181,23 @@ class ShardedPolicyService:
                 entry.ok = False
                 entry.result = f"shard {shard.shard_id} died"
                 entry.event.set()
+        if self.self_heal and not self._closed and not shard.draining:
+            # Healing replays the control log, which needs the control
+            # lock — never block the reader thread (it may *be* the
+            # detector during a control broadcast) on it.
+            repair = threading.Thread(
+                target=self._repair, args=(shard,),
+                name=f"repro-serve-shard-{shard.shard_id}-repair",
+                daemon=True,
+            )
+            # Prune finished repairs while appending, so a chaos-heavy
+            # service doesn't hoard one dead Thread per healed death
+            # forever.
+            with self._repairs_lock:
+                self._repairs = [
+                    t for t in self._repairs if t.is_alive()
+                ] + [repair]
+            repair.start()
 
     # -- control RPC -------------------------------------------------------
     def _rpc(self, shard: _Shard, op: str, payload,
@@ -811,13 +1236,27 @@ class ShardedPolicyService:
             )
         return control.result
 
-    def _broadcast(self, op: str, payload) -> List[Tuple[_Shard, Any]]:
+    def _broadcast_tolerant(
+        self, op: str, payload
+    ) -> List[Tuple[_Shard, Any]]:
+        """Read-only broadcast that skips shards dying mid-call.
+
+        Observability ops (metrics / shadow_report / describe) race
+        shard death by design — a monitoring poll right after a kill
+        must report the surviving fleet, not crash because one pipe
+        went dark between the liveness check and the RPC.  (``_rpc``
+        already marks a shard dead on a broken pipe; this just doesn't
+        let that abort the read.)  May return an empty list when no
+        shard is reachable.
+        """
         replies = []
-        for shard in self._shards:
-            if shard.alive:
+        for shard in list(self._shards):
+            if not shard.alive:
+                continue
+            try:
                 replies.append((shard, self._rpc(shard, op, payload)))
-        if not replies:
-            raise RuntimeError("no live shards")
+            except RuntimeError:
+                continue
         return replies
 
     def _broadcast_or_evict(
@@ -830,11 +1269,16 @@ class ShardedPolicyService:
         retire / splits) use fail-stop instead: a replica that missed a
         control op would silently serve stale routing state forever,
         and losing one shard's capacity is strictly better than that.
-        Raises only when no shard applied the op.
+        (With ``self_heal`` the evicted shard is replaced by a replica
+        replaying the post-op log, so even the capacity loss is
+        transient.)  Raises only when no shard applied the op.
         """
         replies = []
-        for shard in self._shards:
-            if not shard.alive:
+        for shard in list(self._shards):
+            # Draining shards are leaving: broadcasting to one could
+            # race its stop and evict-terminate it mid-drain for no
+            # gain (it serves only what it already holds).
+            if not shard.alive or shard.draining:
                 continue
             try:
                 replies.append((shard, self._rpc(shard, op, payload)))
@@ -859,10 +1303,14 @@ class ShardedPolicyService:
         ``cluster`` carries the client-observed percentiles (the number
         that matters for SLOs); ``shards`` the per-worker service-time
         snapshots; ``aggregate`` sums shard counters and throughput —
-        aggregate throughput is the scaling headline.
+        aggregate throughput is the scaling headline.  ``routing``
+        exposes the router plus each shard's load signals (in-flight
+        groups, EWMA service time), ``shm`` the resident artifact
+        memory, and ``autoscale`` the autoscaler's event history when
+        one is configured.
         """
         shard_snaps = []
-        for shard, snap in self._broadcast("metrics", None):
+        for shard, snap in self._broadcast_tolerant("metrics", None):
             shard_snaps.append({"shard": shard.shard_id, "models": snap})
         aggregate: Dict[str, dict] = {}
         for snap in shard_snaps:
@@ -882,36 +1330,91 @@ class ShardedPolicyService:
                     agg["batch_sizes"][key] = (
                         agg["batch_sizes"].get(key, 0) + count
                     )
+        routing = dict(self._router.snapshot())
+        routing["hash_affinity"] = self._hash_affinity
+        routing["per_shard"] = {
+            str(shard.shard_id): {
+                "inflight": shard.inflight,
+                "ewma_service_ms": shard.ewma_service_s * 1e3,
+                "draining": shard.draining,
+            }
+            for shard in self._shards if shard.alive
+        }
+        with self._control_lock:
+            # Snapshot under the lock: publish/retire mutate the
+            # segment map, and iterating it concurrently would raise.
+            footprint = segment_footprint(self._segments)
         return {
             "n_shards": self.n_shards,
-            "live_shards": sum(1 for s in self._shards if s.alive),
+            "live_shards": len([s for s in self._shards if s.alive]),
             "cluster": self.metrics(),
             "shards": shard_snaps,
             "aggregate": aggregate,
+            "routing": routing,
+            "shm": footprint,
+            "autoscale": (self.autoscaler.snapshot()
+                          if self.autoscaler is not None else None),
         }
 
     def batching_state(self) -> Dict[str, Any]:
+        """Current front-end microbatching posture (adaptive-delay
+        telemetry when the controller is wired in)."""
         return batching_state(self._dispatcher.delay,
                               self._dispatcher.max_delay_s)
+
+    def scale_events(self) -> List[dict]:
+        """Actuated autoscaling decisions so far (empty without an
+        autoscaler) — what the cluster benchmark persists."""
+        if self.autoscaler is None:
+            return []
+        return self.autoscaler.snapshot()["events"]
+
+    def _autoscale_signals(self, want_p95: bool = False) -> Optional[dict]:
+        """One load sample for the autoscaler (None once closed).
+
+        ``p95_ms`` is computed only on request — the percentile sweep
+        over the retention window is the one non-trivial cost here.
+        """
+        if self._closed or self._dispatcher is None:
+            return None
+        delay = self._dispatcher.delay
+        with self._pending_lock:
+            inflight = sum(s.inflight for s in self._shards if s.alive)
+        return {
+            "live_shards": len(self._live_shards()),
+            "fill": delay.fill if delay is not None else None,
+            "queue_depth": self._dispatcher.queue_depth(),
+            "inflight": inflight,
+            "p95_ms": self._metrics.p95_ms() if want_p95 else 0.0,
+            "total_requests": self._metrics.total_requests(),
+        }
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Drain, stop the shards, release the shared segments.
 
-        Ordering matters: the front-end batcher drains first (every
-        accepted request is dispatched), then pending replies are
-        awaited, then shards stop — so zero futures drop.
+        Ordering matters: the autoscaler stops first (no scaling races
+        teardown), the front-end batcher drains (every accepted request
+        is dispatched), pending replies are awaited, in-flight repairs
+        are joined (a half-provisioned replacement must not leak), then
+        shards stop — so zero futures drop.
         """
         with self._close_lock:
             if self._closed:
                 return
             self._closed = True
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         if self._dispatcher is not None:
             self._dispatcher.close()
         deadline = time.monotonic() + _RPC_TIMEOUT_S
         with self._pending_lock:
             while self._pending and time.monotonic() < deadline:
                 self._pending_empty.wait(timeout=0.25)
+        with self._repairs_lock:
+            repairs = list(self._repairs)
+        for repair in repairs:
+            repair.join(timeout=10.0)
         for shard in self._shards:
             if shard.alive:
                 try:

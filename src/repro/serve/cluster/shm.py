@@ -171,6 +171,24 @@ def unregister_segment(shm: shared_memory.SharedMemory) -> None:
         pass
 
 
+def segment_footprint(segments: Dict[Tuple[str, int], Any]) -> dict:
+    """Memory accounting for a ``(name, version) -> SharedMemory`` map.
+
+    The parent owns one segment per live tree version (retire releases
+    them), so this is the cluster's resident model-memory story in two
+    numbers — surfaced through ``cluster_metrics()`` so capacity
+    planning can see artifact memory next to throughput.  Replacement
+    replicas re-attach these same segments during log replay (the
+    handle's ``transport_hash`` re-verifies the mapped bytes), which
+    is why the parent must keep them alive for as long as the version
+    lives, not just until the initial broadcast.
+    """
+    return {
+        "n_segments": len(segments),
+        "total_bytes": int(sum(shm.size for shm in segments.values())),
+    }
+
+
 def load_shared_artifact(
     handle: ShmArtifactHandle,
     private_tracker: bool = False,

@@ -20,8 +20,13 @@ Message protocol (over one duplex ``multiprocessing`` connection)::
     request:  (msg_id, op, payload)
     response: (msg_id, ok, result_or_error_string)
 
-Ops: ``publish``, ``alias``, ``retire``, ``predict``, ``set_split``,
-``clear_split``, ``metrics``, ``shadow_report``, ``ping``, ``stop``.
+Ops: ``publish``, ``publish_tombstone``, ``alias``, ``retire``,
+``predict``, ``set_split``, ``clear_split``, ``metrics``,
+``shadow_report``, ``describe``, ``ping``, ``stop``
+(``publish_tombstone`` and ``describe`` exist for the elastic tier:
+replaying retired version slots into a replacement replica, and
+fingerprinting a replica's full control state for lockstep
+verification).
 The worker never lets an exception escape the loop: a failing op
 answers ``ok=False`` with the error text, and only ``stop`` or a closed
 pipe ends the process.
@@ -45,7 +50,7 @@ from repro.serve.batcher import (
 from repro.serve.cluster.shm import ShmArtifactHandle, load_shared_artifact
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import ServerMetrics
-from repro.serve.splitter import TrafficSplitter, mirror_shadow
+from repro.serve.splitter import TrafficSplitter, mirror_shadow, split_state
 
 #: Error kind when a whole shard died under a request (parent-side).
 ERR_SHARD = "shard_error"
@@ -62,8 +67,11 @@ def serve_stacked(
     """Serve one stacked batch under ``ref`` with full split semantics.
 
     Returns ``{"groups": [(name, version, idx, actions), ...],
-    "errors": [(i, model, version, kind, detail), ...]}`` where ``idx``
-    indexes rows of ``x``.  Mirrors the MicroBatcher's per-request
+    "errors": [(i, model, version, kind, detail), ...],
+    "service_s": float}`` where ``idx`` indexes rows of ``x`` and
+    ``service_s`` is this batch's pure service time — the parent folds
+    it into the shard's EWMA, which is what the load-aware router
+    scores by.  Mirrors the MicroBatcher's per-request
     guarantees vectorized: canary rows route to the canary reference,
     non-finite rows fail alone, a raising ``predict_batch`` fails only
     its group, and shadow answers — mirrored from the primary-served
@@ -178,7 +186,7 @@ def serve_stacked(
                 shadow_sink.append(thunk)
             else:
                 thunk()
-    return {"groups": groups, "errors": errors}
+    return {"groups": groups, "errors": errors, "service_s": service_s}
 
 
 def worker_main(
@@ -283,6 +291,10 @@ def _dispatch(
             except BufferError:
                 segments[(name, version)] = shm
         return None
+    if op == "publish_tombstone":
+        # Replay-only: a version retired before this replica was born
+        # must still occupy its slot (version numbers never shift).
+        return registry.publish_tombstone(payload)
     if op == "alias":
         alias, target, version = payload
         registry.alias(alias, target, version)
@@ -315,6 +327,15 @@ def _dispatch(
         return metrics.snapshot()
     if op == "shadow_report":
         return splitter.shadow_report()
+    if op == "describe":
+        # Full control-state fingerprint: registry versions (content
+        # hashes / tombstones), alias table, and routing-relevant
+        # split state.  The parent compares these across replicas —
+        # and against its own mirror — to prove lockstep, in
+        # particular after a replacement replica replayed the log.
+        state = dict(registry.fingerprint())
+        state["splits"] = split_state(splitter.splits())
+        return state
     if op == "ping":
         return ("pong", shard_id)
     if op == "stop":

@@ -21,6 +21,30 @@ latency percentiles plus the registry versions that answered.
 its asyncio submission path (optionally in pipelined chunks — the
 cluster tier's bulk mode).
 
+**Measurement methodology** (documented in ``docs/benchmarks.md``):
+both harnesses support a ``warmup`` phase — each client replays
+``warmup`` unmeasured requests, all clients rendezvous, and only then
+does the measured window open.  Throughput therefore divides measured
+requests by the measured window alone; cold-start costs (thread/loop
+spin-up, first-flush ramp, allocator warm paths) never inflate the
+denominator.  With ``warmup=0`` the harness behaves exactly as before.
+
+**Load shapes** for exercising the elastic cluster tier:
+
+* :func:`hot_key_states` — a skewed key distribution (one hot state
+  repeated for most rows), which concentrates hash-affinity traffic
+  onto one shard;
+* ``run_load_async(burst=..., burst_pause_s=...)`` — bursty arrivals:
+  each client fires a burst of requests concurrently, then pauses, so
+  offered load arrives in spikes instead of a steady stream;
+* :class:`SyntheticCost` / :func:`synthetic_artifact` — a picklable
+  fixed-cost decision function for heterogeneous-workload experiments
+  (an expensive model next to a cheap one is what separates load-aware
+  routing from round-robin);
+* :func:`run_mixed_load_async` — several (model, states, clients)
+  workloads sharing one event loop and one measured window, reporting
+  per-workload and aggregate throughput.
+
 Every state generator takes ``seed: SeedLike`` — an int, ``None``, or an
 explicit ``numpy.random.Generator``.  Passing one shared Generator
 across several calls draws from a single deterministic stream, which is
@@ -35,7 +59,7 @@ import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -177,6 +201,107 @@ def routing_request_states(
     return np.asarray(rows)
 
 
+def hot_key_states(
+    pool: np.ndarray,
+    n_rows: int = 4096,
+    hot_fraction: float = 0.9,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """A skewed request mix: one hot state dominates the stream.
+
+    ``hot_fraction`` of the returned rows are a single row drawn from
+    ``pool`` (the "hot key"), the rest are sampled uniformly from the
+    pool; the order is shuffled.  Under hash-affinity routing the hot
+    key pins to one shard, which is the classic skew that load-blind
+    placement cannot absorb — the workload the cluster benchmark uses
+    to compare routers.
+    """
+    pool = np.atleast_2d(np.asarray(pool, dtype=float))
+    if pool.shape[0] == 0:
+        raise ValueError("pool must contain at least one row")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    rng = as_rng(seed)
+    hot = pool[int(rng.integers(pool.shape[0]))]
+    n_hot = int(round(n_rows * hot_fraction))
+    cold = pool[rng.integers(0, pool.shape[0], n_rows - n_hot)]
+    rows = np.concatenate([np.tile(hot, (n_hot, 1)), cold], axis=0)
+    rng.shuffle(rows, axis=0)
+    return rows
+
+
+class SyntheticCost:
+    """A picklable decision function with a fixed per-call service cost.
+
+    Occupies a shard for ``per_call_s`` seconds per predict call, then
+    answers a cheap deterministic action per row.  Defined at module
+    level with plain attributes so the cluster's pickle transport ships
+    it to shards; wrap via :func:`synthetic_artifact`.
+
+    By default the cost is a *sleep*: the worker process is occupied
+    (it answers nothing else — its pipe is FIFO) while the CPU stays
+    free, so the serving-time asymmetry is exact on any machine,
+    including single-core CI runners where a busy wait would just be
+    scheduler noise.  ``spin=True`` burns CPU instead, for experiments
+    about compute saturation rather than routing.
+
+    Heterogeneous per-model cost is the cleanest way to make routing
+    quality measurable: publish one expensive and one cheap synthetic
+    model and round-robin's load-blindness becomes a throughput gap
+    instead of an argument.
+    """
+
+    def __init__(self, n_features: int = 8, per_call_s: float = 1e-3,
+                 n_actions: int = 4, spin: bool = False) -> None:
+        if per_call_s < 0:
+            raise ValueError("per_call_s must be non-negative")
+        self.n_features = int(n_features)
+        self.per_call_s = float(per_call_s)
+        self.n_actions = int(n_actions)
+        self.spin = bool(spin)
+
+    def __call__(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        if self.spin:
+            deadline = time.perf_counter() + self.per_call_s
+            while time.perf_counter() < deadline:
+                pass
+        elif self.per_call_s > 0:
+            time.sleep(self.per_call_s)
+        return np.abs(states).sum(axis=1).astype(int) % self.n_actions
+
+
+def synthetic_artifact(
+    name: str,
+    per_call_s: float,
+    n_features: int = 8,
+    n_actions: int = 4,
+    spin: bool = False,
+):
+    """Package a :class:`SyntheticCost` as a servable function artifact.
+
+    The content hash derives from the cost parameters, so two
+    artifacts with the same knobs are (correctly) content-identical.
+    """
+    import hashlib
+
+    from repro.serve.artifact import PolicyArtifact
+
+    content = hashlib.sha256(
+        f"synthetic:{n_features}:{per_call_s}:{n_actions}:{spin}".encode()
+    ).hexdigest()[:16]
+    return PolicyArtifact(
+        name=name,
+        kind="function",
+        n_features=n_features,
+        n_outputs=n_actions,
+        predict_batch=SyntheticCost(n_features, per_call_s, n_actions,
+                                    spin=spin),
+        content_hash=content,
+        meta={"synthetic_per_call_s": per_call_s, "synthetic_spin": spin},
+    )
+
+
 # ----------------------------------------------------------------------
 # Replay harness
 # ----------------------------------------------------------------------
@@ -222,6 +347,7 @@ def run_load(
     repeats: int = 1,
     scenario: str = "custom",
     timeout_s: float = 60.0,
+    warmup: int = 0,
 ) -> LoadReport:
     """Replay ``states`` through ``server`` with closed-loop clients.
 
@@ -229,14 +355,25 @@ def run_load(
     submits its rows one request at a time (``repeats`` passes), waiting
     for every response — so server-side concurrency equals the number of
     clients still running, and microbatching is what coalesces them.
+
+    With ``warmup > 0``, each client first replays that many unmeasured
+    requests; all clients then rendezvous at a barrier before the
+    measured window opens.  Warmup requests appear in neither the
+    request count nor the wall time, so reported throughput is
+    steady-state, not cold-start-diluted (see ``docs/benchmarks.md``).
     """
     states = np.atleast_2d(np.asarray(states, dtype=float))
     if states.shape[0] == 0:
         raise ValueError("states must contain at least one row")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
     n_clients = max(1, min(n_clients, states.shape[0]))
     chunks = [states[i::n_clients] for i in range(n_clients)]
     outputs: List[tuple] = [None] * n_clients
     barrier = threading.Barrier(n_clients + 1)
+    # Second rendezvous between warmup and the measured window: the
+    # window must not open while any client is still warming up.
+    measured = threading.Barrier(n_clients + 1)
 
     failures: List[BaseException] = []
 
@@ -246,6 +383,15 @@ def run_load(
         errors = 0
         try:
             barrier.wait()
+            try:
+                for i in range(warmup):
+                    server.submit(model, rows[i % rows.shape[0]]).result(
+                        timeout=timeout_s
+                    )
+            finally:
+                # Release the measured barrier even on a warmup
+                # failure, or every other client would deadlock in it.
+                measured.wait()
             for _ in range(repeats):
                 for row in rows:
                     start = time.perf_counter()
@@ -268,6 +414,7 @@ def run_load(
     for thread in threads:
         thread.start()
     barrier.wait()
+    measured.wait()
     start = time.perf_counter()
     for thread in threads:
         thread.join()
@@ -316,6 +463,61 @@ def _assemble_report(
     )
 
 
+async def _async_client(
+    aio,
+    model: str,
+    rows: np.ndarray,
+    repeats: int,
+    chunk: int,
+    timeout_s: float,
+    burst: int = 1,
+    burst_pause_s: float = 0.0,
+):
+    """One closed-loop coroutine client (shared by the async harnesses).
+
+    Submits ``burst`` chunks concurrently per await round, then pauses
+    ``burst_pause_s`` — ``burst=1`` with no pause is the strict closed
+    loop.  Returns the ``(latencies, versions, errors)`` triple
+    :func:`_assemble_report` merges.
+    """
+    latencies: List[float] = []
+    versions: Counter = Counter()
+    errors = 0
+    for _ in range(repeats):
+        pos = 0
+        while pos < rows.shape[0]:
+            tasks = []
+            begin = time.perf_counter()
+            for _b in range(burst):
+                if pos >= rows.shape[0]:
+                    break
+                sub = rows[pos:pos + chunk]
+                pos += chunk
+                if chunk == 1:
+                    tasks.append(aio.predict(model, sub[0]))
+                else:
+                    tasks.append(aio.predict_many(model, sub))
+            answers = await asyncio.wait_for(
+                asyncio.gather(*tasks), timeout_s
+            )
+            elapsed = time.perf_counter() - begin
+            results = []
+            for answer in answers:
+                results.extend(answer if isinstance(answer, list)
+                               else [answer])
+            # Per-row latency within one awaited round is the round's
+            # trip time (each row waited for the whole answer).
+            latencies.extend([elapsed] * len(results))
+            for result in results:
+                if result.ok:
+                    versions[result.version] += 1
+                else:
+                    errors += 1
+            if burst_pause_s > 0:
+                await asyncio.sleep(burst_pause_s)
+    return latencies, versions, errors
+
+
 def run_load_async(
     server,
     model: str,
@@ -325,6 +527,9 @@ def run_load_async(
     scenario: str = "custom",
     timeout_s: float = 60.0,
     chunk: int = 1,
+    warmup: int = 0,
+    burst: int = 1,
+    burst_pause_s: float = 0.0,
 ) -> LoadReport:
     """Closed-loop replay with coroutine clients instead of threads.
 
@@ -340,11 +545,22 @@ def run_load_async(
             per await through :meth:`AsyncPolicyClient.predict_many` —
             on a cluster backend that is the bulk array path, the
             throughput mode.
+        warmup: unmeasured requests per client before the measured
+            window opens (all clients finish warming before timing
+            starts; see :func:`run_load`).
+        burst / burst_pause_s: arrival shaping — each client fires
+            ``burst`` chunks concurrently, awaits them all, then
+            sleeps ``burst_pause_s``.  Offered load arrives in spikes,
+            the pattern that exposes load-blind routing.
     """
     from repro.serve.aio import AsyncPolicyClient
 
     if chunk < 1:
         raise ValueError("chunk must be at least 1")
+    if burst < 1:
+        raise ValueError("burst must be at least 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
     states = np.atleast_2d(np.asarray(states, dtype=float))
     if states.shape[0] == 0:
         raise ValueError("states must contain at least one row")
@@ -352,39 +568,22 @@ def run_load_async(
     deals = [states[i::n_clients] for i in range(n_clients)]
     timing: Dict[str, float] = {}
 
-    async def client(aio: "AsyncPolicyClient", rows: np.ndarray):
-        latencies: List[float] = []
-        versions: Counter = Counter()
-        errors = 0
-        for _ in range(repeats):
-            for start in range(0, rows.shape[0], chunk):
-                sub = rows[start:start + chunk]
-                begin = time.perf_counter()
-                if chunk == 1:
-                    results = [await asyncio.wait_for(
-                        aio.predict(model, sub[0]), timeout_s
-                    )]
-                else:
-                    results = await asyncio.wait_for(
-                        aio.predict_many(model, sub), timeout_s
-                    )
-                elapsed = time.perf_counter() - begin
-                # Per-row latency within one awaited chunk is the chunk
-                # round trip (each row waited for the whole answer).
-                latencies.extend([elapsed] * len(results))
-                for result in results:
-                    if result.ok:
-                        versions[result.version] += 1
-                    else:
-                        errors += 1
-        return latencies, versions, errors
-
     async def main():
         aio = AsyncPolicyClient(server)
+        if warmup:
+            # The warmup gather is itself the rendezvous: no client
+            # enters the measured window until every warmup completed.
+            await asyncio.gather(*[
+                _async_client(aio, model, rows[:1].repeat(warmup, axis=0),
+                              1, chunk, timeout_s)
+                for rows in deals
+            ])
         timing["start"] = time.perf_counter()
-        outputs = await asyncio.gather(
-            *[client(aio, rows) for rows in deals]
-        )
+        outputs = await asyncio.gather(*[
+            _async_client(aio, model, rows, repeats, chunk, timeout_s,
+                          burst=burst, burst_pause_s=burst_pause_s)
+            for rows in deals
+        ])
         timing["duration"] = time.perf_counter() - timing["start"]
         return outputs
 
@@ -392,3 +591,99 @@ def run_load_async(
     return _assemble_report(
         outputs, timing["duration"], scenario, model, n_clients
     )
+
+
+def run_mixed_load_async(
+    server,
+    jobs: List[dict],
+    timeout_s: float = 60.0,
+    warmup: int = 0,
+) -> Dict[str, Any]:
+    """Drive several workloads through one server in one measured window.
+
+    Each job is ``{"model", "states", "n_clients", "chunk"?,
+    "repeats"?, "burst"?, "burst_pause_s"?, "scenario"?}`` — e.g. a
+    cheap model under many closed-loop clients next to an expensive one
+    under a few.  All clients of all jobs start together in one event
+    loop, so every job's numbers are *contended* by the others.  Each
+    job's throughput divides its requests by its **own** duration
+    (start-of-window to its last client finishing) — jobs of unequal
+    length would otherwise dilute each other's rates; the ``aggregate``
+    covers the whole window (until the last job finished).
+
+    Returns ``{"jobs": {scenario: LoadReport}, "aggregate":
+    {"n_requests", "n_errors", "duration_s", "throughput_rps"}}``.
+    """
+    from repro.serve.aio import AsyncPolicyClient
+
+    if not jobs:
+        raise ValueError("jobs must not be empty")
+    prepared = []
+    for k, job in enumerate(jobs):
+        states = np.atleast_2d(np.asarray(job["states"], dtype=float))
+        if states.shape[0] == 0:
+            raise ValueError("every job needs at least one state row")
+        n_clients = max(1, min(int(job.get("n_clients", 8)),
+                               states.shape[0]))
+        prepared.append({
+            "model": job["model"],
+            "scenario": job.get("scenario", f"job-{k}:{job['model']}"),
+            "deals": [states[i::n_clients] for i in range(n_clients)],
+            "n_clients": n_clients,
+            "chunk": int(job.get("chunk", 1)),
+            "repeats": int(job.get("repeats", 1)),
+            "burst": int(job.get("burst", 1)),
+            "burst_pause_s": float(job.get("burst_pause_s", 0.0)),
+        })
+    timing: Dict[str, float] = {}
+
+    async def main():
+        aio = AsyncPolicyClient(server)
+        if warmup:
+            await asyncio.gather(*[
+                _async_client(aio, job["model"],
+                              rows[:1].repeat(warmup, axis=0),
+                              1, job["chunk"], timeout_s)
+                for job in prepared for rows in job["deals"]
+            ])
+        async def run_job(job):
+            begin = time.perf_counter()
+            outputs = await asyncio.gather(*[
+                _async_client(
+                    aio, job["model"], rows, job["repeats"],
+                    job["chunk"], timeout_s, burst=job["burst"],
+                    burst_pause_s=job["burst_pause_s"],
+                )
+                for rows in job["deals"]
+            ])
+            return outputs, time.perf_counter() - begin
+
+        timing["start"] = time.perf_counter()
+        per_job = await asyncio.gather(*[run_job(j) for j in prepared])
+        timing["duration"] = time.perf_counter() - timing["start"]
+        return per_job
+
+    per_job = asyncio.run(main())
+    duration = timing["duration"]
+    reports: Dict[str, LoadReport] = {}
+    total_requests = 0
+    total_errors = 0
+    for job, (outputs, job_duration) in zip(prepared, per_job):
+        report = _assemble_report(
+            outputs, job_duration, job["scenario"], job["model"],
+            job["n_clients"],
+        )
+        reports[job["scenario"]] = report
+        total_requests += report.n_requests
+        total_errors += report.n_errors
+    return {
+        "jobs": reports,
+        "aggregate": {
+            "n_requests": total_requests,
+            "n_errors": total_errors,
+            "duration_s": duration,
+            "throughput_rps": (
+                total_requests / duration if duration > 0 else 0.0
+            ),
+        },
+    }

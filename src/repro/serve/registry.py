@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.serve.artifact import PolicyArtifact
 
@@ -90,6 +90,27 @@ class ModelRegistry:
             if version is not None:
                 self._get_artifact(target, version)  # in-range, not retired
             self._aliases[alias] = (target, version)
+
+    def publish_tombstone(self, name: str) -> int:
+        """Append an already-retired version slot (replica replay only).
+
+        When a replacement shard replays the cluster's linearized
+        control log, versions that were retired before it was born must
+        still occupy their slots — version numbers are stable
+        identifiers, and a replica that compacted them away would
+        resolve ``name@k`` to the wrong artifact.  The artifact bytes
+        themselves are gone (retire released the shared segment), so
+        the slot is born as a tombstone.  Returns the version number,
+        which the caller cross-checks against the log.
+        """
+        if not name or "@" in name:
+            raise ValueError("model names must be non-empty and free of '@'")
+        with self._lock:
+            if name in self._aliases:
+                raise ValueError(f"{name!r} is an alias, not a model name")
+            versions = self._models.setdefault(name, [])
+            versions.append(None)
+            return len(versions)
 
     def rollback_publish(self, name: str, version: int) -> None:
         """Crash-consistency helper: remove a *just-published latest*.
@@ -235,12 +256,40 @@ class ModelRegistry:
 
     # -- inspection ------------------------------------------------------
     def names(self) -> List[str]:
+        """Sorted model names with at least one version slot (live or
+        tombstoned)."""
         with self._lock:
             return sorted(self._models)
 
     def aliases(self) -> Dict[str, Tuple[str, Optional[int]]]:
+        """Alias table snapshot: ``alias -> (target, pinned_version)``
+        (``pinned_version`` is None for latest-tracking aliases)."""
         with self._lock:
             return dict(self._aliases)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Replica-comparison view of the full registry state.
+
+        Maps every model to its ordered version slots — each the
+        artifact's ``content_hash`` or None for a tombstone — plus the
+        alias table.  Two replicas kept in lockstep must produce
+        *identical* fingerprints (the cluster tier's replacement-replay
+        tests compare them byte for byte via ``repr``).
+        """
+        with self._lock:
+            return {
+                "models": {
+                    name: [
+                        art.content_hash if art is not None else None
+                        for art in versions
+                    ]
+                    for name, versions in sorted(self._models.items())
+                },
+                "aliases": {
+                    alias: tuple(target)
+                    for alias, target in sorted(self._aliases.items())
+                },
+            }
 
     def latest_version(self, name: str) -> int:
         """Highest *live* version number (what a bare-name reference
@@ -262,6 +311,8 @@ class ModelRegistry:
             ]
 
     def __contains__(self, ref: str) -> bool:
+        """Whether ``ref`` (name, ``name@k``, or alias) resolves to a
+        live artifact."""
         try:
             self.resolve(ref)
             return True

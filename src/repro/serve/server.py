@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter
+from collections import Counter, deque
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional
 
@@ -40,8 +40,11 @@ class _ModelStats:
 
     __slots__ = (
         "requests", "errors", "error_kinds", "latencies", "batch_sizes",
-        "versions", "busy_s", "last_ts",
+        "versions", "busy_s", "last_ts", "recent",
     )
+
+    #: Size of the sliding window behind :meth:`ServerMetrics.p95_ms`.
+    RECENT_WINDOW = 4096
 
     def __init__(self) -> None:
         self.requests = 0
@@ -54,6 +57,11 @@ class _ModelStats:
         #: actually serving, which is what throughput divides by.
         self.busy_s = 0.0
         self.last_ts: Optional[float] = None
+        #: True sliding window of the latest successes — `latencies`
+        #: stops appending at the retention cap (snapshot percentiles
+        #: cover the first N by design), so SLO probes need their own
+        #: ring that never freezes on a long-running server.
+        self.recent: deque = deque(maxlen=self.RECENT_WINDOW)
 
 
 class ServerMetrics:
@@ -118,6 +126,7 @@ class ServerMetrics:
                 stats.error_kinds[error] += 1
             else:
                 stats.versions[version] += 1
+                stats.recent.append(latency_s)
                 if len(stats.latencies) < self.max_latency_samples:
                     stats.latencies.append(latency_s)
 
@@ -136,9 +145,46 @@ class ServerMetrics:
             self._add_busy(stats, start, now)
             stats.versions[version] += len(latencies)
             stats.batch_sizes[len(latencies)] += 1
+            stats.recent.extend(latencies)
             room = self.max_latency_samples - len(stats.latencies)
             if room > 0:
                 stats.latencies.extend(latencies[:room])
+
+    def total_requests(self) -> int:
+        """Total recorded requests across all models — a cheap
+        monotonic counter (no percentile math) for liveness/idleness
+        probes like the cluster autoscaler's idle-tick clock."""
+        with self._lock:
+            return sum(stats.requests for stats in self._models.values())
+
+    def p95_ms(self) -> float:
+        """Worst per-model p95 latency over each model's sliding window
+        of recent successes, in milliseconds (0.0 before any success
+        is recorded).
+
+        The SLO reading the autoscaler compares against ``slo_p95_ms``.
+        It reads the dedicated recent-window ring, not the retention
+        store, for two reasons: the retention store stops appending at
+        ``max_latency_samples`` (snapshot percentiles deliberately
+        cover the first N requests), so it would freeze on a
+        long-running server; and copying it under the metrics lock
+        every autoscaler tick would periodically stall the reply path
+        that records into it.  The window still holds its last samples
+        across an idle gap — callers that must distinguish "recently
+        bad" from "currently idle" pair this with a liveness signal
+        (the autoscaler's idle-tick clock).
+        """
+        with self._lock:
+            samples = [
+                list(stats.recent) for stats in self._models.values()
+                if stats.recent
+            ]
+        worst = 0.0
+        for latencies in samples:
+            worst = max(
+                worst, float(np.percentile(np.asarray(latencies), 95))
+            )
+        return worst * 1e3
 
     def snapshot(self) -> Dict[str, dict]:
         """Point-in-time metrics per model (plain dicts, JSON-friendly).
@@ -253,6 +299,15 @@ class PolicyServer:
         if alias is not None:
             self.registry.alias(alias, name)
         return version
+
+    def alias(
+        self, alias: str, target: str, version: Optional[int] = None
+    ) -> None:
+        """Install (or repoint) an alias (see
+        :meth:`ModelRegistry.alias`) — tracking ``target``'s latest
+        version, or pinned when ``version`` is given.  Same surface as
+        the cluster tier's :meth:`ShardedPolicyService.alias`."""
+        self.registry.alias(alias, target, version)
 
     def retire(self, name: str, version: int) -> None:
         """Drop one old version (see :meth:`ModelRegistry.retire`).

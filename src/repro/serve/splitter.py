@@ -125,10 +125,14 @@ class TrafficSplitter:
             self.active = bool(self._splits)
 
     def splits(self) -> Dict[str, TrafficSplit]:
+        """Snapshot of every active split, keyed by the split
+        reference."""
         with self._lock:
             return dict(self._splits)
 
     def get(self, ref: str) -> Optional[TrafficSplit]:
+        """The active split for ``ref``, or None when its traffic
+        flows undivided."""
         with self._lock:
             return self._splits.get(ref)
 
@@ -263,6 +267,25 @@ def mirror_shadow(
         splitter.record_shadow_error(ref, shadow_ref, n)
         return
     splitter.record_shadow(ref, shadow_ref, served, out)
+
+
+def split_state(splits: Dict[str, TrafficSplit]) -> Dict[str, dict]:
+    """Canonical plain-dict view of a split table.
+
+    Both serving tiers format their split state through this one
+    function, so a parent mirror and a worker replica (or two worker
+    replicas) can be compared for byte-identical routing state — the
+    check the cluster's replacement-replay tests make after a shard is
+    respawned.
+    """
+    return {
+        ref: {
+            "canary": split.canary,
+            "canary_fraction": split.canary_fraction,
+            "shadow": split.shadow,
+        }
+        for ref, split in sorted(splits.items())
+    }
 
 
 def check_split_targets(
