@@ -1,10 +1,19 @@
 """Elastic sharded multi-process serving tier on top of
 :mod:`repro.serve`.
 
+* :mod:`~repro.serve.cluster.wire` — the versioned, length-prefixed
+  binary wire protocol every parent<->worker exchange speaks (one
+  codec, shared by all transports);
+* :mod:`~repro.serve.cluster.transport` — how frames move:
+  ``PipeTransport`` (the zero-regression default) and
+  ``SocketTransport`` (asyncio TCP server on the worker side), plus
+  the worker-spawn factories;
 * :mod:`~repro.serve.cluster.shm` — zero-copy shipping of flat tree
   arrays to workers through ``multiprocessing.shared_memory``, content
   and transport hashes verified on reconstruct (and re-verified when a
-  replacement replica re-attaches during log replay);
+  replacement replica re-attaches during log replay); socket fleets
+  add a host-level artifact cache so each host receives each
+  artifact's bytes once;
 * :mod:`~repro.serve.cluster.worker` — shard process: a full registry /
   metrics / splitter replica answering stacked predict batches and
   reporting its service time with every reply;
@@ -39,7 +48,26 @@ from repro.serve.cluster.shm import (
     segment_footprint,
     share_artifact,
 )
-from repro.serve.cluster.worker import ERR_SHARD, serve_stacked
+from repro.serve.cluster.transport import (
+    TRANSPORTS,
+    Listener,
+    PipeTransport,
+    SocketTransport,
+    Transport,
+    WorkerFactory,
+    make_worker_transport,
+)
+from repro.serve.cluster.wire import (
+    OPS,
+    Reply,
+    Request,
+    WireArtifact,
+    WireError,
+    decode_frame,
+    encode_reply,
+    encode_request,
+)
+from repro.serve.cluster.worker import ERR_SHARD, WorkerCore, serve_stacked
 
 __all__ = [
     "ShardedPolicyService",
@@ -49,6 +77,7 @@ __all__ = [
     "segment_footprint",
     "serve_stacked",
     "ERR_SHARD",
+    "WorkerCore",
     "Router",
     "RoundRobinRouter",
     "LeastLoadedRouter",
@@ -56,4 +85,19 @@ __all__ = [
     "Autoscaler",
     "AutoscaleConfig",
     "AutoscaleSignals",
+    "Transport",
+    "PipeTransport",
+    "SocketTransport",
+    "Listener",
+    "WorkerFactory",
+    "make_worker_transport",
+    "TRANSPORTS",
+    "Request",
+    "Reply",
+    "WireArtifact",
+    "WireError",
+    "OPS",
+    "encode_request",
+    "encode_reply",
+    "decode_frame",
 ]

@@ -50,6 +50,13 @@ class AutoscaleConfig:
             forces a scale-up even when fill is unavailable.
         slo_p95_ms: optional p95 latency SLO; sustained violation
             scales up.
+        p95_window_s: sliding time window (seconds) the SLO's p95 is
+            computed over.  The default 30s makes the signal track
+            *current* load — a cold-start latency spike ages out of
+            the window instead of holding the p95 elevated until
+            thousands of newer samples dilute it.  None falls back to
+            the metrics layer's full count-bounded ring (the pre-PR-6
+            reading).
         idle_ticks_down: consecutive idle samples (no queue, nothing
             in flight, no new requests) before scaling down — idleness
             must persist, not flicker.
@@ -63,6 +70,7 @@ class AutoscaleConfig:
     scale_down_fill: float = 0.15
     queue_high_per_shard: int = 64
     slo_p95_ms: Optional[float] = None
+    p95_window_s: Optional[float] = 30.0
     idle_ticks_down: int = 8
 
     def __post_init__(self) -> None:
@@ -76,6 +84,8 @@ class AutoscaleConfig:
             raise ValueError(
                 "need 0 <= scale_down_fill <= scale_up_fill <= 1"
             )
+        if self.p95_window_s is not None and self.p95_window_s <= 0:
+            raise ValueError("p95_window_s must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -277,7 +287,8 @@ class Autoscaler:
 
     def _sample(self) -> Optional[AutoscaleSignals]:
         raw = self.service._autoscale_signals(
-            want_p95=self.config.slo_p95_ms is not None
+            want_p95=self.config.slo_p95_ms is not None,
+            p95_window_s=self.config.p95_window_s,
         )
         if raw is None:
             return None

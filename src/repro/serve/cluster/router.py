@@ -13,12 +13,14 @@ Two routers ship:
 * :class:`RoundRobinRouter` — the PR-4 behaviour, kept as the baseline
   the benchmarks compare against;
 * :class:`LeastLoadedRouter` — scores each live shard by its expected
-  backlog drain time, ``inflight * ewma_service_s`` (an idle shard
+  backlog drain time, ``inflight * service_estimate`` (an idle shard
   scores 0 regardless of history — see the class docstring for why
   the new group's own cost must not be charged), and picks the
-  minimum.  A shard with no service-time history yet (a fresh
-  replacement or autoscaled spawn) competes at the fleet's mean
-  service time, so a cold shard is neither flooded (a zero estimate
+  minimum.  The estimate is per-(shard, model) when the service has
+  observed that model on that shard (PR 6: cheap and expensive models
+  on one fleet no longer pollute each other's signal), falling back
+  to the shard's aggregate EWMA for unseen models, then to the
+  fleet's mean — so a cold shard is neither flooded (a zero estimate
   would win every contest) nor starved.  Ties break round-robin so
   idle fleets still spread.
 
@@ -43,15 +45,23 @@ class Router:
     """Strategy interface: pick one shard for the next flush group.
 
     ``shards`` is the live candidate list (never empty — the service
-    fails the group itself when no shard is alive).  Implementations
-    read each handle's ``inflight`` (outstanding predict groups) and
-    ``ewma_service_s`` (EWMA of worker-reported service time, 0.0
-    until the first reply) and must not mutate them.
+    fails the group itself when no shard is alive).  ``ref`` is the
+    model reference the group resolves through (None when unknown);
+    model-aware routers use it to key per-model service-time signals.
+    Implementations read each handle's ``inflight`` (outstanding
+    predict groups), ``ewma_service_s`` (EWMA of worker-reported
+    service time, 0.0 until the first reply), and ``ewma_by_model``
+    (the same signal keyed by requested ref) and must not mutate them.
+
+    Back-compat: routers written against the pre-PR-6 single-argument
+    ``select(shards)`` signature still work — the service inspects the
+    signature once and calls them without ``ref``.
     """
 
     name = "router"
 
-    def select(self, shards: Sequence) -> Optional[object]:
+    def select(self, shards: Sequence,
+               ref: Optional[str] = None) -> Optional[object]:
         raise NotImplementedError
 
     def snapshot(self) -> dict:
@@ -68,7 +78,8 @@ class RoundRobinRouter(Router):
     def __init__(self) -> None:
         self._rr = itertools.count()
 
-    def select(self, shards: Sequence) -> Optional[object]:
+    def select(self, shards: Sequence,
+               ref: Optional[str] = None) -> Optional[object]:
         if not shards:
             return None
         return shards[next(self._rr) % len(shards)]
@@ -81,16 +92,24 @@ class LeastLoadedRouter(Router):
     Score = ``inflight * service_estimate`` — how long the shard needs
     to finish what it already holds before this group could start.  An
     idle shard scores 0 regardless of its history: the estimate must
-    not be charged for the *new* group's own cost, because per-shard
+    not be charged for the *new* group's own cost, because aggregate
     EWMAs mix model costs (a shard that just drained an expensive
     batch would look worse than one actively serving a cheap one, and
     traffic would pile onto the busy shard — exactly the failure the
-    router exists to avoid).  The estimate is the shard's own EWMA
-    service time when it has one; otherwise the mean of the shards
-    that do (1.0 relative units when nobody has history, which reduces
-    to least-in-flight).  Ties — the whole fleet idle, typically —
-    fall back to round-robin so load spreads instead of dogpiling
-    shard 0.
+    router exists to avoid).  Estimate resolution, most specific
+    first:
+
+    1. the shard's per-(shard, model) EWMA for the group's ``ref``
+       (PR 6 — the sharpest signal when the fleet serves a mix of
+       cheap and expensive models);
+    2. the shard's aggregate EWMA (a shard that has served *anything*
+       has a cost scale even for a ref it has not seen);
+    3. the mean of whichever per-model/aggregate estimates the other
+       shards have (1.0 relative units when nobody has history, which
+       reduces to least-in-flight).
+
+    Ties — the whole fleet idle, typically — fall back to round-robin
+    so load spreads instead of dogpiling shard 0.
     """
 
     name = "least_loaded"
@@ -98,19 +117,35 @@ class LeastLoadedRouter(Router):
     def __init__(self) -> None:
         self._rr = itertools.count()
 
-    def select(self, shards: Sequence) -> Optional[object]:
+    @staticmethod
+    def _estimate(shard, ref: Optional[str]) -> float:
+        """Shard's best-known service time for ``ref`` (0.0 = unknown).
+
+        Reads via ``getattr`` so router unit tests (and any external
+        caller) can use plain attribute doubles without a
+        ``ewma_by_model`` dict.
+        """
+        if ref is not None:
+            by_model = getattr(shard, "ewma_by_model", None)
+            if by_model:
+                per_model = by_model.get(ref, 0.0)
+                if per_model > 0:
+                    return per_model
+        return getattr(shard, "ewma_service_s", 0.0)
+
+    def select(self, shards: Sequence,
+               ref: Optional[str] = None) -> Optional[object]:
         if not shards:
             return None
         if len(shards) == 1:
             return shards[0]
-        known = [s.ewma_service_s for s in shards if s.ewma_service_s > 0]
+        estimates = [self._estimate(shard, ref) for shard in shards]
+        known = [est for est in estimates if est > 0]
         baseline = (sum(known) / len(known)) if known else 1.0
         scores: List[float] = []
-        for shard in shards:
-            estimate = (
-                shard.ewma_service_s if shard.ewma_service_s > 0
-                else baseline
-            )
+        for shard, estimate in zip(shards, estimates):
+            if estimate <= 0:
+                estimate = baseline
             scores.append(shard.inflight * estimate)
         best = min(scores)
         candidates = [

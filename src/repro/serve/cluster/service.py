@@ -28,6 +28,19 @@ Since PR 5 the fan-out is *elastic* rather than static:
   returns without a restart and without a byte of divergence
   (:meth:`replica_states` proves it).
 
+Since PR 6 the worker protocol is explicit and the channel pluggable:
+messages travel as versioned wire frames
+(:mod:`repro.serve.cluster.wire`) over a
+:class:`~repro.serve.cluster.transport.Transport` —
+``transport="pipe"`` (default, bit-for-bit the old duplex-pipe
+behavior) or ``transport="socket"`` (workers run an asyncio TCP
+server; the design template for multi-host fleets).  Artifact shipping
+is transport-aware: co-located shards attach the parent's shm segments
+by transport hash as before, while socket shards receive the raw
+artifact bytes **once per host** into a named host-level cache segment
+keyed by transport hash — later publishes and heal-replays of the same
+bytes ship only the key, and workers attach to the cached copy.
+
 What the parent keeps:
 
 * a **mirror registry** — publishes validate and version here first, so
@@ -51,12 +64,17 @@ shadow answers that never reach a client future.
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 import itertools
 import multiprocessing as mp
 import pickle
+import secrets
 import threading
 import time
 from concurrent.futures import Future
+from dataclasses import replace as dataclass_replace
+from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -73,11 +91,25 @@ from repro.serve.cluster.autoscale import AutoscaleConfig, Autoscaler
 from repro.serve.cluster.router import Router, make_router
 from repro.serve.cluster.shm import (
     ensure_tracker_running,
+    host_cache_segment_name,
     segment_footprint,
     share_artifact,
 )
-from repro.serve.cluster.worker import ERR_SHARD, worker_main
-from repro.serve.registry import ModelRegistry
+from repro.serve.cluster.transport import (
+    Transport,
+    WorkerFactory,
+    make_worker_transport,
+)
+from repro.serve.cluster.wire import (
+    Reply,
+    Request as WireRequest,
+    WireArtifact,
+    WireError,
+    decode_frame,
+    encode_request,
+)
+from repro.serve.cluster.worker import ERR_SHARD
+from repro.serve.registry import ModelRegistry, control_state_digest
 from repro.serve.server import ServeError, ServerMetrics
 from repro.serve.splitter import (
     TrafficSplit,
@@ -95,34 +127,124 @@ _RPC_TIMEOUT_S = 60.0
 _SERVICE_EWMA_ALPHA = 0.3
 
 
+def _select_takes_ref(router: Router) -> bool:
+    """Whether ``router.select`` accepts the routed reference.
+
+    The Router interface grew ``select(shards, ref=None)`` for
+    per-model load estimates; custom routers written against the old
+    one-argument surface must keep working, so the service inspects
+    the signature once and calls accordingly.
+    """
+    try:
+        parameters = inspect.signature(router.select).parameters
+    except (TypeError, ValueError):
+        return True
+    if any(p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+           for p in parameters.values()):
+        return True
+    return "ref" in parameters or len(parameters) >= 2
+
+
+class _ArtifactShipment:
+    """Transport-neutral record of one published artifact's bytes.
+
+    Control-log publish entries store one of these instead of a
+    concrete payload: at broadcast/replay time the service resolves it
+    per shard — the shm handle (or pickled bytes) for co-located
+    shards, a :class:`WireArtifact` for remote ones, with the raw
+    bytes included only for hosts that don't hold the key yet.  The
+    parent's own segment (kept in ``_segments`` for the version's
+    life) doubles as the byte source for late remote replays, so
+    nothing is serialized twice.
+    """
+
+    __slots__ = ("handle", "shm", "pickled", "key", "segment",
+                 "wire_handle")
+
+    def __init__(self, handle, shm, pickled, cache_token: str) -> None:
+        self.handle = handle
+        self.shm = shm
+        self.pickled = pickled
+        if handle is not None:
+            self.key = handle.transport_hash
+        elif pickled is not None:
+            self.key = hashlib.sha256(pickled).hexdigest()[:16]
+        else:
+            self.key = None
+        if self.key is not None:
+            self.segment = host_cache_segment_name(cache_token, self.key)
+            self.wire_handle = (
+                dataclass_replace(handle, shm_name=self.segment)
+                if handle is not None else None
+            )
+        else:
+            self.segment = None
+            self.wire_handle = None
+
+    def wire_bytes(self) -> bytes:
+        """The raw bytes a remote host's cache segment is filled
+        with: the parent segment's contents for trees, the pickle
+        otherwise."""
+        if self.shm is not None:
+            return bytes(self.shm.buf)
+        return self.pickled
+
+
 class _Shard:
     """Parent-side handle for one worker process.
 
     ``inflight`` (outstanding predict groups, maintained under the
     service's pending lock) and ``ewma_service_s`` (EWMA of the
-    worker's reported batch service time) are the two load signals the
-    router reads.  ``draining`` marks a shard being gracefully removed:
-    still alive — its in-flight replies complete — but no longer
-    routable.
+    worker's reported batch service time) are load signals the router
+    reads; ``ewma_by_model`` refines the latter per requested
+    reference, so least-loaded scoring is not skewed by mixed model
+    costs (the aggregate stays as fallback for unseen models).
+    ``draining`` marks a shard being gracefully removed: still alive —
+    its in-flight replies complete — but no longer routable.
     """
 
-    __slots__ = ("shard_id", "process", "conn", "send_lock", "alive",
-                 "reader", "inflight", "ewma_service_s", "draining")
+    __slots__ = ("shard_id", "process", "transport", "send_lock",
+                 "alive", "reader", "inflight", "ewma_service_s",
+                 "ewma_by_model", "draining")
 
-    def __init__(self, shard_id: int, process, conn) -> None:
+    def __init__(self, shard_id: int, process,
+                 transport: Transport) -> None:
         self.shard_id = shard_id
         self.process = process
-        self.conn = conn
+        self.transport = transport
         self.send_lock = threading.Lock()
         self.alive = True
         self.reader: Optional[threading.Thread] = None
         self.inflight = 0
         self.ewma_service_s = 0.0
+        self.ewma_by_model: Dict[str, float] = {}
         self.draining = False
 
-    def send(self, message) -> None:
+    def send(self, msg_id: int, op: str, payload) -> None:
+        """Encode and ship one request frame (sends serialized — two
+        threads interleaving a socket write would tear the stream)."""
+        frame = encode_request(WireRequest(msg_id, op, payload))
         with self.send_lock:
-            self.conn.send(message)
+            self.transport.send_frame(frame)
+
+    def observe_service(self, ref: str, service_s: float) -> None:
+        """Fold one worker-reported batch service time into the
+        aggregate and per-model EWMAs (called from the reader thread;
+        routers read these without locks — float/dict stores are
+        atomic under the GIL)."""
+        if self.ewma_service_s > 0.0:
+            self.ewma_service_s += _SERVICE_EWMA_ALPHA * (
+                service_s - self.ewma_service_s
+            )
+        else:
+            self.ewma_service_s = service_s
+        previous = self.ewma_by_model.get(ref, 0.0)
+        if previous > 0.0:
+            self.ewma_by_model[ref] = previous + _SERVICE_EWMA_ALPHA * (
+                service_s - previous
+            )
+        else:
+            self.ewma_by_model[ref] = service_s
 
 
 class _PredictJob:
@@ -255,6 +377,13 @@ class ShardedPolicyService:
         start_method: multiprocessing start method; default prefers
             ``fork`` (instant, shares the imported interpreter) and
             falls back to the platform default.
+        transport: how frames reach the workers — ``"pipe"`` (default:
+            duplex ``multiprocessing`` pipes, shm artifact handles,
+            bit-for-bit the pre-transport behavior) or ``"socket"``
+            (workers serve wire frames over TCP; artifacts ship as
+            bytes once per host into the host-level cache).  A
+            :class:`~repro.serve.cluster.transport.WorkerFactory`
+            instance plugs in a custom transport.
 
     Usage::
 
@@ -278,6 +407,7 @@ class ShardedPolicyService:
         autoscale: Optional[AutoscaleConfig] = None,
         split_seed: SeedLike = None,
         start_method: Optional[str] = None,
+        transport: Union[str, WorkerFactory] = "pipe",
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -286,6 +416,12 @@ class ShardedPolicyService:
         self._hash_affinity = routing == "hash"
         self._router = make_router(routing)
         self.routing = routing if isinstance(routing, str) else routing.name
+        # Custom routers predating per-model routing define
+        # ``select(self, shards)``; detect the old arity once so they
+        # keep working unchanged next to ref-aware routers.
+        self._router_takes_ref = _select_takes_ref(self._router)
+        self._worker_transport = make_worker_transport(transport)
+        self.transport = self._worker_transport.name
         # Validate the batcher knobs *before* anything spawns; the
         # dispatcher would reject them anyway, but only after worker
         # processes exist.
@@ -302,6 +438,17 @@ class ShardedPolicyService:
         #: the version's whole life — replacement replicas re-attach
         #: these segments during log replay.
         self._segments: Dict[Tuple[str, int], Any] = {}
+        #: Host-level artifact cache bookkeeping (remote transports).
+        #: A wire key (transport hash) maps to the hosts whose named
+        #: cache segment already holds the bytes, and to the number of
+        #: live versions referencing it — the parent unlinks the cache
+        #: segment when the last one retires.  The token scopes the
+        #: deterministic segment names to this service instance.
+        self._cache_token = secrets.token_hex(3)
+        self._cache_hosts: Dict[str, set] = {}
+        self._cache_refs: Dict[str, int] = {}
+        self._version_keys: Dict[Tuple[str, int], str] = {}
+        self._remote_fleet = self._worker_transport.locality == "remote"
         #: Parent-side record of active splits (workers hold the live
         #: routing state; this mirror backs the retire refusal check).
         self._splits: Dict[str, TrafficSplit] = {}
@@ -398,16 +545,10 @@ class ShardedPolicyService:
         return int(child.generate_state(1)[0])
 
     def _spawn_worker(self, shard_id: int) -> _Shard:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=worker_main,
-            args=(child_conn, shard_id, self._next_child_seed()),
-            name=f"repro-serve-shard-{shard_id}",
-            daemon=True,
+        process, transport = self._worker_transport.spawn(
+            self._ctx, shard_id, self._next_child_seed()
         )
-        process.start()
-        child_conn.close()
-        return _Shard(shard_id, process, parent_conn)
+        return _Shard(shard_id, process, transport)
 
     def _start_reader(self, shard: _Shard) -> None:
         shard.reader = threading.Thread(
@@ -422,8 +563,8 @@ class ShardedPolicyService:
         (failed spawn/replay)."""
         shard.alive = False
         try:
-            shard.conn.close()
-        except OSError:
+            shard.transport.close()
+        except Exception:  # noqa: BLE001
             pass
         try:
             shard.process.terminate()
@@ -496,10 +637,11 @@ class ShardedPolicyService:
                 if shard.inflight == 0:
                     break
             time.sleep(0.005)
-        # The pipe is FIFO: the worker answers everything queued
-        # before the stop, then exits; its EOF runs the
-        # _on_shard_death sweep, which fails any straggler that
-        # raced the draining flag (zero stranded futures).
+        # The channel is FIFO per connection (pipe or TCP stream): the
+        # worker answers everything queued before the stop, then
+        # exits; its EOF runs the _on_shard_death sweep, which fails
+        # any straggler that raced the draining flag (zero stranded
+        # futures).
         try:
             self._rpc(shard, "stop", None, timeout_s=10.0)
         except RuntimeError:
@@ -512,8 +654,8 @@ class ShardedPolicyService:
             shard.process.join(timeout=5.0)
         shard.alive = False
         try:
-            shard.conn.close()
-        except OSError:
+            shard.transport.close()
+        except Exception:  # noqa: BLE001
             pass
         with self._control_lock:
             self._shards = [s for s in self._shards if s is not shard]
@@ -562,9 +704,11 @@ class ShardedPolicyService:
         for entry in self._control_log:
             op = entry[0]
             if op == "publish":
-                _, name, payload, version = entry
+                _, name, shipment, version = entry
+                payload = self._shipment_payload(shard, shipment)
                 worker_version = self._rpc(shard, "publish",
                                            (name, payload))
+                self._note_shipped(shard, shipment, payload)
                 if worker_version != version:
                     raise RuntimeError(
                         f"replay diverged: shard {shard.shard_id} "
@@ -678,11 +822,9 @@ class ShardedPolicyService:
         # after the mirror write would leave a phantom parent version
         # that wedges every later publish of the model.
         shm = None
+        handle = None
         if artifact.flat is not None:
             handle, shm = share_artifact(artifact)
-            payload: Any = handle
-        else:
-            payload = pickled
         try:
             version = self.registry.publish(name, artifact)
         except Exception:
@@ -692,6 +834,13 @@ class ShardedPolicyService:
             raise
         if shm is not None:
             self._segments[(name, version)] = shm
+        # The shipment is what the control log stores: the concrete
+        # per-shard payload (shm handle, pickled bytes, or a
+        # WireArtifact with/without the raw bytes) is resolved at
+        # broadcast and replay time, because it depends on each
+        # shard's transport and on what its host already caches.
+        shipment = _ArtifactShipment(handle, shm, pickled,
+                                     self._cache_token)
         applied: List[_Shard] = []
         try:
             for shard in self._shards:
@@ -701,10 +850,12 @@ class ShardedPolicyService:
                 # fail-and-roll-back when its stop lands first.
                 if not shard.alive or shard.draining:
                     continue
+                payload = self._shipment_payload(shard, shipment)
                 worker_version = self._rpc(
                     shard, "publish", (name, payload)
                 )
                 applied.append(shard)
+                self._note_shipped(shard, shipment, payload)
                 if worker_version != version:
                     raise RuntimeError(
                         f"shard {shard.shard_id} registered {name!r} "
@@ -735,11 +886,74 @@ class ShardedPolicyService:
                     shm.unlink()
                 except Exception:  # noqa: BLE001
                     pass
+            # If no *live* version still references the wire key, the
+            # host-cache segment a worker may have just filled is an
+            # orphan — drop it (workers rolled back, so their mappings
+            # are closed).
+            if (self._remote_fleet and shipment.key is not None
+                    and self._cache_refs.get(shipment.key, 0) == 0):
+                self._release_cache_segment(shipment.key)
             raise
-        self._control_log.append(["publish", name, payload, version])
+        self._control_log.append(["publish", name, shipment, version])
+        if self._remote_fleet and shipment.key is not None:
+            self._version_keys[(name, version)] = shipment.key
+            self._cache_refs[shipment.key] = (
+                self._cache_refs.get(shipment.key, 0) + 1
+            )
         if alias is not None:
             self._alias_locked(alias, name, None)
         return version
+
+    def _shipment_payload(self, shard: _Shard,
+                          shipment: _ArtifactShipment) -> Any:
+        """Resolve a shipment to what *this* shard's publish carries.
+
+        Co-located shards get the shm handle (zero-copy attach by
+        transport hash) or the pickled bytes — the pre-transport
+        behavior, unchanged.  Remote shards get a
+        :class:`WireArtifact`; the raw bytes ride along only when the
+        shard's host has not cached the key yet (the second publish of
+        the same hash to a host ships zero payload bytes).
+        """
+        if shard.transport.locality == "local":
+            if shipment.handle is not None:
+                return shipment.handle
+            return shipment.pickled
+        cached = shard.transport.host_key in self._cache_hosts.get(
+            shipment.key, ()
+        )
+        return WireArtifact(
+            key=shipment.key,
+            segment=shipment.segment,
+            handle=shipment.wire_handle,
+            payload=None if cached else shipment.wire_bytes(),
+        )
+
+    def _note_shipped(self, shard: _Shard, shipment: _ArtifactShipment,
+                      payload: Any) -> None:
+        """Record that a host now caches a key (its worker filled the
+        named segment as part of a successful publish RPC)."""
+        if isinstance(payload, WireArtifact) and payload.payload is not None:
+            self._cache_hosts.setdefault(shipment.key, set()).add(
+                shard.transport.host_key
+            )
+
+    def _release_cache_segment(self, key: str) -> None:
+        """Unlink one host-cache segment (last referencing version is
+        gone).  Best effort: on a truly remote host the parent cannot
+        reach the segment — there, the host's worker runtime owns
+        sweeping orphans — but for the localhost fleets this repo runs
+        the attach-and-unlink reclaims the memory immediately."""
+        self._cache_refs.pop(key, None)
+        self._cache_hosts.pop(key, None)
+        try:
+            segment = shared_memory.SharedMemory(
+                name=host_cache_segment_name(self._cache_token, key)
+            )
+            segment.close()
+            segment.unlink()
+        except Exception:  # noqa: BLE001 - never created / already gone
+            pass
 
     def alias(
         self, alias: str, target: str, version: Optional[int] = None
@@ -797,6 +1011,16 @@ class ShardedPolicyService:
             # snapshot this dict) so memory tracks the live set, not
             # the publish history.
             shm = self._segments.pop((name, version), None)
+            # Host-cache accounting: this version no longer references
+            # its wire key; unlink the cached segment once the last
+            # referencing version is gone.
+            key = self._version_keys.pop((name, version), None)
+            if key is not None:
+                refs = self._cache_refs.get(key, 0) - 1
+                if refs <= 0:
+                    self._release_cache_segment(key)
+                else:
+                    self._cache_refs[key] = refs
         if shm is not None:
             try:
                 shm.close()
@@ -876,6 +1100,9 @@ class ShardedPolicyService:
         with self._control_lock:
             parent = dict(self.registry.fingerprint())
             parent["splits"] = split_state(self._splits)
+            # Digest goes in LAST (workers do the same in describe):
+            # byte-for-byte repr comparison needs identical key order.
+            parent["digest"] = control_state_digest(parent)
             shards = {
                 shard.shard_id: reply
                 for shard, reply in self._broadcast_tolerant("describe",
@@ -957,8 +1184,13 @@ class ShardedPolicyService:
         return np.asarray([res.action for res in results])
 
     # -- dispatch internals ------------------------------------------------
-    def _pick_shard(self) -> Optional[_Shard]:
-        return self._router.select(self._live_shards())
+    def _pick_shard(self, ref: Optional[str] = None) -> Optional[_Shard]:
+        live = self._live_shards()
+        if self._router_takes_ref:
+            return self._router.select(live, ref)
+        # Back-compat: custom routers written against the pre-PR-6
+        # single-argument signature keep working unchanged.
+        return self._router.select(live)
 
     def _dispatch_group(self, ref: str, requests: List[_Request]) -> None:
         """Route one stacked flush group to a shard (or fail it fast).
@@ -983,7 +1215,7 @@ class ShardedPolicyService:
             if target is not None and target.alive and not target.draining:
                 shard: Optional[_Shard] = target
             else:
-                shard = self._pick_shard()
+                shard = self._pick_shard(ref)
             if shard is None:
                 self._fail_requests(group, ref, "no live shards")
                 continue
@@ -998,7 +1230,7 @@ class ShardedPolicyService:
             self._pending[msg_id] = entry
             shard.inflight += 1
         try:
-            shard.send((msg_id, "predict", (ref, x)))
+            shard.send(msg_id, "predict", (ref, x))
         except Exception as exc:  # noqa: BLE001 - fail, never strand
             with self._pending_lock:
                 owned = self._pending.pop(msg_id, None)
@@ -1050,12 +1282,15 @@ class ShardedPolicyService:
 
     # -- reply handling ----------------------------------------------------
     def _reader_loop(self, shard: _Shard) -> None:
-        conn = shard.conn
+        transport = shard.transport
         while True:
             try:
-                msg_id, ok, payload = conn.recv()
-            except (EOFError, OSError):
+                reply = decode_frame(transport.recv_frame())
+            except (EOFError, OSError, WireError):
+                # A frame the parent cannot decode means the stream is
+                # torn — same terminal condition as a closed channel.
                 break
+            msg_id, ok, payload = reply.msg_id, reply.ok, reply.payload
             with self._pending_lock:
                 entry = self._pending.pop(msg_id, None)
                 if isinstance(entry, (_PredictJob, _BulkChunk)):
@@ -1067,15 +1302,16 @@ class ShardedPolicyService:
             if (ok and isinstance(entry, (_PredictJob, _BulkChunk))
                     and isinstance(payload, dict)):
                 # Fold the worker's reported pure service time into
-                # the shard's EWMA — the router's quality signal.
+                # the shard's EWMAs (aggregate + per-model) — the
+                # router's quality signals.  Keyed by the *requested*
+                # ref, which is what routing sees.
                 service_s = float(payload.get("service_s") or 0.0)
                 if service_s > 0.0:
-                    if shard.ewma_service_s > 0.0:
-                        shard.ewma_service_s += _SERVICE_EWMA_ALPHA * (
-                            service_s - shard.ewma_service_s
-                        )
+                    if isinstance(entry, _PredictJob):
+                        ref = entry.requests[0].model
                     else:
-                        shard.ewma_service_s = service_s
+                        ref = entry.job.model
+                    shard.observe_service(ref, service_s)
             if isinstance(entry, _Control):
                 entry.ok = bool(ok)
                 entry.result = payload
@@ -1207,8 +1443,8 @@ class ShardedPolicyService:
         with self._pending_lock:
             self._pending[msg_id] = control
         try:
-            shard.send((msg_id, op, payload))
-        except OSError as exc:  # broken pipe: the shard really died
+            shard.send(msg_id, op, payload)
+        except OSError as exc:  # broken channel: the shard really died
             with self._pending_lock:
                 self._pending.pop(msg_id, None)
             self._on_shard_death(shard)
@@ -1336,14 +1572,36 @@ class ShardedPolicyService:
             str(shard.shard_id): {
                 "inflight": shard.inflight,
                 "ewma_service_ms": shard.ewma_service_s * 1e3,
+                "ewma_by_model_ms": {
+                    ref: ewma * 1e3
+                    for ref, ewma in shard.ewma_by_model.items()
+                },
                 "draining": shard.draining,
             }
             for shard in self._shards if shard.alive
+        }
+        transport_view: Dict[str, Any] = {
+            "name": self.transport,
+            "per_shard": {
+                str(shard.shard_id): {
+                    "host": shard.transport.host_key,
+                    "bytes_sent": shard.transport.bytes_sent,
+                    "bytes_received": shard.transport.bytes_received,
+                }
+                for shard in self._shards if shard.alive
+            },
         }
         with self._control_lock:
             # Snapshot under the lock: publish/retire mutate the
             # segment map, and iterating it concurrently would raise.
             footprint = segment_footprint(self._segments)
+            transport_view["host_cache"] = {
+                "keys": len(self._cache_refs),
+                "hosts": sorted(
+                    {host for hosts in self._cache_hosts.values()
+                     for host in hosts}
+                ),
+            }
         return {
             "n_shards": self.n_shards,
             "live_shards": len([s for s in self._shards if s.alive]),
@@ -1351,6 +1609,7 @@ class ShardedPolicyService:
             "shards": shard_snaps,
             "aggregate": aggregate,
             "routing": routing,
+            "transport": transport_view,
             "shm": footprint,
             "autoscale": (self.autoscaler.snapshot()
                           if self.autoscaler is not None else None),
@@ -1369,11 +1628,16 @@ class ShardedPolicyService:
             return []
         return self.autoscaler.snapshot()["events"]
 
-    def _autoscale_signals(self, want_p95: bool = False) -> Optional[dict]:
+    def _autoscale_signals(
+        self, want_p95: bool = False,
+        p95_window_s: Optional[float] = None,
+    ) -> Optional[dict]:
         """One load sample for the autoscaler (None once closed).
 
         ``p95_ms`` is computed only on request — the percentile sweep
         over the retention window is the one non-trivial cost here.
+        ``p95_window_s`` restricts the sweep to recent samples so the
+        SLO signal tracks current load, not the session's history.
         """
         if self._closed or self._dispatcher is None:
             return None
@@ -1385,8 +1649,23 @@ class ShardedPolicyService:
             "fill": delay.fill if delay is not None else None,
             "queue_depth": self._dispatcher.queue_depth(),
             "inflight": inflight,
-            "p95_ms": self._metrics.p95_ms() if want_p95 else 0.0,
+            "p95_ms": (self._metrics.p95_ms(window_s=p95_window_s)
+                       if want_p95 else 0.0),
             "total_requests": self._metrics.total_requests(),
+        }
+
+    def worker_endpoints(self) -> Dict[int, Tuple[str, int]]:
+        """``(host, port)`` of every live socket worker's server.
+
+        Empty for pipe fleets (pipes have no out-of-band address).
+        An :class:`~repro.serve.aio.AsyncWorkerClient` can connect to
+        these endpoints directly, alongside the parent's own
+        connection.
+        """
+        return {
+            shard.shard_id: shard.transport.peer
+            for shard in self._shards
+            if shard.alive and hasattr(shard.transport, "peer")
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -1423,8 +1702,8 @@ class ShardedPolicyService:
                     pass
         for shard in self._shards:
             try:
-                shard.conn.close()
-            except OSError:
+                shard.transport.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
                 pass
             if shard.reader is not None:
                 shard.reader.join(timeout=10.0)
@@ -1440,6 +1719,10 @@ class ShardedPolicyService:
             except Exception:  # noqa: BLE001 - teardown best effort
                 pass
         self._segments.clear()
+        # Host-cache segments are service-owned, like the anonymous
+        # ones above — release whatever retire has not already.
+        for key in list(self._cache_refs):
+            self._release_cache_segment(key)
 
     def __enter__(self) -> "ShardedPolicyService":
         return self

@@ -138,6 +138,40 @@ def share_artifact(
     return handle, shm
 
 
+def host_cache_segment_name(token: str, key: str) -> str:
+    """Name of the host-level artifact-cache segment for one wire key.
+
+    Deterministic given the service's cache token and the artifact's
+    transport-hash key, so the parent can ship ``payload=None`` for a
+    key a host already holds and every worker on that host attaches to
+    the same segment by name — one physical copy per (host, artifact)
+    no matter how many shards or heal-replays reference it.  The token
+    scopes names to one service instance (two services publishing the
+    same artifact must not collide), and the whole name stays under
+    the 31-character POSIX-portable shm limit.
+    """
+    return f"rhc_{token}_{key[:16]}"
+
+
+def create_filled_segment(
+    name: str, payload: bytes
+) -> shared_memory.SharedMemory:
+    """Create a named segment holding ``payload`` (host-cache fill).
+
+    The first worker on a host to receive an artifact's bytes calls
+    this; the parent serializes publishes under its control lock, so
+    the create-by-name never races another creator for the same key.
+    The caller closes its mapping; the segment itself lives until the
+    parent (the lifetime owner, exactly as with anonymous segments)
+    unlinks it when the last version referencing the key retires.
+    """
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(len(payload), 1)
+    )
+    segment.buf[:len(payload)] = payload
+    return segment
+
+
 def ensure_tracker_running() -> None:
     """Start the multiprocessing resource tracker in *this* process.
 

@@ -15,25 +15,38 @@ plus structured per-row errors — rather than per-request objects.  That
 keeps the per-request Python cost on the worker near zero, which is the
 whole reason the cluster tier exists.
 
-Message protocol (over one duplex ``multiprocessing`` connection)::
+Since PR 6 the protocol itself lives in
+:mod:`repro.serve.cluster.wire` (versioned, length-prefixed frames with
+typed :class:`Request`/:class:`Reply` messages) and the byte channel in
+:mod:`repro.serve.cluster.transport`: :class:`WorkerCore` holds the
+replica state and turns one request frame into one reply frame, and a
+transport-specific :class:`~repro.serve.cluster.transport.Listener`
+drives it — the synchronous pipe loop workers always ran, or an
+asyncio TCP server for socket shards.
 
-    request:  (msg_id, op, payload)
-    response: (msg_id, ok, result_or_error_string)
-
-Ops: ``publish``, ``publish_tombstone``, ``alias``, ``retire``,
+Ops (see :data:`repro.serve.cluster.wire.OPS`): ``publish``,
+``publish_tombstone``, ``rollback_publish``, ``alias``, ``retire``,
 ``predict``, ``set_split``, ``clear_split``, ``metrics``,
 ``shadow_report``, ``describe``, ``ping``, ``stop``
 (``publish_tombstone`` and ``describe`` exist for the elastic tier:
 replaying retired version slots into a replacement replica, and
 fingerprinting a replica's full control state for lockstep
-verification).
+verification).  Artifacts arrive three ways: a
+:class:`ShmArtifactHandle` (co-located shards attach the parent's
+segment zero-copy), raw pickled bytes (legacy local fallback), or a
+:class:`~repro.serve.cluster.wire.WireArtifact` — the socket path,
+where the first publish per (host, key) carries the artifact bytes and
+fills a named host-cache segment, and every later one attaches to it
+by name.
+
 The worker never lets an exception escape the loop: a failing op
 answers ``ok=False`` with the error text, and only ``stop`` or a closed
-pipe ends the process.
+channel ends the process.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -47,8 +60,20 @@ from repro.serve.batcher import (
     ERR_PREDICT,
     ERR_UNKNOWN_MODEL,
 )
-from repro.serve.cluster.shm import ShmArtifactHandle, load_shared_artifact
-from repro.serve.registry import ModelRegistry
+from repro.serve.cluster.shm import (
+    ShmArtifactHandle,
+    create_filled_segment,
+    load_shared_artifact,
+)
+from repro.serve.cluster.transport import PipeListener, SocketListener
+from repro.serve.cluster.wire import (
+    Reply,
+    Request,
+    WireArtifact,
+    decode_frame,
+    encode_reply,
+)
+from repro.serve.registry import ModelRegistry, control_state_digest
 from repro.serve.server import ServerMetrics
 from repro.serve.splitter import TrafficSplitter, mirror_shadow, split_state
 
@@ -189,155 +214,243 @@ def serve_stacked(
     return {"groups": groups, "errors": errors, "service_s": service_s}
 
 
+class WorkerCore:
+    """One shard's replica state plus the frame-in/frame-out dispatch.
+
+    Transport-agnostic by construction: :meth:`handle_frame` decodes a
+    wire :class:`Request`, applies it, and returns the encoded
+    :class:`Reply` plus the deferred work the listener runs *after*
+    the reply has been flushed (shadow mirroring — a slow shadow must
+    never tax the primaries it mirrors) and the stop flag.  The
+    synchronous pipe loop and the asyncio socket server both drive
+    exactly this method, which is what keeps the two transports
+    behaviorally identical.
+    """
+
+    def __init__(self, shard_id: int, split_seed: Optional[int] = None,
+                 private_tracker: bool = False) -> None:
+        self.shard_id = shard_id
+        self.private_tracker = private_tracker
+        self.registry = ModelRegistry()
+        self.metrics = ServerMetrics()
+        self.splitter = TrafficSplitter(seed=split_seed)
+        #: (name, version) -> SharedMemory kept alive while that
+        #: version serves; retire drops the mapping so workers don't
+        #: accumulate every artifact ever published.
+        self.segments: Dict[Tuple[str, int], Any] = {}
+
+    def handle_frame(self, frame: bytes):
+        """Apply one request frame; returns ``(reply_frame,
+        after_send, stop)`` per the listener contract."""
+        request = decode_frame(frame)
+        if not isinstance(request, Request):
+            raise TypeError("worker received a reply frame")
+        stop = request.op == "stop"
+        deferred: list = []
+        try:
+            result = self.dispatch(request.op, request.payload, deferred)
+            reply = encode_reply(Reply(request.msg_id, True, result))
+        except Exception as exc:  # noqa: BLE001 - reply, don't die
+            reply = encode_reply(Reply(
+                request.msg_id, False, f"{type(exc).__name__}: {exc}"
+            ))
+        after_send = None
+        if deferred:
+            def after_send(thunks=deferred):
+                for thunk in thunks:
+                    thunk()
+        return reply, after_send, stop
+
+    def _load_artifact(self, packed):
+        """Materialize a published artifact from its wire form.
+
+        Returns ``(artifact, segment_or_None)`` — the segment is kept
+        mapped for as long as the version serves (tree artifacts view
+        it zero-copy; pickled ones are full copies and keep nothing
+        mapped).
+        """
+        if isinstance(packed, WireArtifact):
+            return self._load_wire_artifact(packed)
+        if isinstance(packed, ShmArtifactHandle):
+            return load_shared_artifact(
+                packed, private_tracker=self.private_tracker
+            )
+        if isinstance(packed, bytes):
+            # Pickle fallback (teacher/function): the parent
+            # serialized once and ships the same bytes to every shard.
+            return pickle.loads(packed), None
+        return packed, None
+
+    def _load_wire_artifact(self, wire: WireArtifact):
+        """Socket-path artifact: fill or attach the host-cache segment.
+
+        ``payload`` present means this worker is the first on its host
+        to see the key: it creates the named segment and writes the
+        bytes (the parent's control lock serializes publishes, so the
+        create never races).  ``payload=None`` means the host already
+        holds the bytes — attach by name.  Either way the artifact is
+        rebuilt exactly as the shm path would, hash-verified before it
+        can serve.
+        """
+        if wire.handle is not None:
+            # Tree artifact: segment holds the flat arrays in shm
+            # layout; the handle's shm_name already names the cache
+            # segment, so the shm loader verifies and maps it as-is.
+            if wire.payload is not None:
+                filler = create_filled_segment(wire.segment, wire.payload)
+                filler.close()
+            return load_shared_artifact(
+                wire.handle, private_tracker=self.private_tracker
+            )
+        # Pickled artifact: segment holds a length-prefixed pickle.
+        if wire.payload is not None:
+            raw = wire.payload
+            filler = create_filled_segment(
+                wire.segment,
+                len(raw).to_bytes(8, "big") + raw,
+            )
+            filler.close()
+        else:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(name=wire.segment)
+            try:
+                size = int.from_bytes(bytes(segment.buf[:8]), "big")
+                raw = bytes(segment.buf[8:8 + size])
+            finally:
+                segment.close()
+        digest = hashlib.sha256(raw).hexdigest()[:16]
+        if digest != wire.key:
+            raise RuntimeError(
+                f"cached artifact segment {wire.segment!r} failed "
+                f"verification: expected {wire.key}, bytes hash to "
+                f"{digest}"
+            )
+        return pickle.loads(raw), None
+
+    def dispatch(self, op: str, payload, deferred: list) -> Any:
+        registry, metrics, splitter = \
+            self.registry, self.metrics, self.splitter
+        segments = self.segments
+        if op == "predict":
+            ref, x = payload
+            return serve_stacked(
+                registry, splitter, metrics, ref, x, shadow_sink=deferred
+            )
+        if op == "publish":
+            # Aliasing is a separate op broadcast only after every
+            # shard accepted the publish, so rollback never has to
+            # reconstruct a pre-existing alias target.
+            name, packed = payload
+            artifact, shm = self._load_artifact(packed)
+            version = registry.publish(name, artifact)
+            if shm is not None:
+                segments[(name, version)] = shm
+            return version
+        if op == "rollback_publish":
+            name, version = payload
+            registry.rollback_publish(name, version)
+            shm = segments.pop((name, version), None)
+            if shm is not None:
+                try:
+                    shm.close()
+                except BufferError:
+                    segments[(name, version)] = shm
+            return None
+        if op == "publish_tombstone":
+            # Replay-only: a version retired before this replica was
+            # born must still occupy its slot (version numbers never
+            # shift).
+            return registry.publish_tombstone(payload)
+        if op == "alias":
+            alias, target, version = payload
+            registry.alias(alias, target, version)
+            return None
+        if op == "retire":
+            name, version = payload
+            registry.retire(name, version)
+            # The tombstone dropped the registry's artifact reference
+            # (the only holder of the shared-memory views), so the
+            # mapping can be released now instead of at shutdown.
+            shm = segments.pop((name, version), None)
+            if shm is not None:
+                try:
+                    shm.close()
+                except BufferError:
+                    # A stray view still exports the buffer; keep the
+                    # mapping alive rather than crash (shutdown closes
+                    # it).
+                    segments[(name, version)] = shm
+            return None
+        if op == "set_split":
+            ref, canary, fraction, shadow = payload
+            splitter.set_split(
+                ref, canary=canary, canary_fraction=fraction,
+                shadow=shadow,
+            )
+            return None
+        if op == "clear_split":
+            splitter.clear(payload)
+            return None
+        if op == "metrics":
+            return metrics.snapshot()
+        if op == "shadow_report":
+            return splitter.shadow_report()
+        if op == "describe":
+            # Full control-state fingerprint: registry versions
+            # (content hashes / tombstones), alias table, and
+            # routing-relevant split state, plus a compact digest of
+            # all three (what a multi-host monitor compares without
+            # shipping full states).  The parent compares these across
+            # replicas — and against its own mirror — to prove
+            # lockstep, in particular after a replacement replica
+            # replayed the log.
+            state = dict(registry.fingerprint())
+            state["splits"] = split_state(splitter.splits())
+            state["digest"] = control_state_digest(state)
+            return state
+        if op == "ping":
+            return ("pong", self.shard_id)
+        if op == "stop":
+            return None
+        raise ValueError(f"unknown op {op!r}")
+
+    def close(self) -> None:
+        for shm in self.segments.values():
+            try:
+                shm.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+        self.segments.clear()
+
+
 def worker_main(
     conn,
     shard_id: int,
     split_seed: Optional[int] = None,
+    transport: str = "pipe",
+    host: str = "127.0.0.1",
     private_tracker: bool = False,
 ) -> None:
     """Entry point of one shard process.
 
+    ``conn`` is the duplex pipe end for pipe workers, or the one-shot
+    bootstrap pipe a socket worker reports its bound port over.
     ``private_tracker`` stays False for workers launched by
     :class:`ShardedPolicyService` — both fork and spawn children share
     the parent's resource tracker.  Set it only when running a worker
     from an *independently started* interpreter whose tracker does not
     belong to the segment owner.
     """
-    registry = ModelRegistry()
-    metrics = ServerMetrics()
-    splitter = TrafficSplitter(seed=split_seed)
-    # (name, version) -> SharedMemory kept alive while that version
-    # serves; retire drops the mapping so workers don't accumulate
-    # every artifact ever published.
-    segments: Dict[Tuple[str, int], Any] = {}
+    core = WorkerCore(shard_id, split_seed=split_seed,
+                      private_tracker=private_tracker)
     try:
-        while True:
-            try:
-                msg = conn.recv()
-            except (EOFError, OSError):
-                break
-            msg_id, op, payload = msg
-            stop = op == "stop"
-            deferred: list = []
-            try:
-                result = _dispatch(
-                    op, payload, registry, metrics, splitter, segments,
-                    shard_id, private_tracker, deferred,
-                )
-                conn.send((msg_id, True, result))
-            except Exception as exc:  # noqa: BLE001 - reply, don't die
-                conn.send((msg_id, False, f"{type(exc).__name__}: {exc}"))
-            # Shadow mirroring runs *after* the reply left the pipe —
-            # a slow shadow must not tax the primaries it mirrors.
-            for thunk in deferred:
-                thunk()
-            if stop:
-                break
-    finally:
-        for shm in segments.values():
-            try:
-                shm.close()
-            except Exception:  # noqa: BLE001 - teardown best effort
-                pass
-        try:
-            conn.close()
-        except Exception:  # noqa: BLE001
-            pass
-
-
-def _dispatch(
-    op: str,
-    payload,
-    registry: ModelRegistry,
-    metrics: ServerMetrics,
-    splitter: TrafficSplitter,
-    segments: list,
-    shard_id: int,
-    private_tracker: bool = False,
-    deferred: Optional[list] = None,
-) -> Any:
-    if op == "predict":
-        ref, x = payload
-        return serve_stacked(
-            registry, splitter, metrics, ref, x, shadow_sink=deferred
-        )
-    if op == "publish":
-        # Aliasing is a separate op broadcast only after every shard
-        # accepted the publish, so rollback never has to reconstruct a
-        # pre-existing alias target.
-        name, packed = payload
-        shm = None
-        if isinstance(packed, ShmArtifactHandle):
-            artifact, shm = load_shared_artifact(
-                packed, private_tracker=private_tracker
-            )
-        elif isinstance(packed, bytes):
-            # Pickle fallback (teacher/function): the parent serialized
-            # once and ships the same bytes to every shard.
-            artifact = pickle.loads(packed)
+        if transport == "socket":
+            listener = SocketListener(host, conn)
+        elif transport == "pipe":
+            listener = PipeListener(conn)
         else:
-            artifact = packed
-        version = registry.publish(name, artifact)
-        if shm is not None:
-            segments[(name, version)] = shm
-        return version
-    if op == "rollback_publish":
-        name, version = payload
-        registry.rollback_publish(name, version)
-        shm = segments.pop((name, version), None)
-        if shm is not None:
-            try:
-                shm.close()
-            except BufferError:
-                segments[(name, version)] = shm
-        return None
-    if op == "publish_tombstone":
-        # Replay-only: a version retired before this replica was born
-        # must still occupy its slot (version numbers never shift).
-        return registry.publish_tombstone(payload)
-    if op == "alias":
-        alias, target, version = payload
-        registry.alias(alias, target, version)
-        return None
-    if op == "retire":
-        name, version = payload
-        registry.retire(name, version)
-        # The tombstone dropped the registry's artifact reference (the
-        # only holder of the shared-memory views), so the mapping can
-        # be released now instead of at shutdown.
-        shm = segments.pop((name, version), None)
-        if shm is not None:
-            try:
-                shm.close()
-            except BufferError:
-                # A stray view still exports the buffer; keep the
-                # mapping alive rather than crash (shutdown closes it).
-                segments[(name, version)] = shm
-        return None
-    if op == "set_split":
-        ref, canary, fraction, shadow = payload
-        splitter.set_split(
-            ref, canary=canary, canary_fraction=fraction, shadow=shadow
-        )
-        return None
-    if op == "clear_split":
-        splitter.clear(payload)
-        return None
-    if op == "metrics":
-        return metrics.snapshot()
-    if op == "shadow_report":
-        return splitter.shadow_report()
-    if op == "describe":
-        # Full control-state fingerprint: registry versions (content
-        # hashes / tombstones), alias table, and routing-relevant
-        # split state.  The parent compares these across replicas —
-        # and against its own mirror — to prove lockstep, in
-        # particular after a replacement replica replayed the log.
-        state = dict(registry.fingerprint())
-        state["splits"] = split_state(splitter.splits())
-        return state
-    if op == "ping":
-        return ("pong", shard_id)
-    if op == "stop":
-        return None
-    raise ValueError(f"unknown op {op!r}")
+            raise ValueError(f"unknown worker transport {transport!r}")
+        listener.serve(core.handle_frame)
+    finally:
+        core.close()

@@ -27,11 +27,31 @@ alias still routes traffic to.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.serve.artifact import PolicyArtifact
+
+
+def control_state_digest(state: Mapping[str, Any]) -> str:
+    """Compact digest of a replica control state (fingerprint+splits).
+
+    The cluster tier compares full :meth:`ModelRegistry.fingerprint`
+    states byte for byte to prove replicas are in lockstep — cheap
+    between co-located processes, but across hosts a monitor wants a
+    fixed-size value it can compare without shipping every version
+    hash over the wire.  This hashes the ``repr`` of the state with
+    its top-level keys sorted (fingerprints already sort models and
+    aliases internally, so equal states produce equal reprs), giving
+    16 hex chars that two replicas agree on iff their control state is
+    identical.  Workers include it in their ``describe`` reply;
+    ``replica_states()`` adds the parent's so the comparison stays
+    symmetric.
+    """
+    payload = repr({key: state[key] for key in sorted(state)})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)

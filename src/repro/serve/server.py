@@ -57,10 +57,13 @@ class _ModelStats:
         #: actually serving, which is what throughput divides by.
         self.busy_s = 0.0
         self.last_ts: Optional[float] = None
-        #: True sliding window of the latest successes — `latencies`
-        #: stops appending at the retention cap (snapshot percentiles
-        #: cover the first N by design), so SLO probes need their own
-        #: ring that never freezes on a long-running server.
+        #: True sliding window of the latest successes, as
+        #: ``(perf_counter_ts, latency_s)`` pairs — `latencies` stops
+        #: appending at the retention cap (snapshot percentiles cover
+        #: the first N by design), so SLO probes need their own ring
+        #: that never freezes on a long-running server.  Timestamps
+        #: let :meth:`ServerMetrics.p95_ms` window by wall time as well
+        #: as by count.
         self.recent: deque = deque(maxlen=self.RECENT_WINDOW)
 
 
@@ -126,7 +129,7 @@ class ServerMetrics:
                 stats.error_kinds[error] += 1
             else:
                 stats.versions[version] += 1
-                stats.recent.append(latency_s)
+                stats.recent.append((now, latency_s))
                 if len(stats.latencies) < self.max_latency_samples:
                     stats.latencies.append(latency_s)
 
@@ -145,7 +148,7 @@ class ServerMetrics:
             self._add_busy(stats, start, now)
             stats.versions[version] += len(latencies)
             stats.batch_sizes[len(latencies)] += 1
-            stats.recent.extend(latencies)
+            stats.recent.extend((now, lat) for lat in latencies)
             room = self.max_latency_samples - len(stats.latencies)
             if room > 0:
                 stats.latencies.extend(latencies[:room])
@@ -157,7 +160,7 @@ class ServerMetrics:
         with self._lock:
             return sum(stats.requests for stats in self._models.values())
 
-    def p95_ms(self) -> float:
+    def p95_ms(self, window_s: Optional[float] = None) -> float:
         """Worst per-model p95 latency over each model's sliding window
         of recent successes, in milliseconds (0.0 before any success
         is recorded).
@@ -169,16 +172,32 @@ class ServerMetrics:
         cover the first N requests), so it would freeze on a
         long-running server; and copying it under the metrics lock
         every autoscaler tick would periodically stall the reply path
-        that records into it.  The window still holds its last samples
-        across an idle gap — callers that must distinguish "recently
-        bad" from "currently idle" pair this with a liveness signal
-        (the autoscaler's idle-tick clock).
+        that records into it.
+
+        ``window_s`` additionally restricts the sweep to samples
+        recorded in the last that-many seconds (None keeps the full
+        count-bounded ring).  A time window makes the SLO signal
+        forget a cold-start spike once it actually ages out, instead
+        of holding it until 4096 newer samples dilute it — but an
+        *empty* window reads 0.0, so callers that must distinguish
+        "recently bad" from "currently idle" still pair this with a
+        liveness signal (the autoscaler's idle-tick clock).
         """
+        cutoff = None
+        if window_s is not None:
+            cutoff = time.perf_counter() - window_s
         with self._lock:
-            samples = [
-                list(stats.recent) for stats in self._models.values()
-                if stats.recent
-            ]
+            samples = []
+            for stats in self._models.values():
+                if not stats.recent:
+                    continue
+                if cutoff is None:
+                    samples.append([lat for _ts, lat in stats.recent])
+                else:
+                    recent = [lat for ts, lat in stats.recent
+                              if ts >= cutoff]
+                    if recent:
+                        samples.append(recent)
         worst = 0.0
         for latencies in samples:
             worst = max(

@@ -35,6 +35,13 @@ def toy():
     return tree, x
 
 
+@pytest.fixture(params=["pipe", "socket"])
+def transport(request):
+    """The elastic-tier guarantees (lockstep replay, byte-identical
+    heal) must hold over both worker transports."""
+    return request.param
+
+
 def _wait_live(svc, count, timeout_s=20.0):
     deadline = time.monotonic() + timeout_s
     while time.monotonic() < deadline:
@@ -56,9 +63,11 @@ def _assert_replicas_identical(svc):
 
 
 class _Fake:
-    def __init__(self, inflight, ewma):
+    def __init__(self, inflight, ewma, by_model=None):
         self.inflight = inflight
         self.ewma_service_s = ewma
+        if by_model is not None:
+            self.ewma_by_model = by_model
 
 
 class TestRouters:
@@ -79,6 +88,34 @@ class TestRouters:
         seasoned = _Fake(0, 2e-3)
         fresh = _Fake(5, 0.0)  # cold but piled up
         assert router.select([seasoned, fresh]) is seasoned
+
+    def test_per_model_estimate_beats_aggregate(self):
+        """A shard whose *aggregate* EWMA is polluted by an expensive
+        model must still win traffic for a model it serves quickly."""
+        router = LeastLoadedRouter()
+        # Shard A mostly serves the expensive model: aggregate looks
+        # slow, but "cheap" is fast there.
+        a = _Fake(2, 50e-3, by_model={"cheap": 1e-3, "pricey": 80e-3})
+        b = _Fake(2, 5e-3, by_model={"cheap": 4e-3})
+        assert router.select([a, b], ref="cheap") is a
+        # aggregate-only routing would have picked b
+        assert router.select([a, b]) is b
+
+    def test_unseen_model_falls_back_to_aggregate(self):
+        router = LeastLoadedRouter()
+        a = _Fake(3, 2e-3, by_model={"other": 2e-3})
+        b = _Fake(3, 9e-3, by_model={"other": 9e-3})
+        # neither shard has seen "new": their aggregates decide
+        assert router.select([a, b], ref="new") is a
+
+    def test_attribute_only_doubles_still_work(self):
+        """Routers must read shard handles via getattr — external
+        callers (and these tests) pass plain objects without the
+        per-model dict."""
+        router = LeastLoadedRouter()
+        lean = _Fake(0, 1e-3)
+        deep = _Fake(6, 1e-3)
+        assert router.select([deep, lean], ref="anything") is lean
 
     def test_idle_ties_spread_round_robin(self):
         router = LeastLoadedRouter()
@@ -191,13 +228,71 @@ class TestAutoscaleDecide:
             AutoscaleConfig(min_shards=3, max_shards=2)
         with pytest.raises(ValueError):
             AutoscaleConfig(scale_up_fill=0.2, scale_down_fill=0.5)
+        with pytest.raises(ValueError, match="p95_window_s"):
+            AutoscaleConfig(p95_window_s=0.0)
+        with pytest.raises(ValueError, match="p95_window_s"):
+            AutoscaleConfig(p95_window_s=-5.0)
+        # None (full-ring reading) and positive windows are both legal
+        assert AutoscaleConfig(p95_window_s=None).p95_window_s is None
+        assert AutoscaleConfig(p95_window_s=10.0).p95_window_s == 10.0
+
+
+class TestWindowedP95:
+    """The SLO signal's sliding time window (ServerMetrics.p95_ms)."""
+
+    def test_window_forgets_old_spike(self):
+        from repro.serve.server import ServerMetrics
+
+        metrics = ServerMetrics()
+        # an old cold-start spike...
+        for _ in range(20):
+            metrics.record("m", 1, 0.500)
+        # ...then make those samples old by aging their timestamps
+        with metrics._lock:
+            stats = metrics._models["m"]
+            stats.recent = type(stats.recent)(
+                ((ts - 60.0, lat) for ts, lat in stats.recent),
+                maxlen=stats.recent.maxlen,
+            )
+        for _ in range(20):
+            metrics.record("m", 1, 0.002)
+        # the unwindowed reading still sees the spike; a 30s window
+        # only sees current traffic
+        assert metrics.p95_ms() > 100.0
+        assert metrics.p95_ms(window_s=30.0) < 10.0
+
+    def test_empty_window_reads_zero(self):
+        from repro.serve.server import ServerMetrics
+
+        metrics = ServerMetrics()
+        metrics.record("m", 1, 0.010)
+        with metrics._lock:
+            stats = metrics._models["m"]
+            stats.recent = type(stats.recent)(
+                ((ts - 60.0, lat) for ts, lat in stats.recent),
+                maxlen=stats.recent.maxlen,
+            )
+        assert metrics.p95_ms() > 0.0
+        assert metrics.p95_ms(window_s=1.0) == 0.0
+
+    def test_autoscaler_passes_window_to_signals(self, toy):
+        tree, _ = toy
+        config = AutoscaleConfig(slo_p95_ms=50.0, p95_window_s=5.0,
+                                 interval_s=0.05)
+        with ShardedPolicyService(
+            n_shards=1, autoscale=config, max_delay_s=1e-3,
+        ) as svc:
+            svc.publish("toy", PolicyArtifact.from_tree(tree))
+            raw = svc._autoscale_signals(want_p95=True, p95_window_s=5.0)
+            assert raw is not None and raw["p95_ms"] >= 0.0
 
 
 class TestElasticScaling:
-    def test_add_shard_replays_full_state(self, toy):
+    def test_add_shard_replays_full_state(self, toy, transport):
         tree, x = toy
         artifact = PolicyArtifact.from_tree(tree, name="m")
-        with ShardedPolicyService(n_shards=1, split_seed=0) as svc:
+        with ShardedPolicyService(n_shards=1, split_seed=0,
+                                  transport=transport) as svc:
             svc.publish("m", artifact, alias="m/prod")
             svc.publish("m", artifact)
             svc.set_split("m/prod", canary="m@2", canary_fraction=0.25)
@@ -271,7 +366,9 @@ class TestElasticScaling:
 
 
 class TestSelfHealing:
-    def test_killed_shard_is_replaced_with_identical_state(self, toy):
+    def test_killed_shard_is_replaced_with_identical_state(
+        self, toy, transport
+    ):
         """The resilient-republish headline: kill a shard under an
         active canary/shadow split and live traffic; the replacement
         must replay to byte-identical control state, and no future may
@@ -281,6 +378,7 @@ class TestSelfHealing:
         artifact = PolicyArtifact.from_tree(tree, name="m")
         with ShardedPolicyService(
             n_shards=2, self_heal=True, split_seed=7, max_delay_s=1e-3,
+            transport=transport,
         ) as svc:
             svc.publish("m", artifact, alias="m/prod")
             svc.publish("m", artifact)
@@ -328,10 +426,11 @@ class TestSelfHealing:
             assert np.array_equal(out, tree.predict(x[:64]))
             assert svc.predict("syn", x[:8, :5]).shape == (8,)
 
-    def test_retired_versions_replay_as_tombstones(self, toy):
+    def test_retired_versions_replay_as_tombstones(self, toy, transport):
         tree, x = toy
         artifact = PolicyArtifact.from_tree(tree, name="m")
-        with ShardedPolicyService(n_shards=2, self_heal=True) as svc:
+        with ShardedPolicyService(n_shards=2, self_heal=True,
+                                  transport=transport) as svc:
             svc.publish("m", artifact)
             svc.publish("m", artifact)
             svc.publish("m", artifact)

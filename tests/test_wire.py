@@ -1,0 +1,204 @@
+"""Tests for the cluster wire protocol (repro.serve.cluster.wire).
+
+The codec is the single point every transport shares, so it gets the
+heaviest scrutiny in the tier: property-based round-trips over the
+typed value space (the replica-lockstep guarantees depend on values
+surviving the wire *exactly* — tuple vs list, dict order, float bits),
+plus frame-level header validation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.cluster.shm import SharedArraySpec, ShmArtifactHandle
+from repro.serve.cluster.wire import (
+    HEADER_SIZE,
+    KIND_REQUEST,
+    OPS,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    Reply,
+    Request,
+    WireArtifact,
+    WireError,
+    decode_frame,
+    decode_value,
+    encode_reply,
+    encode_request,
+    encode_value,
+    frame_size,
+    parse_header,
+)
+
+
+def wire_equal(a, b) -> bool:
+    """Structural equality that distinguishes what the wire must:
+    container types, dict order, NaN, and ndarray payloads."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return (list(a.keys()) == list(b.keys())
+                and all(wire_equal(a[k], b[k]) for k in a))
+    if isinstance(a, (list, tuple)):
+        return (len(a) == len(b)
+                and all(wire_equal(x, y) for x, y in zip(a, b)))
+    if isinstance(a, np.ndarray):
+        return (a.dtype == b.dtype and a.shape == b.shape
+                and np.array_equal(a, b, equal_nan=(a.dtype.kind == "f")))
+    if isinstance(a, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+# Scalars whose round-trip must be exact (no ndarray here: hypothesis
+# shrinking plus array equality gets its own strategy below).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 80), max_value=2 ** 80),  # incl. bigint
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=64),
+    st.binary(max_size=64),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestValueCodec:
+    @settings(max_examples=200, deadline=None)
+    @given(values)
+    def test_roundtrip_property(self, value):
+        assert wire_equal(decode_value(encode_value(value)), value)
+
+    def test_distinguishes_tuple_from_list(self):
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+        assert isinstance(decode_value(encode_value([1, 2])), list)
+
+    def test_preserves_dict_insertion_order(self):
+        d = {"z": 1, "a": 2, "m": 3}
+        assert list(decode_value(encode_value(d)).keys()) == ["z", "a", "m"]
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int64",
+                                       "int32", "uint8", "bool"])
+    def test_ndarray_roundtrip(self, dtype):
+        rng = np.random.default_rng(7)
+        arr = (rng.uniform(-5, 5, (3, 4)) * 10).astype(dtype)
+        back = decode_value(encode_value(arr))
+        assert isinstance(back, np.ndarray)
+        assert back.dtype == arr.dtype and back.shape == arr.shape
+        assert np.array_equal(back, arr)
+
+    def test_zero_dim_and_empty_ndarray(self):
+        for arr in (np.float64(3.5) * np.ones(()), np.empty((0, 4))):
+            back = decode_value(encode_value(np.asarray(arr)))
+            assert back.shape == np.asarray(arr).shape
+
+    def test_numpy_scalars_normalize_to_python(self):
+        assert decode_value(encode_value(np.int64(7))) == 7
+        assert isinstance(decode_value(encode_value(np.int64(7))), int)
+        assert decode_value(encode_value(np.bool_(True))) is True
+        assert decode_value(encode_value(np.float32(0.5))) == 0.5
+
+    def test_float_bits_survive(self):
+        for x in (0.1 + 0.2, 1e-308, -0.0, float("inf")):
+            back = decode_value(encode_value(x))
+            assert math.copysign(1, back) == math.copysign(1, x)
+            assert back == x or (math.isnan(back) and math.isnan(x))
+
+    def test_shm_handle_roundtrip(self):
+        handle = ShmArtifactHandle(
+            shm_name="psm_test", name="m", kind="tree_classifier",
+            n_features=5, n_outputs=1, content_hash="c" * 16,
+            source=None, meta={"depth": 3},
+            arrays=(SharedArraySpec("feature", "int32", (7,), 0),),
+            total_bytes=28, transport_hash="t" * 16,
+        )
+        back = decode_value(encode_value(handle))
+        assert back == handle
+
+    def test_wire_artifact_roundtrip(self):
+        wire = WireArtifact(key="k" * 16, segment="rhc_ab_k",
+                            handle=None, payload=b"\x00\x01bytes")
+        back = decode_value(encode_value(wire))
+        assert (back.key, back.segment, back.handle, back.payload) == (
+            wire.key, wire.segment, wire.handle, wire.payload
+        )
+
+
+class TestFrames:
+    @pytest.mark.parametrize("op", OPS)
+    def test_request_roundtrip_every_op(self, op):
+        req = Request(msg_id=42, op=op, payload=("x", 1))
+        back = decode_frame(encode_request(req))
+        assert isinstance(back, Request)
+        assert (back.msg_id, back.op, back.payload) == (42, op, ("x", 1))
+
+    @pytest.mark.parametrize("ok", [True, False])
+    def test_reply_roundtrip(self, ok):
+        reply = Reply(msg_id=7, ok=ok, payload={"service_s": 0.25})
+        back = decode_frame(encode_reply(reply))
+        assert isinstance(back, Reply)
+        assert (back.msg_id, back.ok, back.payload) == (
+            7, ok, {"service_s": 0.25}
+        )
+
+    def test_header_carries_length_and_msg_id(self):
+        frame = encode_request(Request(99, "ping", None))
+        kind, body_len, msg_id = parse_header(frame[:HEADER_SIZE])
+        assert kind == KIND_REQUEST
+        assert msg_id == 99
+        assert frame_size(frame[:HEADER_SIZE]) == len(frame)
+        assert len(frame) == HEADER_SIZE + body_len
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_request(Request(1, "ping", None)))
+        frame[0:2] = b"XX"
+        with pytest.raises(WireError):
+            parse_header(bytes(frame[:HEADER_SIZE]))
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(encode_request(Request(1, "ping", None)))
+        frame[2] = WIRE_VERSION + 1
+        with pytest.raises(WireError):
+            parse_header(bytes(frame[:HEADER_SIZE]))
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_request(Request(1, "describe", None))
+        with pytest.raises(WireError):
+            decode_frame(frame[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        frame = encode_request(Request(1, "describe", None))
+        with pytest.raises(WireError):
+            decode_frame(frame + b"\x00")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WireError):
+            encode_request(Request(1, "no_such_op", None))
+
+    def test_magic_is_stable(self):
+        # The constant is part of the protocol: changing it (or the
+        # version) breaks mixed-version fleets and must be deliberate.
+        assert WIRE_MAGIC == b"RW"
+        assert WIRE_VERSION == 1
+
+    def test_predict_batch_payload(self):
+        x = np.arange(12, dtype=float).reshape(3, 4)
+        frame = encode_request(Request(5, "predict", ("toy/prod", x)))
+        back = decode_frame(frame)
+        ref, got = back.payload
+        assert ref == "toy/prod"
+        assert np.array_equal(got, x) and got.dtype == x.dtype
