@@ -11,7 +11,12 @@ collection; this benchmark guards the same coalescing win at the
   single-row predict round trip (the seed deployment style);
 * **microbatched** — 64 concurrent closed-loop clients against a
   coalescing server: the batcher answers whole flushes with one
-  vectorized predict.
+  vectorized predict;
+* **microbatched, native backend** — the same coalescing server with
+  ``REPRO_TREE_BACKEND=native``, so every flush runs through the
+  artifact's compiled C kernel instead of the numpy walk (recorded as
+  ``batched_native_rps``; falls back to numpy — and says so in the
+  record — when the host has no C compiler).
 
 The floor asserted locally is ``>= 5x`` throughput for the microbatched
 path.  The three load scenarios (ABR sessions, AuTO flow arrivals,
@@ -24,6 +29,7 @@ at the repo root (same trajectory format as ``BENCH_tree.json``); set
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -90,24 +96,42 @@ def _fit_scenario_tree(states: np.ndarray, n_classes: int = 4):
     ).fit(states, labels)
 
 
+@contextmanager
+def _backend(mode):
+    """Pin ``REPRO_TREE_BACKEND`` for one serving run."""
+    prev = os.environ.get("REPRO_TREE_BACKEND")
+    os.environ["REPRO_TREE_BACKEND"] = mode
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ["REPRO_TREE_BACKEND"]
+        else:
+            os.environ["REPRO_TREE_BACKEND"] = prev
+
+
 def test_bench_serve_throughput_and_scenarios():
     tree, abr_states = _distilled_abr()
     artifact = PolicyArtifact.from_tree(tree, name="abr-distilled")
 
     # ------------------------------------------------------------------
     # single-request loop vs microbatched serving on the same artifact
+    # (both pinned to the numpy backend so the trajectory stays the
+    # coalescing story it always measured)
     # ------------------------------------------------------------------
     pool = abr_states[
         np.random.default_rng(0).integers(0, len(abr_states), 8192)
     ]
-    with PolicyServer(max_batch=1, max_delay_s=0.0) as server:
+    with _backend("numpy"), PolicyServer(
+        max_batch=1, max_delay_s=0.0
+    ) as server:
         server.publish("abr", artifact)
         server.predict("abr", pool[:64])  # warm-up
         serial = run_load(
             server, "abr", pool[:SERIAL_REQUESTS],
             n_clients=1, scenario="abr-serial",
         )
-    with PolicyServer(
+    with _backend("numpy"), PolicyServer(
         max_batch=N_CONCURRENT_CLIENTS, max_delay_s=1e-3
     ) as server:
         server.publish("abr", artifact)
@@ -119,6 +143,23 @@ def test_bench_serve_throughput_and_scenarios():
         )
         batch_sizes = server.metrics()["abr"]["batch_sizes"]
     speedup = batched.throughput_rps / serial.throughput_rps
+
+    # ------------------------------------------------------------------
+    # microbatched again, this time through the compiled native kernel
+    # ------------------------------------------------------------------
+    native_artifact = PolicyArtifact.from_tree(tree, name="abr-distilled")
+    with _backend("native"), PolicyServer(
+        max_batch=N_CONCURRENT_CLIENTS, max_delay_s=1e-3
+    ) as server:
+        server.publish("abr", native_artifact)
+        server.predict("abr", pool[:64])  # warm-up
+        batched_native = run_load(
+            server, "abr", pool,
+            n_clients=N_CONCURRENT_CLIENTS, repeats=BATCHED_PASSES,
+            scenario="abr-batched-native",
+        )
+        backend_view = server.backend_report()["models"]["abr"]
+    kernel_meta = native_artifact.meta.get("kernel") or {}
 
     # ------------------------------------------------------------------
     # three load scenarios, each against its own published policy
@@ -160,6 +201,14 @@ def test_bench_serve_throughput_and_scenarios():
             "batched_p99_ms": batched.latency_p99_ms,
             "serve_speedup": speedup,
             "max_batch_observed": int(max(batch_sizes)),
+            "batched_native_rps": batched_native.throughput_rps,
+            "batched_native_p50_ms": batched_native.latency_p50_ms,
+            "batched_native_p99_ms": batched_native.latency_p99_ms,
+            "native_backend": backend_view["backend"],
+            "native_kernel_status": kernel_meta.get("status"),
+            "native_vs_numpy_batched": (
+                batched_native.throughput_rps / batched.throughput_rps
+            ),
         },
         "scenarios": scenario_reports,
     }
@@ -168,6 +217,9 @@ def test_bench_serve_throughput_and_scenarios():
     if REPORT_ONLY:
         return
     assert batched.n_errors == 0 and serial.n_errors == 0
+    # The native run must serve flawlessly whether or not a compiler
+    # exists — that is the transparent-fallback contract.
+    assert batched_native.n_errors == 0
     assert speedup >= MIN_SERVE_SPEEDUP, (
         f"microbatched serving only {speedup:.1f}x over the "
         f"single-request loop ({batched.throughput_rps:.0f} vs "

@@ -35,8 +35,15 @@ right subtree; the root is id 0):
 Code that mutates the linked nodes after ``fit`` (pruning, manual
 surgery) must call ``tree.invalidate_flat()`` so the arrays are rebuilt
 in sync on the next inference call.
+
+``FlatTree`` inference additionally has a *compiled* backend
+(``native.py``): a per-tree branchless C kernel built with the platform
+compiler, content-hash cached, and selected per call via
+``backend="numpy"|"native"|"auto"`` (or ``REPRO_TREE_BACKEND``), with
+transparent numpy fallback when no compiler is available.
 """
 
+from repro.core.tree import native
 from repro.core.tree.cart import (
     DecisionTreeClassifier,
     DecisionTreeRegressor,
@@ -53,6 +60,7 @@ __all__ = [
     "FlatTree",
     "Node",
     "SPLITTERS",
+    "native",
     "cost_complexity_path",
     "prune_to_leaves",
     "render_text",

@@ -28,9 +28,11 @@ bit-compatible with the legacy ``iter_nodes`` preorder ids):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
+
+import repro.core.tree.native as _native
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.tree.cart import Node
@@ -77,6 +79,16 @@ class FlatTree:
                                       dtype=np.intp)
         self.children_flat[0::2] = left_safe
         self.children_flat[1::2] = right_safe
+        # Compiled-backend state (see repro.core.tree.native): the
+        # dlopened kernel once attached, whether a compile/load for
+        # this tree already failed (don't retry per batch), whether the
+        # disk cache was already probed, and per-tree row counters.
+        self._native = None
+        self._native_failed = False
+        self._native_probed = False
+        self.backend_stats = {
+            "native_rows": 0, "numpy_rows": 0, "fallback_rows": 0,
+        }
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -198,8 +210,74 @@ class FlatTree:
     def max_depth(self) -> int:
         return int(self.depths.max()) if self.node_count else 0
 
+    # -- compiled backend ------------------------------------------------
+    def attach_kernel(self, kernel) -> None:
+        """Adopt an already-loaded native kernel (cluster worker path)."""
+        self._native = kernel
+        self._native_failed = kernel is None
+        self._native_probed = True
+
+    def native_kernel(self, compile: bool = True):
+        """The attached/cached/compiled kernel for this tree, or None.
+
+        Best-effort by contract (never raises): a missing compiler, a
+        failed compile, or a corrupt cache entry just returns None and
+        the numpy backend keeps serving.
+        """
+        if self._native is not None:
+            return self._native
+        if self._native_failed:
+            return None
+        kernel = _native.ensure_kernel(self, compile=compile)
+        self._native_probed = True
+        if kernel is not None:
+            self._native = kernel
+        elif compile:
+            self._native_failed = True
+        return kernel
+
+    def _backend_kernel(self, x: np.ndarray, mode: str):
+        """Kernel to use for this batch under ``mode``, or None.
+
+        ``native`` always tries (compiling if needed); ``auto`` uses an
+        attached kernel for any batch, probes the disk cache once, and
+        only pays a compile for batches large enough to amortize it.
+        """
+        if mode == "numpy" or self.feature[0] < 0:
+            return None
+        if self._native is not None:
+            return self._native
+        if self._native_failed:
+            return None
+        want_compile = (
+            mode == "native"
+            or x.shape[0] >= _native.AUTO_COMPILE_MIN_ROWS
+        )
+        if not want_compile and self._native_probed:
+            return None
+        return self.native_kernel(compile=want_compile)
+
+    def _native_disable(self) -> None:
+        """A kernel call blew up mid-serve: drop to numpy permanently
+        for this tree and make the degradation metrics-visible."""
+        self._native = None
+        self._native_failed = True
+        _native._bump("load_failures")
+        _native._note_error("kernel call failed mid-batch")
+
+    def _count_numpy(self, rows: int, mode: str) -> None:
+        self.backend_stats["numpy_rows"] += rows
+        # Only count a *fallback* when native was expected: forced
+        # native mode, or auto mode after a failed compile/load.  Auto
+        # deciding a small batch isn't worth a compile is policy, not
+        # degradation.
+        if mode == "native" or (mode == "auto" and self._native_failed):
+            self.backend_stats["fallback_rows"] += rows
+            _native.note_fallback(rows)
+
     # -- vectorized inference --------------------------------------------
-    def apply(self, x: np.ndarray) -> np.ndarray:
+    def apply(self, x: np.ndarray,
+              backend: Optional[str] = None) -> np.ndarray:
         """Leaf id (preorder index) each row lands in, fully vectorized.
 
         Level-wise index propagation: every iteration advances all rows
@@ -207,13 +285,31 @@ class FlatTree:
         leaf drop out.  Comparison semantics match the legacy per-row
         walk exactly (``<`` goes left, everything else — including NaN —
         goes right).
+
+        ``backend`` selects the engine per call: ``"numpy"`` (the walks
+        below), ``"native"`` (the compiled kernel, falling back to numpy
+        if unavailable), or ``"auto"``; None defers to
+        ``REPRO_TREE_BACKEND`` and defaults to auto.  Every backend
+        returns bit-identical leaf ids.
         """
         x = np.ascontiguousarray(np.asarray(x, dtype=float))
         if x.ndim != 2:
             raise ValueError("apply expects a 2-D matrix")
         n = x.shape[0]
         if self.feature[0] < 0:
+            self.backend_stats["numpy_rows"] += n
             return np.zeros(n, dtype=np.intp)
+        mode = _native.backend_mode(backend)
+        kernel = self._backend_kernel(x, mode)
+        if kernel is not None:
+            try:
+                out = kernel.apply(x)
+            except Exception:  # noqa: BLE001 - degrade, never fail serve
+                self._native_disable()
+            else:
+                self.backend_stats["native_rows"] += n
+                return out
+        self._count_numpy(n, mode)
         if self.max_depth <= 64:
             return self._apply_dense(x)
         return self._apply_compacting(x)
@@ -265,22 +361,39 @@ class FlatTree:
                 cur = cur[keep]
         return out
 
-    def leaf_values(self, x: np.ndarray) -> np.ndarray:
+    def leaf_values(self, x: np.ndarray,
+                    backend: Optional[str] = None) -> np.ndarray:
         """Value vector of the leaf each row lands in."""
-        return self.value[self.apply(x)]
+        return self.value[self.apply(x, backend=backend)]
 
-    def predict_class(self, x: np.ndarray) -> np.ndarray:
+    def predict_class(self, x: np.ndarray,
+                      backend: Optional[str] = None) -> np.ndarray:
         """Argmax class per row via the precomputed per-leaf argmax.
 
         Bit-identical to ``np.argmax(leaf_values(x), axis=1)`` (numpy's
         argmax tie-breaking is applied once per node at build time), but
-        skips the ``(n_rows, n_classes)`` intermediate entirely.
+        skips the ``(n_rows, n_classes)`` intermediate entirely.  The
+        native kernel bakes the same argmax table in, so its dedicated
+        class entry point skips even the Python-side gather.
         """
-        return self.value_argmax[self.apply(x)]
+        x = np.ascontiguousarray(np.asarray(x, dtype=float))
+        if x.ndim == 2 and self.feature[0] >= 0:
+            mode = _native.backend_mode(backend)
+            kernel = self._backend_kernel(x, mode)
+            if kernel is not None:
+                try:
+                    out = kernel.predict_class(x)
+                except Exception:  # noqa: BLE001 - degrade transparently
+                    self._native_disable()
+                else:
+                    self.backend_stats["native_rows"] += x.shape[0]
+                    return out
+        return self.value_argmax[self.apply(x, backend=backend)]
 
-    def decision_path_length(self, x: np.ndarray) -> np.ndarray:
+    def decision_path_length(self, x: np.ndarray,
+                             backend: Optional[str] = None) -> np.ndarray:
         """Comparisons needed per row (the deployment latency proxy)."""
-        return self.depths[self.apply(x)].astype(int)
+        return self.depths[self.apply(x, backend=backend)].astype(int)
 
     def visit_counts(self, x: np.ndarray) -> np.ndarray:
         """How many rows of ``x`` traverse each node (vectorized)."""

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.tree import native
 from repro.core.tree.cart import DecisionTreeClassifier, _BaseTree
 from repro.core.tree.codegen import tree_to_python
 from repro.core.tree.flat import FlatTree
@@ -256,6 +257,57 @@ class PolicyArtifact:
                 "n_features is required for non-tree policies"
             )
         return cls.from_teacher(policy, n_features, name=name)
+
+    # -- compiled backend ------------------------------------------------
+    def compile_native(self) -> bool:
+        """Eagerly compile/load this artifact's native kernel.
+
+        Called at ``ModelRegistry.publish`` time so compilation never
+        lands on the serve hot path.  Best-effort by contract: a
+        missing compiler or failed compile records the reason in
+        ``meta["kernel"]`` (the provenance the cluster handle ships to
+        workers) and returns False — the artifact keeps serving through
+        the numpy backend.  Never raises.
+        """
+        if self.flat is None:
+            return False
+        try:
+            if native.backend_mode() == "numpy":
+                self.meta["kernel"] = {"status": "disabled"}
+                return False
+            if self.flat._native is not None:
+                return True  # already attached (repeat publish)
+            kernel = self.flat.native_kernel(compile=True)
+        except Exception as exc:  # noqa: BLE001 - publish must survive
+            self.meta["kernel"] = {
+                "status": "unavailable", "error": str(exc),
+            }
+            return False
+        if kernel is None:
+            self.meta["kernel"] = {
+                "status": "unavailable",
+                "error": native.last_error() or "unknown",
+            }
+            return False
+        self.meta["kernel"] = {
+            "status": "ready",
+            "hash": kernel.hash,
+            "nodes": kernel.node_count,
+            **{k: kernel.provenance[k]
+               for k in ("compiler", "flags", "quantized", "kernel_api")
+               if k in kernel.provenance},
+        }
+        return True
+
+    def backend_stats(self) -> Optional[Dict[str, Any]]:
+        """Per-artifact backend view: rows served native vs numpy, the
+        fallback counter, and kernel provenance.  None for artifacts
+        without flat arrays (teachers/functions are numpy-only)."""
+        if self.flat is None:
+            return None
+        stats: Dict[str, Any] = dict(self.flat.backend_stats)
+        stats["kernel"] = dict(self.meta.get("kernel") or {}) or None
+        return stats
 
     # -- integrity -------------------------------------------------------
     def fingerprint(self) -> str:

@@ -159,12 +159,18 @@ class _ArtifactShipment:
     """
 
     __slots__ = ("handle", "shm", "pickled", "key", "segment",
-                 "wire_handle")
+                 "wire_handle", "kernel_hash")
 
     def __init__(self, handle, shm, pickled, cache_token: str) -> None:
         self.handle = handle
         self.shm = shm
         self.pickled = pickled
+        # Compiled-kernel provenance travels in the handle's meta; the
+        # hash is what keys the .so in every host's kernel cache.
+        self.kernel_hash = ""
+        if handle is not None:
+            kernel_meta = handle.meta.get("kernel") or {}
+            self.kernel_hash = kernel_meta.get("hash") or ""
         if handle is not None:
             self.key = handle.transport_hash
         elif pickled is not None:
@@ -188,6 +194,20 @@ class _ArtifactShipment:
         if self.shm is not None:
             return bytes(self.shm.buf)
         return self.pickled
+
+    def kernel_bytes(self) -> Optional[bytes]:
+        """The compiled kernel's ``.so`` bytes for shipping, if any.
+
+        Read from the parent's kernel cache at broadcast/replay time
+        (not pinned at publish) so late replays still find them; a
+        pruned or never-compiled kernel returns None and the remote
+        worker compiles for itself or serves numpy.
+        """
+        if not self.kernel_hash:
+            return None
+        from repro.core.tree import native
+
+        return native.kernel_bytes(self.kernel_hash)
 
 
 class _Shard:
@@ -824,6 +844,16 @@ class ShardedPolicyService:
         shm = None
         handle = None
         if artifact.flat is not None:
+            # Compile the native kernel *before* the handle snapshots
+            # ``meta`` — the kernel provenance (hash, compiler, flags)
+            # must ride to the workers, whose own publish-time compile
+            # hook then dlopens the cached binary instead of paying a
+            # second compile.  Best-effort: no compiler just means the
+            # fleet serves through numpy.
+            try:
+                artifact.compile_native()
+            except Exception:  # noqa: BLE001 - publish must not fail
+                pass
             handle, shm = share_artifact(artifact)
         try:
             version = self.registry.publish(name, artifact)
@@ -922,11 +952,15 @@ class ShardedPolicyService:
         cached = shard.transport.host_key in self._cache_hosts.get(
             shipment.key, ()
         )
+        # The kernel .so rides the same once-per-(host, key) discipline
+        # as the artifact bytes: a host that caches the arrays also
+        # caches the kernel (the first worker installed it).
         return WireArtifact(
             key=shipment.key,
             segment=shipment.segment,
             handle=shipment.wire_handle,
             payload=None if cached else shipment.wire_bytes(),
+            kernel=None if cached else shipment.kernel_bytes(),
         )
 
     def _note_shipped(self, shard: _Shard, shipment: _ArtifactShipment,
@@ -1543,7 +1577,10 @@ class ShardedPolicyService:
         exposes the router plus each shard's load signals (in-flight
         groups, EWMA service time), ``shm`` the resident artifact
         memory, and ``autoscale`` the autoscaler's event history when
-        one is configured.
+        one is configured.  ``backend`` reports which inference engine
+        served each model's rows — compiled native kernel vs numpy —
+        with the fallback counter that makes a silent degradation (no
+        compiler on a host, failed compile) observable in production.
         """
         shard_snaps = []
         for shard, snap in self._broadcast_tolerant("metrics", None):
@@ -1611,9 +1648,39 @@ class ShardedPolicyService:
             "routing": routing,
             "transport": transport_view,
             "shm": footprint,
+            "backend": self.backend_report(),
             "autoscale": (self.autoscaler.snapshot()
                           if self.autoscaler is not None else None),
         }
+
+    def backend_report(self) -> Dict[str, Any]:
+        """Fleet-wide native-vs-numpy serving view.
+
+        ``models`` sums each model's native/numpy/fallback row counters
+        across every live shard (a model is ``native`` only if *every*
+        reporting shard has a ready kernel — one host without a
+        compiler degrades the label, and its rows show up in
+        ``fallback_rows``); ``per_shard`` keeps the raw replica
+        reports for debugging which host degraded.
+        """
+        per_shard = {}
+        for shard, report in self._broadcast_tolerant(
+            "backend_report", None
+        ):
+            per_shard[str(shard.shard_id)] = report
+        models: Dict[str, Any] = {}
+        for report in per_shard.values():
+            for name, entry in report.items():
+                agg = models.setdefault(name, {
+                    "native_rows": 0, "numpy_rows": 0,
+                    "fallback_rows": 0, "backend": entry["backend"],
+                })
+                for key in ("native_rows", "numpy_rows",
+                            "fallback_rows"):
+                    agg[key] += int(entry.get(key, 0))
+                if entry["backend"] != agg["backend"]:
+                    agg["backend"] = "mixed"
+        return {"models": models, "per_shard": per_shard}
 
     def batching_state(self) -> Dict[str, Any]:
         """Current front-end microbatching posture (adaptive-delay

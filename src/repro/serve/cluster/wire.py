@@ -65,7 +65,7 @@ HEADER_SIZE = _HEADER.size
 OPS = (
     "publish", "publish_tombstone", "rollback_publish", "alias",
     "retire", "predict", "set_split", "clear_split", "metrics",
-    "shadow_report", "describe", "ping", "stop",
+    "shadow_report", "describe", "ping", "stop", "backend_report",
 )
 _OP_CODES = {op: index + 1 for index, op in enumerate(OPS)}
 _CODE_OPS = {code: op for op, code in _OP_CODES.items()}
@@ -109,12 +109,19 @@ class WireArtifact:
     ``handle`` describes the array layout for tree artifacts (its
     ``shm_name`` already points at ``segment``); ``handle=None`` means
     the segment holds one length-prefixed pickled artifact.
+    ``kernel`` piggybacks the compiled native kernel's ``.so`` bytes on
+    the same once-per-(host, key) discipline as ``payload``: shipped
+    only alongside the raw artifact bytes, installed into the host's
+    kernel cache (keyed by the kernel hash in ``handle.meta``), and
+    hash-verified at dlopen — a worker that can't use it just serves
+    through numpy.
     """
 
     key: str
     segment: str
     handle: Optional[ShmArtifactHandle]
     payload: Optional[bytes]
+    kernel: Optional[bytes] = None
 
 
 # -- typed value codec ----------------------------------------------------
@@ -221,6 +228,7 @@ def _encode_value(buf: bytearray, value: Any) -> None:
         buf.append(_T_WIREART)
         _encode_value(buf, (
             value.key, value.segment, value.handle, value.payload,
+            value.kernel,
         ))
     else:
         raw = pickle.dumps(value)
@@ -314,9 +322,9 @@ def _decode_value(view: memoryview, pos: int) -> tuple:
             ), pos
         if tag == _T_WIREART:
             fields, pos = _decode_value(view, pos)
-            key, segment, handle, payload = fields
+            key, segment, handle, payload, kernel = fields
             return WireArtifact(key=key, segment=segment, handle=handle,
-                                payload=payload), pos
+                                payload=payload, kernel=kernel), pos
         if tag == _T_PICKLE:
             size = _U64.unpack_from(view, pos)[0]
             pos += 8

@@ -27,7 +27,8 @@ asyncio TCP server for socket shards.
 Ops (see :data:`repro.serve.cluster.wire.OPS`): ``publish``,
 ``publish_tombstone``, ``rollback_publish``, ``alias``, ``retire``,
 ``predict``, ``set_split``, ``clear_split``, ``metrics``,
-``shadow_report``, ``describe``, ``ping``, ``stop``
+``shadow_report``, ``describe``, ``ping``, ``stop``,
+``backend_report`` (native-kernel vs numpy serving counters per model)
 (``publish_tombstone`` and ``describe`` exist for the elastic tier:
 replaying retired version slots into a replacement replica, and
 fingerprinting a replica's full control state for lockstep
@@ -73,7 +74,11 @@ from repro.serve.cluster.wire import (
     decode_frame,
     encode_reply,
 )
-from repro.serve.registry import ModelRegistry, control_state_digest
+from repro.serve.registry import (
+    ModelRegistry,
+    control_state_digest,
+    registry_backend_report,
+)
 from repro.serve.server import ServerMetrics
 from repro.serve.splitter import TrafficSplitter, mirror_shadow, split_state
 
@@ -299,6 +304,19 @@ class WorkerCore:
             if wire.payload is not None:
                 filler = create_filled_segment(wire.segment, wire.payload)
                 filler.close()
+            if wire.kernel is not None:
+                # Shipped compiled kernel: drop it into this host's
+                # kernel cache so the publish-time compile hook dlopens
+                # it instead of recompiling (best effort — a bad drop
+                # just means the worker compiles or serves numpy).
+                khash = (wire.handle.meta.get("kernel") or {}).get("hash")
+                if khash:
+                    try:
+                        from repro.core.tree import native
+
+                        native.install_kernel_bytes(khash, wire.kernel)
+                    except Exception:  # noqa: BLE001 - numpy fallback
+                        pass
             return load_shared_artifact(
                 wire.handle, private_tracker=self.private_tracker
             )
@@ -394,6 +412,8 @@ class WorkerCore:
             return None
         if op == "metrics":
             return metrics.snapshot()
+        if op == "backend_report":
+            return registry_backend_report(registry)
         if op == "shadow_report":
             return splitter.shadow_report()
         if op == "describe":

@@ -89,6 +89,17 @@ class ModelRegistry:
             raise ValueError("model names must be non-empty and free of '@'")
         if not isinstance(artifact, PolicyArtifact):
             raise TypeError("only PolicyArtifact instances can be published")
+        # Eager native-kernel compile, outside the lock (a compile is
+        # ~100ms; resolves must not stall behind it).  Publish time is
+        # the one moment compilation is allowed to cost anything — the
+        # serve hot path only ever dlopens a cached kernel or falls
+        # back to numpy.  Best-effort: compile_native never raises, and
+        # the extra guard keeps publish alive even if it somehow does.
+        if artifact.flat is not None:
+            try:
+                artifact.compile_native()
+            except Exception:  # noqa: BLE001 - publish must not fail
+                pass
         with self._lock:
             if name in self._aliases:
                 raise ValueError(f"{name!r} is an alias, not a model name")
@@ -338,3 +349,64 @@ class ModelRegistry:
             return True
         except KeyError:
             return False
+
+
+def registry_backend_report(registry: ModelRegistry) -> Dict[str, Any]:
+    """Per-model backend view over every live version in ``registry``.
+
+    Maps model name -> summed native/numpy/fallback row counters plus a
+    per-version breakdown (stats + kernel provenance).  Models whose
+    artifacts carry no flat arrays (teachers, plain functions) report
+    ``backend: "numpy-only"``.  Shared by :meth:`PolicyServer
+    <repro.serve.server.PolicyServer>` and the cluster workers'
+    ``backend_report`` op, so the single-process and sharded views
+    aggregate identically.
+    """
+    report: Dict[str, Any] = {}
+    for name in registry.names():
+        try:
+            versions = registry.live_versions(name)
+        except KeyError:  # pragma: no cover - names() raced a delete
+            continue
+        entry: Dict[str, Any] = {
+            "native_rows": 0, "numpy_rows": 0, "fallback_rows": 0,
+            "versions": {},
+        }
+        tree_backed = False
+        kernel_ready = False
+        kernel_disabled = False
+        for version in versions:
+            try:
+                artifact = registry.resolve(f"{name}@{version}").artifact
+            except KeyError:  # retired between the two reads
+                continue
+            stats = artifact.backend_stats()
+            if stats is None:
+                entry["versions"][str(version)] = None
+                continue
+            tree_backed = True
+            kernel = stats.get("kernel") or {}
+            kernel_ready = kernel_ready or kernel.get("status") == "ready"
+            kernel_disabled = (
+                kernel_disabled or kernel.get("status") == "disabled"
+            )
+            entry["versions"][str(version)] = stats
+            for key in ("native_rows", "numpy_rows", "fallback_rows"):
+                entry[key] += int(stats.get(key, 0))
+        # The label answers "what serves this model's traffic":
+        # numpy-only (no flat arrays to compile), native (a compiled
+        # kernel is attached), numpy (the operator pinned
+        # REPRO_TREE_BACKEND=numpy at publish — by choice, not
+        # degradation), or numpy-fallback (tree-backed, wanted a
+        # kernel, could not get one — the row counters say how much
+        # traffic that cost).
+        if not tree_backed:
+            entry["backend"] = "numpy-only"
+        elif kernel_ready:
+            entry["backend"] = "native"
+        elif kernel_disabled:
+            entry["backend"] = "numpy"
+        else:
+            entry["backend"] = "numpy-fallback"
+        report[name] = entry
+    return report

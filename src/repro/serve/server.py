@@ -415,6 +415,25 @@ class PolicyServer:
         """Per-model metrics snapshot (see :class:`ServerMetrics`)."""
         return self._metrics.snapshot()
 
+    def backend_report(self) -> Dict[str, Any]:
+        """Which engine serves each model: native kernel vs numpy.
+
+        ``models`` maps every registered model to its summed
+        native/numpy/fallback row counters, per-version breakdown, and
+        kernel provenance; ``native`` is the process-wide compile/cache
+        counter snapshot (:func:`repro.core.tree.native.native_stats`),
+        where a silent degradation — no compiler, failed compile,
+        corrupt cache — shows up as ``fallback_rows`` plus a
+        ``last_error``.
+        """
+        from repro.core.tree import native
+        from repro.serve.registry import registry_backend_report
+
+        return {
+            "models": registry_backend_report(self.registry),
+            "native": native.native_stats(),
+        }
+
     def batching_state(self) -> Dict[str, Any]:
         """Current microbatching posture (adaptive-delay telemetry)."""
         return batching_state(self.delay, self._batcher.max_delay_s)

@@ -187,6 +187,35 @@ class TestShardedService:
         assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"]
         assert stats["throughput_rps"] > 0
 
+    def test_backend_report_spans_shards(self, service, toy):
+        import os
+
+        from repro.core.tree import native
+
+        _, x = toy
+        service.predict("toy", x)
+        report = service.cluster_metrics()["backend"]
+        assert set(report["per_shard"]) == {"0", "1"}
+        toy_view = report["models"]["toy"]
+        served = toy_view["native_rows"] + toy_view["numpy_rows"]
+        assert served >= x.shape[0]
+        # Workers inherit REPRO_TREE_BACKEND, so what the report must
+        # say depends on how this suite was launched: pinned to numpy
+        # it is an operator choice (label "numpy", zero fallbacks);
+        # otherwise a toolchain means compiled kernels everywhere and
+        # no toolchain means every row is a *visible* fallback.  In
+        # all three cases: no exceptions, full row accounting.
+        if os.environ.get("REPRO_TREE_BACKEND") == "numpy":
+            assert toy_view["backend"] == "numpy"
+            assert toy_view["fallback_rows"] == 0
+        elif native.find_compiler() is not None:
+            assert toy_view["backend"] == "native"
+            assert toy_view["fallback_rows"] == 0
+            assert toy_view["native_rows"] >= x.shape[0]
+        else:
+            assert toy_view["backend"] == "numpy-fallback"
+            assert toy_view["fallback_rows"] >= x.shape[0]
+
     def test_retire_propagates_to_shards(self, toy, transport):
         tree, x = toy
         artifact = PolicyArtifact.from_tree(tree, name="m")

@@ -136,6 +136,16 @@ class TestValueCodec:
         assert (back.key, back.segment, back.handle, back.payload) == (
             wire.key, wire.segment, wire.handle, wire.payload
         )
+        assert back.kernel is None  # default: no kernel shipped
+
+    def test_wire_artifact_kernel_bytes_roundtrip(self):
+        """Shipped compiled kernels ride the artifact frame verbatim."""
+        blob = bytes(range(256)) * 3  # arbitrary binary, NUL included
+        wire = WireArtifact(key="k" * 16, segment="rhc_ab_k",
+                            handle=None, payload=b"p", kernel=blob)
+        back = decode_value(encode_value(wire))
+        assert back.kernel == blob
+        assert back.payload == b"p"
 
 
 class TestFrames:
