@@ -225,3 +225,86 @@ def test_bench_serve_throughput_and_scenarios():
         f"single-request loop ({batched.throughput_rps:.0f} vs "
         f"{serial.throughput_rps:.0f} req/s)"
     )
+
+
+# Telemetry must be close to free: anything past this is a wiring bug
+# (a lock on the hot path, rendering per request), not noise.
+MAX_TELEMETRY_SLOWDOWN = 2.0
+
+
+def test_bench_serve_observability():
+    """Cost of the telemetry spine at three postures.
+
+    The same microbatched load runs with (a) the hub mirror detached —
+    the bare pre-observability hot path, (b) metrics only (the default
+    posture: every request feeds the labeled hub series), and
+    (c) metrics plus 1%-sampled tracing.  The record captures the
+    relative overheads; the asserted floor is catastrophic-only
+    (``MAX_TELEMETRY_SLOWDOWN``) because shared runners cannot resolve
+    single-digit percents — the <5% metrics-only target is a recorded
+    claim, checked on quiet hardware.
+    """
+    tree, abr_states = _distilled_abr()
+    artifact = PolicyArtifact.from_tree(tree, name="abr-distilled")
+    pool = abr_states[
+        np.random.default_rng(1).integers(0, len(abr_states), 8192)
+    ]
+
+    def run(trace_sample, mirror=True, scenario="obs"):
+        with _backend("numpy"), PolicyServer(
+            max_batch=N_CONCURRENT_CLIENTS, max_delay_s=1e-3,
+            trace_sample=trace_sample,
+        ) as server:
+            if not mirror:
+                # Detach the hub mirror to recover the bare seed path.
+                # Internal knobs on purpose: production always mirrors,
+                # so "telemetry off" exists only as this baseline.
+                server._metrics._h_requests = None
+                server._metrics._h_errors = None
+                server._metrics._h_latency = None
+                server._batcher._m_flushes = None
+                server._batcher._m_flush_size = None
+            server.publish("abr", artifact)
+            server.predict("abr", pool[:64])  # warm-up
+            report = run_load(
+                server, "abr", pool,
+                n_clients=N_CONCURRENT_CLIENTS, repeats=BATCHED_PASSES,
+                scenario=scenario,
+            )
+            traced = server.tracer.snapshot()["finished"]
+        assert report.n_errors == 0
+        return report, traced
+
+    off, _ = run(0.0, mirror=False, scenario="obs-off")
+    metrics_only, _ = run(0.0, scenario="obs-metrics")
+    traced, n_traces = run(0.01, scenario="obs-traced")
+
+    metrics_loss = 1.0 - metrics_only.throughput_rps / off.throughput_rps
+    trace_loss = 1.0 - traced.throughput_rps / off.throughput_rps
+    record = {
+        "benchmark": "serve-observability",
+        "n_clients": N_CONCURRENT_CLIENTS,
+        "telemetry_off_rps": off.throughput_rps,
+        "metrics_only_rps": metrics_only.throughput_rps,
+        "traced_1pct_rps": traced.throughput_rps,
+        "metrics_overhead_frac": metrics_loss,
+        "traced_1pct_overhead_frac": trace_loss,
+        "traces_recorded": int(n_traces),
+        "metrics_p99_ms": metrics_only.latency_p99_ms,
+        "telemetry_off_p99_ms": off.latency_p99_ms,
+    }
+    record_run(BENCH_PATH, record)
+
+    if REPORT_ONLY:
+        return
+    assert n_traces > 0, "1% sampling recorded no traces under load"
+    assert (off.throughput_rps
+            <= metrics_only.throughput_rps * MAX_TELEMETRY_SLOWDOWN), (
+        f"metrics mirror halved throughput: {metrics_only.throughput_rps:.0f}"
+        f" vs {off.throughput_rps:.0f} req/s bare"
+    )
+    assert (off.throughput_rps
+            <= traced.throughput_rps * MAX_TELEMETRY_SLOWDOWN), (
+        f"1% tracing halved throughput: {traced.throughput_rps:.0f}"
+        f" vs {off.throughput_rps:.0f} req/s bare"
+    )

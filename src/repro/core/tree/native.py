@@ -125,6 +125,36 @@ def native_stats() -> Dict[str, Any]:
         return out
 
 
+def snapshot() -> Dict[str, int]:
+    """Counters-only snapshot (no ``last_error``), suitable as the
+    baseline for :func:`delta`.
+
+    The counters are process-global and cumulative — back-to-back
+    benchmarks or tests reading :func:`native_stats` directly see each
+    other's compiles and fallbacks.  Take a ``snapshot()`` before the
+    measured section and ``delta(before)`` after to isolate it without
+    the destructive :func:`reset_native_stats`.
+    """
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def delta(since: Dict[str, int]) -> Dict[str, int]:
+    """Per-key counter increments since a :func:`snapshot` baseline.
+
+    Keys unseen in ``since`` count from zero; keys that have not moved
+    are omitted, so an empty dict means "nothing happened".
+    """
+    with _STATS_LOCK:
+        current = dict(_STATS)
+    out: Dict[str, int] = {}
+    for key, value in current.items():
+        moved = value - since.get(key, 0)
+        if moved:
+            out[key] = moved
+    return out
+
+
 def last_error() -> Optional[str]:
     with _STATS_LOCK:
         return _LAST_ERROR

@@ -1,0 +1,48 @@
+"""Unified observability spine for the serving stack.
+
+Metis's pitch is making opaque DL-driven systems interpretable; this
+package applies the same standard to the serving system itself.  Before
+it existed every tier grew its own ad-hoc report dict
+(``ServerMetrics.snapshot``, ``cluster_metrics()``,
+``native.native_stats()``, ``shadow_report``) with no shared schema, no
+time dimension, and no way to answer "where did this request's 4 ms
+go?" across batcher → router → wire → worker → kernel.  Three modules
+close those gaps with zero new dependencies:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsHub`, a process-wide
+  registry of typed instruments (monotonic counters, gauges,
+  log-bucketed streaming histograms) carrying labels and rendered in
+  Prometheus text exposition format.  The existing report dicts are
+  thin views over it;
+* :mod:`repro.obs.trace` — :class:`Tracer`, sampled per-request
+  tracing: a trace id minted at ``submit`` rides the microbatcher's
+  flush groups and the cluster wire frames, and the finished trace
+  decomposes end-to-end latency into queue-wait / batch-assembly /
+  wire / worker-service / kernel spans, exportable as Chrome
+  ``trace_event`` JSON for flamegraph viewing;
+* :mod:`repro.obs.exporter` — :class:`MetricsExporter`, an opt-in
+  ``http.server`` thread exposing ``/metrics``, ``/traces``, and
+  ``/healthz`` on both serving tiers.
+"""
+
+from repro.obs.exporter import MetricsExporter
+from repro.obs.metrics import (
+    LogHistogram,
+    MetricsHub,
+    get_hub,
+    render_text,
+    with_labels,
+)
+from repro.obs.trace import Span, TraceRecord, Tracer
+
+__all__ = [
+    "MetricsHub",
+    "LogHistogram",
+    "get_hub",
+    "render_text",
+    "with_labels",
+    "Tracer",
+    "Span",
+    "TraceRecord",
+    "MetricsExporter",
+]

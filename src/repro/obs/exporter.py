@@ -1,0 +1,145 @@
+"""Zero-dependency HTTP exporter for metrics and traces.
+
+A :class:`MetricsExporter` is a daemon :class:`ThreadingHTTPServer`
+serving three endpoints:
+
+* ``GET /metrics``  — Prometheus text exposition (``text/plain``),
+  rendered fresh per scrape from the provided callback so collectors
+  run and gauges are current;
+* ``GET /traces``   — finished sampled traces as JSON; pass
+  ``?format=chrome`` for Chrome ``trace_event`` JSON, ``?limit=N`` to
+  cap the count;
+* ``GET /healthz``  — liveness probe, ``200 ok``.
+
+Opt-in by construction: the serving tiers only start one when given
+``exporter_port`` (0 picks an ephemeral port — the norm in tests; read
+the bound port back from :attr:`MetricsExporter.port`).  The server
+binds ``127.0.0.1`` by default; exposing it wider is an explicit
+caller decision.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+__all__ = ["MetricsExporter"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The exporter handler is stateless; all state lives on the server.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # never spam the serving process's stderr
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        exporter: "MetricsExporter" = self.server.exporter  # type: ignore[attr-defined]
+        try:
+            if route == "/metrics":
+                body = exporter.render_metrics().encode()
+                self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                           body)
+            elif route == "/traces":
+                query = parse_qs(parsed.query)
+                limit = None
+                if "limit" in query:
+                    limit = max(0, int(query["limit"][0]))
+                fmt = query.get("format", ["json"])[0]
+                payload = exporter.render_traces(limit=limit, chrome=(
+                    fmt == "chrome"))
+                self._send(200, "application/json",
+                           json.dumps(payload).encode())
+            elif route == "/healthz":
+                self._send(200, "text/plain; charset=utf-8", b"ok\n")
+            else:
+                self._send(404, "text/plain; charset=utf-8",
+                           b"not found\n")
+        except Exception as exc:  # noqa: BLE001 - scrape must not kill server
+            detail = f"exporter error: {type(exc).__name__}: {exc}\n"
+            try:
+                self._send(500, "text/plain; charset=utf-8",
+                           detail.encode())
+            except Exception:  # noqa: BLE001 - client already gone
+                pass
+
+
+class MetricsExporter:
+    """Serve ``/metrics``, ``/traces``, ``/healthz`` from a daemon thread.
+
+    ``render_metrics`` returns the exposition page (callers typically
+    pass ``hub.render`` or a closure merging per-shard snapshots);
+    ``tracer`` is optional — without one, ``/traces`` serves an empty
+    list.  Construction binds the socket but :meth:`start` spins up
+    the serving thread, so a caller can read :attr:`port` (and
+    :attr:`url`) before any request is served.
+    """
+
+    def __init__(
+        self,
+        render_metrics: Callable[[], str],
+        tracer: Optional[Any] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render_metrics = render_metrics
+        self._tracer = tracer
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.exporter = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self.host = self._server.server_address[0]
+        self.port = int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def render_metrics(self) -> str:
+        return self._render_metrics()
+
+    def render_traces(self, limit: Optional[int] = None,
+                      chrome: bool = False) -> Any:
+        if self._tracer is None:
+            return {"traceEvents": []} if chrome else {"traces": []}
+        if chrome:
+            return self._tracer.chrome_trace(limit)
+        return {
+            "traces": self._tracer.traces(limit),
+            **self._tracer.snapshot(),
+        }
+
+    def start(self) -> "MetricsExporter":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-obs-exporter",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

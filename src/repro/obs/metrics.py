@@ -1,0 +1,486 @@
+"""Process-wide metrics hub: typed instruments behind one schema.
+
+Design constraints, in order:
+
+* **dependency-free** — Prometheus text exposition format is a stable,
+  trivially rendered line protocol; no client library is needed to
+  emit it, and any scraper (or ``curl``) can read it;
+* **cheap on the hot path** — recording into a counter or histogram is
+  a dict lookup plus an integer add under one small lock; percentile
+  math happens only at read time;
+* **percentiles that never freeze** — latencies stream into
+  *log-bucketed* histograms (:class:`LogHistogram`): constant memory,
+  any number of observations, quantiles estimated by interpolating
+  the cumulative bucket counts.  This is what fixes the
+  ``ServerMetrics`` retention-cap freeze — a histogram has no cap to
+  hit;
+* **mergeable snapshots** — a hub serializes to a plain-dict
+  :meth:`MetricsHub.snapshot` that survives the cluster wire codec,
+  and :func:`render_text` renders any number of snapshots into one
+  exposition page.  The sharded service ships worker snapshots over
+  the control channel (``metrics_snapshot`` op) and renders them
+  under per-shard labels next to its own.
+
+Instrument naming scheme (see ``docs/observability.md``): every series
+is ``repro_<subsystem>_<quantity>[_total|_seconds|_bytes]`` with labels
+for the dimension that varies (``model``, ``shard``, ``backend``,
+``stage``, ``kind``).  Counters are monotonic and end in ``_total``;
+gauges are point-in-time readings; histograms expose
+``_bucket``/``_sum``/``_count`` triplets in the standard Prometheus
+shape.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: Default log-bucket boundaries for latency-like quantities (seconds):
+#: 1 µs to ~67 s doubling per bucket — 4 decades in 27 buckets, fine
+#: enough that interpolated percentiles land within a factor of 2 and
+#: in practice (smooth latency distributions) within a few percent.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = tuple(
+    1e-6 * 2.0 ** i for i in range(27)
+)
+
+#: Default buckets for size-like quantities (batch sizes, queue depths).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = tuple(
+    float(2 ** i) for i in range(15)
+)
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_labels(labels: Iterable[Tuple[str, str]]) -> str:
+    pairs = [f'{k}="{_escape(v)}"' for k, v in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class LogHistogram:
+    """Streaming histogram over fixed log-spaced bucket boundaries.
+
+    Standalone by design (no hub required): :class:`ServerMetrics`
+    embeds one per model so snapshot percentiles stop freezing at the
+    old retention cap, and the hub wraps it for labeled families.
+
+    ``boundaries[i]`` is the *inclusive upper* edge of bucket ``i``
+    (Prometheus ``le`` semantics); one implicit overflow bucket catches
+    everything larger.  ``observe`` costs one bisect + one add;
+    ``observe_many`` vectorizes with ``np.searchsorted``.  Not
+    thread-safe on its own — callers (the hub, ``ServerMetrics``)
+    already serialize writes under their locks.
+    """
+
+    __slots__ = ("boundaries", "counts", "total", "sum", "min", "max")
+
+    def __init__(
+        self, boundaries: Iterable[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        bounds = [float(b) for b in boundaries]
+        if not bounds or sorted(bounds) != bounds:
+            raise ValueError("boundaries must be non-empty and ascending")
+        self.boundaries: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.total += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        arr = np.asarray(list(values) if not isinstance(
+            values, np.ndarray) else values, dtype=float)
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self.boundaries, arr, side="left")
+        bins = np.bincount(idx, minlength=len(self.counts))
+        for i, count in enumerate(bins):
+            if count:
+                self.counts[i] += int(count)
+        self.total += int(arr.size)
+        self.sum += float(arr.sum())
+        low, high = float(arr.min()), float(arr.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) by linear interpolation of
+        the cumulative counts inside the target bucket.
+
+        0.0 with no observations.  Within a bucket the estimate
+        interpolates between the bucket's edges (the lowest bucket
+        interpolates up from the observed minimum, the overflow bucket
+        from its lower edge to the observed maximum), clamped to the
+        observed ``[min, max]`` so an estimate can never leave the
+        data's range — which also keeps quantiles monotone in ``q``.
+        """
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        cum = 0.0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cum + count >= target:
+                fraction = (target - cum) / count
+                lo = self.boundaries[i - 1] if i > 0 else min(
+                    self.min, self.boundaries[0]
+                )
+                hi = (self.boundaries[i] if i < len(self.boundaries)
+                      else self.max)
+                estimate = lo + (hi - lo) * fraction
+                return float(min(max(estimate, self.min), self.max))
+            cum += count
+        return float(self.max)
+
+    def copy(self) -> "LogHistogram":
+        """Cheap snapshot copy (bucket counts + scalars) so readers can
+        do quantile math outside the writer's lock."""
+        clone = LogHistogram.__new__(LogHistogram)
+        clone.boundaries = self.boundaries
+        clone.counts = list(self.counts)
+        clone.total = self.total
+        clone.sum = self.sum
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    def state(self) -> Dict[str, Any]:
+        """Wire-friendly dump (used by hub snapshots and merging)."""
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min if self.total else None,
+            "max": self.max if self.total else None,
+        }
+
+
+class _Instrument:
+    """One concrete labeled series of a family."""
+
+    __slots__ = ("family", "labels")
+
+    def __init__(self, family: "_Family", labels: Dict[str, str]) -> None:
+        self.family = family
+        self.labels = labels
+
+
+class _Counter(_Instrument):
+    __slots__ = ("value",)
+
+    def __init__(self, family, labels) -> None:
+        super().__init__(family, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; inc() must be >= 0")
+        with self.family.hub._lock:
+            self.value += amount
+
+
+class _Gauge(_Instrument):
+    __slots__ = ("value",)
+
+    def __init__(self, family, labels) -> None:
+        super().__init__(family, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self.family.hub._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class _Histogram(_Instrument):
+    __slots__ = ("hist",)
+
+    def __init__(self, family, labels) -> None:
+        super().__init__(family, labels)
+        self.hist = LogHistogram(family.buckets)
+
+    def observe(self, value: float) -> None:
+        with self.family.hub._lock:
+            self.hist.observe(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        with self.family.hub._lock:
+            self.hist.observe_many(values)
+
+    def quantile(self, q: float) -> float:
+        with self.family.hub._lock:
+            return self.hist.quantile(q)
+
+
+class _Family:
+    """A named metric family: HELP/TYPE plus its labeled children."""
+
+    __slots__ = ("hub", "name", "help", "kind", "buckets", "children")
+
+    def __init__(self, hub: "MetricsHub", name: str, help_text: str,
+                 kind: str, buckets: Optional[Iterable[float]]) -> None:
+        self.hub = hub
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.children: Dict[tuple, _Instrument] = {}
+
+    def labels(self, **labels: str) -> Any:
+        key = _label_key({k: str(v) for k, v in labels.items()})
+        with self.hub._lock:
+            child = self.children.get(key)
+            if child is None:
+                clean = dict(key)
+                if self.kind == "counter":
+                    child = _Counter(self, clean)
+                elif self.kind == "gauge":
+                    child = _Gauge(self, clean)
+                else:
+                    child = _Histogram(self, clean)
+                self.children[key] = child
+        return child
+
+
+class MetricsHub:
+    """Registry of typed metric families with Prometheus rendering.
+
+    One hub per serving tier instance (``PolicyServer`` /
+    ``ShardedPolicyService`` / each cluster worker) keeps tests and
+    co-hosted servers isolated; :func:`get_hub` provides the
+    process-wide hub for genuinely global counters (the native-kernel
+    compile/cache story).
+
+    ``register_collector`` adds a zero-argument callback invoked right
+    before every render/snapshot — the idiom for *pull* metrics that
+    are cheap to read but wasteful to push (queue depth, adaptive-delay
+    fill, shard EWMAs, shadow agreement): the callback reads the live
+    object and ``set``s gauges.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- instrument constructors ------------------------------------------
+    def _family(self, name: str, help_text: str, kind: str,
+                buckets: Optional[Iterable[float]] = None) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(self, name, help_text, kind, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family.kind}, not {kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "") -> _Family:
+        """Monotonic counter family (Prometheus type ``counter``)."""
+        return self._family(name, help_text, "counter")
+
+    def gauge(self, name: str, help_text: str = "") -> _Family:
+        """Point-in-time gauge family (Prometheus type ``gauge``)."""
+        return self._family(name, help_text, "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> _Family:
+        """Log-bucketed streaming histogram family."""
+        return self._family(name, help_text, "histogram", buckets)
+
+    def register_collector(self, collector: Callable[[], None]) -> None:
+        """Run ``collector()`` before every render/snapshot (pull-style
+        gauges).  A raising collector is dropped from that render, not
+        fatal — observability must never take the server down."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- reading -----------------------------------------------------------
+    def _collect(self) -> None:
+        for collector in list(self._collectors):
+            try:
+                collector()
+            except Exception:  # noqa: BLE001 - never fail a scrape
+                pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict dump of every family and series.
+
+        The schema is the merge/render interchange format: it survives
+        the cluster wire codec, and :func:`render_text` accepts any
+        number of snapshots.  ``{"families": [{name, help, kind,
+        series: [{labels, ...state}]}]}``.
+        """
+        self._collect()
+        families = []
+        with self._lock:
+            for family in self._families.values():
+                series = []
+                for child in family.children.values():
+                    entry: Dict[str, Any] = {"labels": dict(child.labels)}
+                    if family.kind == "histogram":
+                        entry.update(child.hist.state())
+                    else:
+                        entry["value"] = child.value
+                    series.append(entry)
+                families.append({
+                    "name": family.name,
+                    "help": family.help,
+                    "kind": family.kind,
+                    "series": series,
+                })
+        return {"families": families}
+
+    def render(self) -> str:
+        """This hub alone, in Prometheus text exposition format."""
+        return render_text(self.snapshot())
+
+
+# -- module-global hub -----------------------------------------------------
+_GLOBAL_HUB: Optional[MetricsHub] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_hub() -> MetricsHub:
+    """The process-wide hub (lazily created) for cross-server counters
+    such as the native-kernel compile/cache/fallback story."""
+    global _GLOBAL_HUB
+    with _GLOBAL_LOCK:
+        if _GLOBAL_HUB is None:
+            _GLOBAL_HUB = MetricsHub()
+        return _GLOBAL_HUB
+
+
+def reset_hub() -> None:
+    """Test helper: discard the process-wide hub (and its collectors)."""
+    global _GLOBAL_HUB
+    with _GLOBAL_LOCK:
+        _GLOBAL_HUB = None
+
+
+# -- snapshot algebra ------------------------------------------------------
+def with_labels(snapshot: Dict[str, Any],
+                extra: Dict[str, str]) -> Dict[str, Any]:
+    """A copy of ``snapshot`` with ``extra`` labels stamped onto every
+    series — how the cluster parent scopes worker snapshots to
+    ``shard="N"`` before rendering them next to its own."""
+    out = {"families": []}
+    for family in snapshot.get("families", []):
+        series = []
+        for entry in family.get("series", []):
+            merged = dict(entry)
+            merged["labels"] = {**entry.get("labels", {}),
+                                **{k: str(v) for k, v in extra.items()}}
+            series.append(merged)
+        out["families"].append({**family, "series": series})
+    return out
+
+
+def render_text(*snapshots: Dict[str, Any]) -> str:
+    """Render one or more hub snapshots as one Prometheus text page.
+
+    Families with the same name merge under a single HELP/TYPE header
+    (first snapshot's help text wins); duplicate series (same name and
+    identical label set) keep the first occurrence — the exposition
+    format forbids duplicates, and ``tools/check_metrics.py`` lints
+    for them.
+    """
+    order: List[str] = []
+    merged: Dict[str, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for family in snapshot.get("families", []):
+            name = family["name"]
+            if name not in merged:
+                merged[name] = {"help": family.get("help", ""),
+                                "kind": family["kind"], "series": []}
+                order.append(name)
+            merged[name]["series"].extend(family.get("series", []))
+    lines: List[str] = []
+    for name in order:
+        family = merged[name]
+        kind = family["kind"]
+        lines.append(f"# HELP {name} {family['help'] or name}")
+        lines.append(f"# TYPE {name} {kind}")
+        seen: set = set()
+        for entry in family["series"]:
+            labels = entry.get("labels", {})
+            key = _label_key(labels)
+            if key in seen:
+                continue
+            seen.add(key)
+            base = sorted(labels.items())
+            if kind == "histogram":
+                cum = 0
+                boundaries = entry["boundaries"]
+                for edge, count in zip(boundaries, entry["counts"]):
+                    cum += count
+                    le = base + [("le", _format_value(edge))]
+                    lines.append(
+                        f"{name}_bucket{_format_labels(le)} {cum}"
+                    )
+                cum += entry["counts"][len(boundaries)]
+                inf = base + [("le", "+Inf")]
+                lines.append(f"{name}_bucket{_format_labels(inf)} {cum}")
+                lines.append(
+                    f"{name}_sum{_format_labels(base)} "
+                    f"{_format_value(entry['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(base)} {entry['total']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_format_labels(base)} "
+                    f"{_format_value(entry['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -90,7 +90,7 @@ class ServeResult(NamedTuple):
 
 
 class _Request:
-    __slots__ = ("model", "state", "future", "enqueued", "row")
+    __slots__ = ("model", "state", "future", "enqueued", "row", "trace")
 
     def __init__(self, model: str, state: Any) -> None:
         self.model = model
@@ -100,6 +100,9 @@ class _Request:
         #: Validated float row, captured at flush time so shadow
         #: mirroring does not re-validate.
         self.row: Optional[np.ndarray] = None
+        #: Sampled :class:`repro.obs.trace.TraceRecord`, or None for
+        #: the (vast majority of) unsampled requests.
+        self.trace: Optional[Any] = None
 
 
 _STOP = object()
@@ -122,6 +125,12 @@ class MicroBatcher:
             of ``max_delay_s``) and is fed every flush's fill level.
         splitter: optional :class:`TrafficSplitter` consulted once per
             flush for canary routing and shadow mirroring.
+        tracer: optional :class:`repro.obs.trace.Tracer`; sampled
+            requests get a trace minted at ``submit`` and finished at
+            completion.  Unsampled requests pay one float compare.
+        hub: optional :class:`repro.obs.metrics.MetricsHub`; when
+            present the batcher records flush counts and flush-size
+            distribution into it.
     """
 
     def __init__(
@@ -132,6 +141,8 @@ class MicroBatcher:
         max_delay_s: float = 2e-3,
         delay: Optional[AdaptiveDelay] = None,
         splitter: Optional[TrafficSplitter] = None,
+        tracer: Optional[Any] = None,
+        hub: Optional[Any] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -143,6 +154,22 @@ class MicroBatcher:
         self.max_delay_s = max_delay_s
         self.delay = delay
         self.splitter = splitter
+        self.tracer = tracer
+        self.hub = hub
+        if hub is not None:
+            from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+            self._m_flushes = hub.counter(
+                "repro_batcher_flushes_total",
+                "Batches flushed by the microbatcher",
+            ).labels()
+            self._m_flush_size = hub.histogram(
+                "repro_batcher_flush_size",
+                "Requests gathered per flush",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            ).labels()
+        else:
+            self._m_flushes = None
+            self._m_flush_size = None
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._closed = False
         # Guards the closed-flag/enqueue pair: submit must win or lose
@@ -165,6 +192,10 @@ class MicroBatcher:
         """Enqueue one request; the returned future resolves to a
         :class:`ServeResult` (never an exception — errors are data)."""
         request = _Request(model=model, state=state)
+        if self.tracer is not None and self.tracer.enabled:
+            request.trace = self.tracer.maybe_start(
+                model, now=request.enqueued
+            )
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError(
@@ -272,6 +303,7 @@ class MicroBatcher:
             self._flush(leftover[start:start + self.max_batch])
 
     def _flush(self, batch: List[_Request]) -> None:
+        self._note_flush(batch)
         by_ref: Dict[str, List[_Request]] = {}
         for request in batch:
             by_ref.setdefault(request.model, []).append(request)
@@ -411,6 +443,7 @@ class MicroBatcher:
             if not valid:
                 return
             x = x[finite]
+        t_kernel = time.perf_counter()
         try:
             out = np.asarray(artifact.predict_batch(x))
         except Exception as exc:  # noqa: BLE001 - boundary must survive
@@ -420,6 +453,7 @@ class MicroBatcher:
                     ERR_PREDICT, f"{type(exc).__name__}: {exc}",
                 )
             return
+        kernel_s = time.perf_counter() - t_kernel
         if out.shape[:1] != (len(valid),):
             for request in valid:
                 self._complete_error(
@@ -440,12 +474,50 @@ class MicroBatcher:
             actions = [np.array(row) for row in out]
         name, version = resolved.name, resolved.version
         for request, action, latency in zip(valid, actions, latencies):
+            # In-process tier: service is the kernel bracket itself, so
+            # the decomposition is queue_wait / batch_assembly / kernel.
+            self._finish_trace(
+                request, service_s=kernel_s, kernel_s=kernel_s,
+                batch_size=len(valid), now=now,
+            )
             request.future.set_result(ServeResult(
                 ok=True, action=action, model=name, version=version,
                 latency_s=latency,
             ))
 
+    def _note_flush(self, batch: List[_Request]) -> None:
+        """Per-flush bookkeeping shared by every tier: hub flush
+        instruments and the queue-wait boundary stamp on sampled
+        traces (queue wait ends when the flush picks the request up)."""
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
+            self._m_flush_size.observe(len(batch))
+        now = time.perf_counter()
+        for request in batch:
+            if request.trace is not None:
+                request.trace.mark_flush(now)
+
     # -- completion ------------------------------------------------------
+
+    def _finish_trace(
+        self,
+        request: _Request,
+        *,
+        service_s: float = 0.0,
+        kernel_s: float = 0.0,
+        shard: Optional[int] = None,
+        batch_size: int = 0,
+        ok: bool = True,
+        now: Optional[float] = None,
+    ) -> None:
+        trace = request.trace
+        if trace is None or self.tracer is None:
+            return
+        trace.finish(
+            service_s=service_s, kernel_s=kernel_s, shard=shard,
+            batch_size=batch_size, ok=ok, now=now,
+        )
+        self.tracer.record(trace)
 
     def _complete_error(
         self,
@@ -455,9 +527,11 @@ class MicroBatcher:
         error: str,
         detail: str,
     ) -> None:
-        latency = time.perf_counter() - request.enqueued
+        now = time.perf_counter()
+        latency = now - request.enqueued
         if self.metrics is not None:
             self.metrics.record(model, version, latency, error=error)
+        self._finish_trace(request, ok=False, now=now)
         request.future.set_result(ServeResult(
             ok=False, action=None, model=model, version=version,
             error=error, detail=detail, latency_s=latency,

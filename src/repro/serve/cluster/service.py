@@ -108,9 +108,15 @@ from repro.serve.cluster.wire import (
     decode_frame,
     encode_request,
 )
+from repro.obs.metrics import MetricsHub, render_text, with_labels
+from repro.obs.trace import Tracer
 from repro.serve.cluster.worker import ERR_SHARD
 from repro.serve.registry import ModelRegistry, control_state_digest
-from repro.serve.server import ServeError, ServerMetrics
+from repro.serve.server import (
+    ServeError,
+    ServerMetrics,
+    register_serving_collectors,
+)
 from repro.serve.splitter import (
     TrafficSplit,
     TrafficSplitter,
@@ -240,10 +246,12 @@ class _Shard:
         self.ewma_by_model: Dict[str, float] = {}
         self.draining = False
 
-    def send(self, msg_id: int, op: str, payload) -> None:
+    def send(self, msg_id: int, op: str, payload, trace=None) -> None:
         """Encode and ship one request frame (sends serialized — two
-        threads interleaving a socket write would tear the stream)."""
-        frame = encode_request(WireRequest(msg_id, op, payload))
+        threads interleaving a socket write would tear the stream).
+        ``trace`` rides in the optional v2 wire field; leaving it None
+        keeps the frame byte-identical to the v1 encoding."""
+        frame = encode_request(WireRequest(msg_id, op, payload, trace=trace))
         with self.send_lock:
             self.transport.send_frame(frame)
 
@@ -344,6 +352,7 @@ class _ClusterDispatcher(MicroBatcher):
         # Parent-side validation is the artifact-independent half: the
         # worker owns the feature-count and finiteness checks (it knows
         # the artifact); the parent only guarantees numeric 1-D rows.
+        self._note_flush(batch)
         by_ref: Dict[str, List[_Request]] = {}
         for request in batch:
             row, error, detail = coerce_state_row(request.state)
@@ -404,6 +413,14 @@ class ShardedPolicyService:
             bytes once per host into the host-level cache).  A
             :class:`~repro.serve.cluster.transport.WorkerFactory`
             instance plugs in a custom transport.
+        trace_sample: fraction of front-end requests to trace across
+            the whole pipeline (queue-wait / batch-assembly / wire /
+            worker-service / kernel spans); 0 disables tracing.
+        exporter_port: when not None, start the observability HTTP
+            exporter (``/metrics``, ``/traces``, ``/healthz``) on this
+            port at construction (0 = ephemeral).  ``/metrics`` merges
+            the parent hub with every live worker's hub snapshot under
+            per-shard labels.
 
     Usage::
 
@@ -428,6 +445,8 @@ class ShardedPolicyService:
         split_seed: SeedLike = None,
         start_method: Optional[str] = None,
         transport: Union[str, WorkerFactory] = "pipe",
+        trace_sample: float = 0.0,
+        exporter_port: Optional[int] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -452,7 +471,14 @@ class ShardedPolicyService:
         self.n_shards = n_shards
         self.self_heal = bool(self_heal)
         self.registry = registry if registry is not None else ModelRegistry()
-        self._metrics = ServerMetrics(max_latency_samples)
+        self.hub = MetricsHub()
+        self.tracer = Tracer(sample_rate=trace_sample)
+        self._metrics = ServerMetrics(max_latency_samples, hub=self.hub)
+        self._m_routed = self.hub.counter(
+            "repro_router_decisions_total",
+            "Flush groups dispatched, per target shard",
+        )
+        self.exporter = None
         #: (name, version) -> SharedMemory the parent owns; released on
         #: retire (workers unmapped theirs) or at close.  Kept alive for
         #: the version's whole life — replacement replicas re-attach
@@ -543,6 +569,8 @@ class ShardedPolicyService:
                 max_delay_s=max_delay_s,
                 delay=(AdaptiveDelay(max_delay_s=max_delay_s)
                        if adaptive_delay else None),
+                tracer=self.tracer,
+                hub=self.hub,
             ).start()
             # Fail fast if a worker died on startup (bad import, OOM).
             for shard in self._shards:
@@ -553,6 +581,13 @@ class ShardedPolicyService:
                     )
             if autoscale is not None:
                 self.autoscaler = Autoscaler(self, autoscale).start()
+            register_serving_collectors(
+                self.hub, batcher=self._dispatcher,
+                delay=self._dispatcher.delay,
+            )
+            self._register_cluster_collectors()
+            if exporter_port is not None:
+                self.start_exporter(port=exporter_port)
         except BaseException:
             self.close()
             raise
@@ -1260,11 +1295,23 @@ class ShardedPolicyService:
     def _send_predict(self, shard: _Shard, ref: str, x: np.ndarray,
                       entry: Any) -> None:
         msg_id = next(self._msg_ids)
+        trace_ctx = None
+        if isinstance(entry, _PredictJob):
+            now = time.perf_counter()
+            traced = [request.trace for request in entry.requests
+                      if request.trace is not None]
+            for trace in traced:
+                trace.mark_send(now)
+            if traced:
+                # Only ids cross the wire — the TraceRecord objects stay
+                # parent-side, where spans are reassembled on completion.
+                trace_ctx = {"trace_ids": [t.trace_id for t in traced]}
+        self._m_routed.labels(shard=str(shard.shard_id)).inc()
         with self._pending_lock:
             self._pending[msg_id] = entry
             shard.inflight += 1
         try:
-            shard.send(msg_id, "predict", (ref, x))
+            shard.send(msg_id, "predict", (ref, x), trace=trace_ctx)
         except Exception as exc:  # noqa: BLE001 - fail, never strand
             with self._pending_lock:
                 owned = self._pending.pop(msg_id, None)
@@ -1296,6 +1343,9 @@ class ShardedPolicyService:
                 continue
             self._metrics.record(ref, 0, now - request.enqueued,
                                  error=ERR_SHARD)
+            if request.trace is not None:
+                request.trace.finish(ok=False, now=now)
+                self.tracer.record(request.trace)
             request.future.set_result(ServeResult(
                 ok=False, action=None, model=ref, version=0,
                 error=ERR_SHARD, detail=detail,
@@ -1366,6 +1416,19 @@ class ShardedPolicyService:
             )
             return
         now = time.perf_counter()
+        service_s = float(payload.get("service_s") or 0.0)
+        kernel_s = float(payload.get("kernel_s") or 0.0)
+
+        def _finish_trace(request: _Request, ok_row: bool) -> None:
+            if request.trace is None:
+                return
+            request.trace.finish(
+                service_s=service_s, kernel_s=kernel_s,
+                shard=job.shard_id, batch_size=len(requests),
+                ok=ok_row, now=now,
+            )
+            self.tracer.record(request.trace)
+
         for name, version, idx, actions in payload["groups"]:
             if np.ndim(actions) == 1:
                 values = np.asarray(actions).tolist()
@@ -1376,6 +1439,7 @@ class ShardedPolicyService:
                 request = requests[int(i)]
                 latency = now - request.enqueued
                 latencies.append(latency)
+                _finish_trace(request, True)
                 request.future.set_result(ServeResult(
                     ok=True, action=action, model=name, version=version,
                     latency_s=latency,
@@ -1385,6 +1449,7 @@ class ShardedPolicyService:
             request = requests[int(i)]
             latency = now - request.enqueued
             self._metrics.record(model, version, latency, error=kind)
+            _finish_trace(request, False)
             request.future.set_result(ServeResult(
                 ok=False, action=None, model=model, version=version,
                 error=kind, detail=detail, latency_s=latency,
@@ -1682,6 +1747,111 @@ class ShardedPolicyService:
                     agg["backend"] = "mixed"
         return {"models": models, "per_shard": per_shard}
 
+    def _register_cluster_collectors(self) -> None:
+        """Wire cluster-local load signals into the metrics hub.
+
+        Collectors run at scrape time (pull-style), so the hot path
+        pays nothing: shard in-flight counts, router EWMAs, transport
+        byte counters, shm footprint, and autoscale actuations are all
+        read from state the serving loops already maintain.  Transport
+        bytes and autoscale actuations are cumulative upstream values,
+        so they are *assigned* onto counter children rather than
+        inc'ed.
+        """
+        g_live = self.hub.gauge(
+            "repro_cluster_live_shards", "Shards currently serving",
+        )
+        g_inflight = self.hub.gauge(
+            "repro_cluster_shard_inflight",
+            "Dispatched flush groups awaiting a reply, per shard",
+        )
+        g_ewma = self.hub.gauge(
+            "repro_cluster_shard_ewma_service_seconds",
+            "EWMA of worker-reported batch service time, per shard",
+        )
+        c_sent = self.hub.counter(
+            "repro_transport_bytes_sent_total",
+            "Frame bytes shipped to each shard",
+        )
+        c_received = self.hub.counter(
+            "repro_transport_bytes_received_total",
+            "Frame bytes received from each shard",
+        )
+        g_segments = self.hub.gauge(
+            "repro_shm_segments", "Live shared-memory artifact segments",
+        )
+        g_shm_bytes = self.hub.gauge(
+            "repro_shm_resident_bytes",
+            "Resident bytes across shared-memory artifact segments",
+        )
+        c_scale = self.hub.counter(
+            "repro_autoscale_actuations_total",
+            "Autoscaler scale decisions actuated, per direction",
+        )
+
+        def _collect() -> None:
+            shards = [s for s in self._shards if s.alive]
+            g_live.labels().set(float(len(shards)))
+            for shard in shards:
+                key = {"shard": str(shard.shard_id)}
+                g_inflight.labels(**key).set(float(shard.inflight))
+                g_ewma.labels(**key).set(float(shard.ewma_service_s))
+                c_sent.labels(**key).value = float(
+                    shard.transport.bytes_sent
+                )
+                c_received.labels(**key).value = float(
+                    shard.transport.bytes_received
+                )
+            # Shallow-copy the map instead of taking the control lock:
+            # a scrape must never contend with publish/retire.
+            footprint = segment_footprint(dict(self._segments))
+            g_segments.labels().set(float(footprint["n_segments"]))
+            g_shm_bytes.labels().set(float(footprint["total_bytes"]))
+            if self.autoscaler is not None:
+                snap = self.autoscaler.snapshot()
+                c_scale.labels(direction="up").value = float(
+                    snap["scale_ups"]
+                )
+                c_scale.labels(direction="down").value = float(
+                    snap["scale_downs"]
+                )
+
+        self.hub.register_collector(_collect)
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition for the whole cluster.
+
+        The parent's own hub (batcher, router, transport, shm,
+        autoscale series) is merged with a ``metrics_snapshot`` pulled
+        from every live worker over the control channel, each worker's
+        series labeled with its ``shard`` id so per-replica kernel and
+        service counters stay distinguishable after aggregation.
+        """
+        snaps = [self.hub.snapshot()]
+        if not self._closed:
+            for shard, snap in self._broadcast_tolerant(
+                "metrics_snapshot", None
+            ):
+                if isinstance(snap, dict):
+                    snaps.append(
+                        with_labels(snap, {"shard": str(shard.shard_id)})
+                    )
+        return render_text(*snaps)
+
+    def start_exporter(self, port: int = 0,
+                       host: str = "127.0.0.1") -> "MetricsExporter":
+        """Start (or return) the HTTP exporter serving ``/metrics``,
+        ``/traces`` and ``/healthz`` for this service."""
+        if self.exporter is None:
+            from repro.obs.exporter import MetricsExporter
+
+            self.exporter = MetricsExporter(
+                self.render_metrics, tracer=self.tracer,
+                host=host, port=port,
+            )
+            self.exporter.start()
+        return self.exporter
+
     def batching_state(self) -> Dict[str, Any]:
         """Current front-end microbatching posture (adaptive-delay
         telemetry when the controller is wired in)."""
@@ -1749,6 +1919,11 @@ class ShardedPolicyService:
             if self._closed:
                 return
             self._closed = True
+        if self.exporter is not None:
+            try:
+                self.exporter.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
         if self.autoscaler is not None:
             self.autoscaler.stop()
         if self._dispatcher is not None:

@@ -49,8 +49,17 @@ from repro.serve.cluster.shm import SharedArraySpec, ShmArtifactHandle
 
 #: First two bytes of every frame ("repro wire").
 WIRE_MAGIC = b"RW"
-#: Protocol version checked on every decode.
-WIRE_VERSION = 1
+#: Highest protocol version this side speaks, checked on every decode.
+#: Version 2 adds an optional trace field to request frames (body =
+#: op code + typed trace value + typed payload).  Encoding is
+#: conservative: frames that carry no trace — and every reply — are
+#: still emitted as version 1, byte-identical to the version-1 codec,
+#: so a mixed-version fleet interoperates until tracing is actually
+#: switched on.  Decoding accepts both versions.
+WIRE_VERSION = 2
+#: Oldest version still decoded (and the on-wire version of every
+#: untraced frame).
+WIRE_VERSION_MIN = 1
 
 #: Frame kinds (header byte 3).
 KIND_REQUEST = 0
@@ -66,6 +75,7 @@ OPS = (
     "publish", "publish_tombstone", "rollback_publish", "alias",
     "retire", "predict", "set_split", "clear_split", "metrics",
     "shadow_report", "describe", "ping", "stop", "backend_report",
+    "metrics_snapshot",
 )
 _OP_CODES = {op: index + 1 for index, op in enumerate(OPS)}
 _CODE_OPS = {code: op for op, code in _OP_CODES.items()}
@@ -78,11 +88,18 @@ class WireError(ValueError):
 
 @dataclass(frozen=True)
 class Request:
-    """One control/data-plane request (parent -> worker)."""
+    """One control/data-plane request (parent -> worker).
+
+    ``trace`` is the optional observability context (version 2): a
+    plain typed value — in practice a small dict with the trace id —
+    forwarded verbatim so the worker can continue a sampled trace.
+    ``None`` (the default) keeps the frame on the version-1 encoding.
+    """
 
     msg_id: int
     op: str
     payload: Any = None
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -354,28 +371,41 @@ def decode_value(raw: bytes) -> Any:
 
 
 # -- framing --------------------------------------------------------------
-def _frame(kind: int, msg_id: int, body: bytes) -> bytes:
+def _frame(kind: int, msg_id: int, body: bytes,
+           version: int = WIRE_VERSION_MIN) -> bytes:
     if len(body) > 0xFFFFFFFF:
         raise WireError(
             f"frame body of {len(body)} bytes exceeds the u32 length "
             f"field; ship oversized artifacts through the host cache"
         )
-    return _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, kind, len(body),
+    return _HEADER.pack(WIRE_MAGIC, version, kind, len(body),
                         msg_id) + body
 
 
 def encode_request(request: Request) -> bytes:
-    """Frame one :class:`Request` (op code byte + encoded payload)."""
+    """Frame one :class:`Request`.
+
+    Untraced requests encode exactly as version 1 did (op code byte +
+    payload); a request carrying a trace context encodes as version 2
+    (op code byte + trace value + payload), which a version-1 peer
+    rejects loudly rather than misreading.
+    """
     code = _OP_CODES.get(request.op)
     if code is None:
         raise WireError(f"unknown op {request.op!r}")
     buf = bytearray([code])
+    if request.trace is None:
+        _encode_value(buf, request.payload)
+        return _frame(KIND_REQUEST, request.msg_id, bytes(buf))
+    _encode_value(buf, request.trace)
     _encode_value(buf, request.payload)
-    return _frame(KIND_REQUEST, request.msg_id, bytes(buf))
+    return _frame(KIND_REQUEST, request.msg_id, bytes(buf),
+                  version=WIRE_VERSION)
 
 
 def encode_reply(reply: Reply) -> bytes:
-    """Frame one :class:`Reply` (kind encodes ok/error)."""
+    """Frame one :class:`Reply` (kind encodes ok/error).  Replies carry
+    no trace field and always use the version-1 encoding."""
     kind = KIND_REPLY_OK if reply.ok else KIND_REPLY_ERR
     buf = bytearray()
     _encode_value(buf, reply.payload)
@@ -391,10 +421,10 @@ def parse_header(header: bytes) -> tuple:
     magic, version, kind, body_len, msg_id = _HEADER.unpack_from(header)
     if magic != WIRE_MAGIC:
         raise WireError(f"bad magic {magic!r} (not a wire frame)")
-    if version != WIRE_VERSION:
+    if not WIRE_VERSION_MIN <= version <= WIRE_VERSION:
         raise WireError(
             f"wire version {version} is not supported "
-            f"(this side speaks {WIRE_VERSION})"
+            f"(this side speaks {WIRE_VERSION_MIN}..{WIRE_VERSION})"
         )
     if kind not in (KIND_REQUEST, KIND_REPLY_OK, KIND_REPLY_ERR):
         raise WireError(f"unknown frame kind {kind}")
@@ -410,13 +440,15 @@ def frame_size(header: bytes) -> int:
 
 def decode_frame(frame: bytes) -> Union[Request, Reply]:
     """Decode one complete frame into a :class:`Request` or
-    :class:`Reply`."""
+    :class:`Reply`.  Accepts every version in
+    ``WIRE_VERSION_MIN..WIRE_VERSION``."""
     kind, body_len, msg_id = parse_header(frame)
     if len(frame) != HEADER_SIZE + body_len:
         raise WireError(
             f"frame length {len(frame)} does not match header "
             f"({HEADER_SIZE + body_len})"
         )
+    version = frame[2]
     body = memoryview(frame)[HEADER_SIZE:]
     if kind == KIND_REQUEST:
         if body_len < 1:
@@ -424,10 +456,14 @@ def decode_frame(frame: bytes) -> Union[Request, Reply]:
         op = _CODE_OPS.get(body[0])
         if op is None:
             raise WireError(f"unknown op code {body[0]}")
-        payload, pos = _decode_value(body, 1)
+        trace = None
+        pos = 1
+        if version >= 2:
+            trace, pos = _decode_value(body, pos)
+        payload, pos = _decode_value(body, pos)
         if pos != len(body):
             raise WireError("trailing garbage after request payload")
-        return Request(msg_id=msg_id, op=op, payload=payload)
+        return Request(msg_id=msg_id, op=op, payload=payload, trace=trace)
     payload, pos = _decode_value(body, 0)
     if pos != len(body):
         raise WireError("trailing garbage after reply payload")

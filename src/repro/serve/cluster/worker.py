@@ -28,7 +28,9 @@ Ops (see :data:`repro.serve.cluster.wire.OPS`): ``publish``,
 ``publish_tombstone``, ``rollback_publish``, ``alias``, ``retire``,
 ``predict``, ``set_split``, ``clear_split``, ``metrics``,
 ``shadow_report``, ``describe``, ``ping``, ``stop``,
-``backend_report`` (native-kernel vs numpy serving counters per model)
+``backend_report`` (native-kernel vs numpy serving counters per model),
+``metrics_snapshot`` (the worker hub's labeled series, pulled by the
+parent's ``/metrics`` scrape and re-labeled per shard)
 (``publish_tombstone`` and ``describe`` exist for the elastic tier:
 replaying retired version slots into a replacement replica, and
 fingerprinting a replica's full control state for lockstep
@@ -79,7 +81,8 @@ from repro.serve.registry import (
     control_state_digest,
     registry_backend_report,
 )
-from repro.serve.server import ServerMetrics
+from repro.obs.metrics import MetricsHub
+from repro.serve.server import ServerMetrics, register_serving_collectors
 from repro.serve.splitter import TrafficSplitter, mirror_shadow, split_state
 
 #: Error kind when a whole shard died under a request (parent-side).
@@ -98,10 +101,12 @@ def serve_stacked(
 
     Returns ``{"groups": [(name, version, idx, actions), ...],
     "errors": [(i, model, version, kind, detail), ...],
-    "service_s": float}`` where ``idx`` indexes rows of ``x`` and
-    ``service_s`` is this batch's pure service time — the parent folds
-    it into the shard's EWMA, which is what the load-aware router
-    scores by.  Mirrors the MicroBatcher's per-request
+    "service_s": float, "kernel_s": float}`` where ``idx`` indexes rows
+    of ``x`` and ``service_s`` is this batch's pure service time — the
+    parent folds it into the shard's EWMA, which is what the load-aware
+    router scores by.  ``kernel_s`` is the summed time inside
+    ``predict_batch`` calls (the native/numpy kernel itself), letting a
+    sampled trace split worker time into dispatch overhead vs compute.  Mirrors the MicroBatcher's per-request
     guarantees vectorized: canary rows route to the canary reference,
     non-finite rows fail alone, a raising ``predict_batch`` fails only
     its group, and shadow answers — mirrored from the primary-served
@@ -136,6 +141,7 @@ def serve_stacked(
     errors: List[Tuple[int, str, int, str, str]] = []
     served_idx: List[np.ndarray] = []
     served_actions: List[np.ndarray] = []
+    kernel_s = 0.0
     for target, idx in assignments:
         if not idx.size:
             continue
@@ -171,9 +177,12 @@ def serve_stacked(
             sub = sub[finite]
             if not idx.size:
                 continue
+        t_kernel = time.perf_counter()
         try:
             out = np.asarray(artifact.predict_batch(sub))
+            kernel_s += time.perf_counter() - t_kernel
         except Exception as exc:  # noqa: BLE001 - boundary must survive
+            kernel_s += time.perf_counter() - t_kernel
             detail = f"{type(exc).__name__}: {exc}"
             errors.extend(
                 (int(i), name, version, ERR_PREDICT, detail) for i in idx
@@ -216,7 +225,8 @@ def serve_stacked(
                 shadow_sink.append(thunk)
             else:
                 thunk()
-    return {"groups": groups, "errors": errors, "service_s": service_s}
+    return {"groups": groups, "errors": errors, "service_s": service_s,
+            "kernel_s": kernel_s}
 
 
 class WorkerCore:
@@ -237,8 +247,17 @@ class WorkerCore:
         self.shard_id = shard_id
         self.private_tracker = private_tracker
         self.registry = ModelRegistry()
-        self.metrics = ServerMetrics()
+        #: This replica's own metrics hub.  The parent pulls it over
+        #: the control channel (``metrics_snapshot`` op) and renders it
+        #: under a ``shard`` label next to its own series.
+        self.hub = MetricsHub()
+        self.metrics = ServerMetrics(hub=self.hub)
         self.splitter = TrafficSplitter(seed=split_seed)
+        register_serving_collectors(self.hub, splitter=self.splitter)
+        self._m_traced = self.hub.counter(
+            "repro_worker_traced_requests_total",
+            "Predict frames carrying a trace context",
+        ).labels()
         #: (name, version) -> SharedMemory kept alive while that
         #: version serves; retire drops the mapping so workers don't
         #: accumulate every artifact ever published.
@@ -253,7 +272,8 @@ class WorkerCore:
         stop = request.op == "stop"
         deferred: list = []
         try:
-            result = self.dispatch(request.op, request.payload, deferred)
+            result = self.dispatch(request.op, request.payload, deferred,
+                                   trace=request.trace)
             reply = encode_reply(Reply(request.msg_id, True, result))
         except Exception as exc:  # noqa: BLE001 - reply, don't die
             reply = encode_reply(Reply(
@@ -346,15 +366,25 @@ class WorkerCore:
             )
         return pickle.loads(raw), None
 
-    def dispatch(self, op: str, payload, deferred: list) -> Any:
+    def dispatch(self, op: str, payload, deferred: list,
+                 trace: Any = None) -> Any:
         registry, metrics, splitter = \
             self.registry, self.metrics, self.splitter
         segments = self.segments
         if op == "predict":
             ref, x = payload
-            return serve_stacked(
+            result = serve_stacked(
                 registry, splitter, metrics, ref, x, shadow_sink=deferred
             )
+            if trace is not None:
+                # Continue the sampled trace: count it and echo the
+                # context so the parent can pair reply to trace even on
+                # transports that reorder completions.  Durations (not
+                # timestamps) cross the process boundary — the parent's
+                # and worker's perf_counter clocks are unrelated.
+                self._m_traced.inc()
+                result["trace"] = trace
+            return result
         if op == "publish":
             # Aliasing is a separate op broadcast only after every
             # shard accepted the publish, so rollback never has to
@@ -412,6 +442,8 @@ class WorkerCore:
             return None
         if op == "metrics":
             return metrics.snapshot()
+        if op == "metrics_snapshot":
+            return self.hub.snapshot()
         if op == "backend_report":
             return registry_backend_report(registry)
         if op == "shadow_report":

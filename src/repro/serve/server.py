@@ -19,6 +19,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import LogHistogram, MetricsHub, render_text
+from repro.obs.trace import Tracer
 from repro.serve.adaptive import AdaptiveDelay, batching_state
 from repro.serve.artifact import PolicyArtifact
 from repro.serve.batcher import MicroBatcher, ServeResult
@@ -39,7 +41,7 @@ class _ModelStats:
     """Accumulators for one model (written only by the batcher thread)."""
 
     __slots__ = (
-        "requests", "errors", "error_kinds", "latencies", "batch_sizes",
+        "requests", "errors", "error_kinds", "hist", "batch_sizes",
         "versions", "busy_s", "last_ts", "recent",
     )
 
@@ -50,7 +52,12 @@ class _ModelStats:
         self.requests = 0
         self.errors = 0
         self.error_kinds: Counter = Counter()
-        self.latencies: List[float] = []
+        #: Streaming log-bucketed histogram of success latencies —
+        #: constant memory, never stops absorbing samples, so snapshot
+        #: percentiles track the whole lifetime of a long-running
+        #: server instead of freezing on its first N requests (the old
+        #: capped-list behaviour).
+        self.hist = LogHistogram()
         self.batch_sizes: Counter = Counter()
         self.versions: Counter = Counter()
         #: Union of request-in-flight intervals — the time the model was
@@ -58,11 +65,11 @@ class _ModelStats:
         self.busy_s = 0.0
         self.last_ts: Optional[float] = None
         #: True sliding window of the latest successes, as
-        #: ``(perf_counter_ts, latency_s)`` pairs — `latencies` stops
-        #: appending at the retention cap (snapshot percentiles cover
-        #: the first N by design), so SLO probes need their own ring
-        #: that never freezes on a long-running server.  Timestamps
-        #: let :meth:`ServerMetrics.p95_ms` window by wall time as well
+        #: ``(perf_counter_ts, latency_s)`` pairs.  The histogram
+        #: estimates lifetime percentiles; SLO probes
+        #: (:meth:`ServerMetrics.p95_ms`) need *exact* recent
+        #: percentiles over a bounded window, so they keep their own
+        #: ring.  Timestamps let the probe window by wall time as well
         #: as by count.
         self.recent: deque = deque(maxlen=self.RECENT_WINDOW)
 
@@ -75,16 +82,49 @@ class ServerMetrics:
     called from any thread, so every touch happens under one lock (the
     per-record cost is a few dict/list operations).
 
+    Snapshot percentiles come from a per-model streaming log-bucketed
+    histogram (:class:`repro.obs.metrics.LogHistogram`): constant
+    memory, unbounded sample count, so they never freeze the way the
+    old capped retention list did.  :meth:`p95_ms` SLO probes stay
+    *exact* over the bounded ``recent`` window.
+
     Args:
-        max_latency_samples: cap on retained per-request latencies;
-            beyond it, percentiles reflect the first N requests while
-            counts and throughput stay exact.
+        max_latency_samples: retained for signature compatibility with
+            pre-histogram callers; percentiles are no longer subject to
+            a retention cap.
+        hub: optional :class:`repro.obs.metrics.MetricsHub` to mirror
+            requests/errors/latencies into (labeled Prometheus series);
+            may also be attached later via :meth:`bind_hub`.
     """
 
-    def __init__(self, max_latency_samples: int = 200_000) -> None:
+    def __init__(self, max_latency_samples: int = 200_000,
+                 hub: Any = None) -> None:
         self._lock = threading.Lock()
         self._models: Dict[str, _ModelStats] = {}
         self.max_latency_samples = max_latency_samples
+        self._h_requests = None
+        self._h_errors = None
+        self._h_latency = None
+        if hub is not None:
+            self.bind_hub(hub)
+
+    def bind_hub(self, hub: Any) -> None:
+        """Mirror every subsequent record into ``hub`` as labeled
+        series (``repro_server_requests_total{model}``,
+        ``repro_server_errors_total{model,kind}``,
+        ``repro_server_latency_seconds{model}``)."""
+        self._h_requests = hub.counter(
+            "repro_server_requests_total",
+            "Requests served (successes and errors), per model",
+        )
+        self._h_errors = hub.counter(
+            "repro_server_errors_total",
+            "Failed requests per model and error kind",
+        )
+        self._h_latency = hub.histogram(
+            "repro_server_latency_seconds",
+            "Server-side success latency (enqueue to completion)",
+        )
 
     def _stats(self, model: str) -> _ModelStats:
         stats = self._models.get(model)
@@ -130,8 +170,13 @@ class ServerMetrics:
             else:
                 stats.versions[version] += 1
                 stats.recent.append((now, latency_s))
-                if len(stats.latencies) < self.max_latency_samples:
-                    stats.latencies.append(latency_s)
+                stats.hist.observe(latency_s)
+        if self._h_requests is not None:
+            self._h_requests.labels(model=model).inc()
+            if error is not None:
+                self._h_errors.labels(model=model, kind=error).inc()
+            else:
+                self._h_latency.labels(model=model).observe(latency_s)
 
     def record_group(
         self, model: str, version: int, latencies: List[float]
@@ -149,9 +194,10 @@ class ServerMetrics:
             stats.versions[version] += len(latencies)
             stats.batch_sizes[len(latencies)] += 1
             stats.recent.extend((now, lat) for lat in latencies)
-            room = self.max_latency_samples - len(stats.latencies)
-            if room > 0:
-                stats.latencies.extend(latencies[:room])
+            stats.hist.observe_many(latencies)
+        if self._h_requests is not None:
+            self._h_requests.labels(model=model).inc(len(latencies))
+            self._h_latency.labels(model=model).observe_many(latencies)
 
     def total_requests(self) -> int:
         """Total recorded requests across all models — a cheap
@@ -166,13 +212,11 @@ class ServerMetrics:
         is recorded).
 
         The SLO reading the autoscaler compares against ``slo_p95_ms``.
-        It reads the dedicated recent-window ring, not the retention
-        store, for two reasons: the retention store stops appending at
-        ``max_latency_samples`` (snapshot percentiles deliberately
-        cover the first N requests), so it would freeze on a
-        long-running server; and copying it under the metrics lock
-        every autoscaler tick would periodically stall the reply path
-        that records into it.
+        It reads the dedicated recent-window ring, not the lifetime
+        histogram, because an SLO probe needs *exact* percentiles over
+        *recent* traffic: the histogram covers the whole lifetime (a
+        morning's latency spike would haunt it all day) and its
+        percentiles are bucket-interpolated estimates.
 
         ``window_s`` additionally restricts the sweep to samples
         recorded in the last that-many seconds (None keeps the full
@@ -209,31 +253,29 @@ class ServerMetrics:
         """Point-in-time metrics per model (plain dicts, JSON-friendly).
 
         The lock is held only while *copying* the accumulators; the
-        percentile math over up to ``max_latency_samples`` values runs
-        after release, so a monitoring read never stalls the batcher's
-        hot path (which would inflate the very tail it is measuring).
+        histogram quantile math runs after release, so a monitoring
+        read never stalls the batcher's hot path (which would inflate
+        the very tail it is measuring).
         """
         with self._lock:
             copied = [
                 (
                     name, stats.requests, stats.errors,
-                    dict(stats.error_kinds), list(stats.latencies),
+                    dict(stats.error_kinds), stats.hist.copy(),
                     dict(stats.batch_sizes), dict(stats.versions),
                     stats.busy_s,
                 )
                 for name, stats in self._models.items()
             ]
         out: Dict[str, dict] = {}
-        for (name, requests, errors, error_kinds, latencies, batch_sizes,
+        for (name, requests, errors, error_kinds, hist, batch_sizes,
              versions, busy_s) in copied:
-            lat = np.asarray(latencies)
-            if lat.size:
-                p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+            if hist.total:
                 latency_ms = {
-                    "mean": float(lat.mean() * 1e3),
-                    "p50": float(p50 * 1e3),
-                    "p95": float(p95 * 1e3),
-                    "p99": float(p99 * 1e3),
+                    "mean": float(hist.sum / hist.total * 1e3),
+                    "p50": hist.quantile(0.50) * 1e3,
+                    "p95": hist.quantile(0.95) * 1e3,
+                    "p99": hist.quantile(0.99) * 1e3,
                 }
             else:
                 latency_ms = {"mean": 0.0, "p50": 0.0, "p95": 0.0,
@@ -254,6 +296,65 @@ class ServerMetrics:
         return out
 
 
+def register_serving_collectors(
+    hub: MetricsHub,
+    batcher: Any = None,
+    delay: Optional[AdaptiveDelay] = None,
+    splitter: Optional[TrafficSplitter] = None,
+) -> None:
+    """Register pull-style gauges shared by both serving tiers.
+
+    Collectors run at every hub render/snapshot and read the live
+    objects: batcher queue depth, adaptive-delay posture, process-wide
+    native-kernel counters, and splitter shadow agreement.  Monotonic
+    native counters are *assigned* (not ``inc``-ed) because the
+    upstream values in :func:`repro.core.tree.native.native_stats` are
+    themselves cumulative.
+    """
+    g_queue = hub.gauge(
+        "repro_batcher_queue_depth",
+        "Requests accepted but not yet gathered into a flush",
+    ).labels() if batcher is not None else None
+    g_fill = hub.gauge(
+        "repro_batcher_adaptive_fill",
+        "Adaptive-delay EWMA flush-fill estimate in [0, 1]",
+    ).labels() if delay is not None else None
+    g_delay = hub.gauge(
+        "repro_batcher_adaptive_delay_seconds",
+        "Deadline the next gather will use",
+    ).labels() if delay is not None else None
+    c_native = hub.counter(
+        "repro_native_events_total",
+        "Process-wide native kernel compile/cache/serve counters",
+    )
+    g_shadow_rate = hub.gauge(
+        "repro_shadow_agreement_ratio",
+        "Shadow fidelity: agreements / mirrored requests, per split ref",
+    ) if splitter is not None else None
+    c_shadow = hub.counter(
+        "repro_shadow_requests_total",
+        "Requests mirrored to a shadow version, per split ref",
+    ) if splitter is not None else None
+
+    def collect() -> None:
+        from repro.core.tree import native
+
+        if g_queue is not None:
+            g_queue.set(batcher.queue_depth())
+        if delay is not None:
+            g_fill.set(delay.fill)
+            g_delay.set(delay.current())
+        for event, value in native.native_stats().items():
+            if isinstance(value, (int, float)):
+                c_native.labels(event=event).value = float(value)
+        if splitter is not None:
+            for ref, row in splitter.shadow_report().items():
+                g_shadow_rate.labels(ref=ref).set(row["agreement_rate"])
+                c_shadow.labels(ref=ref).value = float(row["requests"])
+
+    hub.register_collector(collect)
+
+
 class PolicyServer:
     """Threaded serving front door with futures-based submission.
 
@@ -267,6 +368,13 @@ class PolicyServer:
             ``max_delay_s``.
         split_seed: RNG seed for the server's traffic splitter (canary
             assignment); None draws fresh entropy.
+        trace_sample: fraction of requests to trace (0 disables
+            tracing; traced requests decompose into per-stage spans,
+            see :mod:`repro.obs.trace`).
+        exporter_port: when not None, start the observability HTTP
+            exporter (``/metrics``, ``/traces``, ``/healthz``) on this
+            port at construction (0 = ephemeral; read it back from
+            ``server.exporter.port``).
 
     Usage::
 
@@ -284,9 +392,13 @@ class PolicyServer:
         max_latency_samples: int = 200_000,
         adaptive_delay: bool = False,
         split_seed: SeedLike = None,
+        trace_sample: float = 0.0,
+        exporter_port: Optional[int] = None,
     ) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
-        self._metrics = ServerMetrics(max_latency_samples)
+        self.hub = MetricsHub()
+        self.tracer = Tracer(sample_rate=trace_sample)
+        self._metrics = ServerMetrics(max_latency_samples, hub=self.hub)
         self.splitter = TrafficSplitter(seed=split_seed)
         # Serializes split reconfiguration against retire: the retire
         # guard is check-then-act over the split table, so the two must
@@ -303,7 +415,16 @@ class PolicyServer:
             max_delay_s=max_delay_s,
             delay=self.delay,
             splitter=self.splitter,
+            tracer=self.tracer,
+            hub=self.hub,
         ).start()
+        register_serving_collectors(
+            self.hub, batcher=self._batcher, delay=self.delay,
+            splitter=self.splitter,
+        )
+        self.exporter = None
+        if exporter_port is not None:
+            self.start_exporter(port=exporter_port)
 
     # -- registry passthrough --------------------------------------------
     def publish(
@@ -438,9 +559,28 @@ class PolicyServer:
         """Current microbatching posture (adaptive-delay telemetry)."""
         return batching_state(self.delay, self._batcher.max_delay_s)
 
+    def render_metrics(self) -> str:
+        """This server's hub in Prometheus text exposition format."""
+        return render_text(self.hub.snapshot())
+
+    def start_exporter(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start (or return the already-running) observability HTTP
+        endpoint; see :class:`repro.obs.exporter.MetricsExporter`."""
+        if self.exporter is None:
+            from repro.obs.exporter import MetricsExporter
+
+            self.exporter = MetricsExporter(
+                self.render_metrics, tracer=self.tracer,
+                host=host, port=port,
+            ).start()
+        return self.exporter
+
     def close(self) -> None:
         """Drain and stop; every submitted request still completes."""
         self._batcher.close()
+        if self.exporter is not None:
+            self.exporter.close()
+            self.exporter = None
 
     def __enter__(self) -> "PolicyServer":
         return self

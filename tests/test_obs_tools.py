@@ -1,0 +1,102 @@
+"""Tests for tools/check_metrics.py — the exposition-format linter.
+
+The linter is CI's gate on the /metrics endpoint, so it must both pass
+a real scrape from the hub and actually catch the failure modes it
+claims to (missing HELP/TYPE, duplicate series, malformed samples,
+histograms without a closing +Inf bucket).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+from check_metrics import lint_metrics  # noqa: E402
+
+from repro.obs.metrics import MetricsHub, render_text, with_labels
+
+GOOD = """\
+# HELP repro_reqs_total Requests served
+# TYPE repro_reqs_total counter
+repro_reqs_total{model="abr"} 5
+repro_reqs_total{model="toy"} 2
+# HELP repro_lat_seconds Latency
+# TYPE repro_lat_seconds histogram
+repro_lat_seconds_bucket{le="0.01"} 4
+repro_lat_seconds_bucket{le="+Inf"} 7
+repro_lat_seconds_sum 0.12
+repro_lat_seconds_count 7
+"""
+
+
+def test_clean_page_lints_clean():
+    assert lint_metrics(GOOD) == []
+
+
+def test_real_hub_render_lints_clean():
+    hub = MetricsHub()
+    hub.counter("repro_a_total", "a").labels(model="m").inc(2)
+    hub.gauge("repro_b", "b").labels().set(1.5)
+    hub.histogram("repro_c_seconds", "c",
+                  buckets=[0.001, 0.1]).labels(model="m").observe(0.01)
+    worker = MetricsHub()
+    worker.counter("repro_a_total", "a").labels(model="m").inc(9)
+    page = render_text(
+        hub.snapshot(), with_labels(worker.snapshot(), {"shard": "0"})
+    )
+    assert lint_metrics(page) == []
+
+
+def test_sample_without_type_caught():
+    errors = lint_metrics("repro_orphan_total 3\n")
+    assert any("no # TYPE" in e for e in errors)
+
+
+def test_sample_without_help_caught():
+    errors = lint_metrics(
+        "# TYPE repro_x_total counter\nrepro_x_total 1\n"
+    )
+    assert any("no # HELP" in e for e in errors)
+
+
+def test_duplicate_series_caught():
+    page = GOOD + 'repro_reqs_total{model="abr"} 9\n'
+    errors = lint_metrics(page)
+    assert any("duplicate series" in e for e in errors)
+
+
+def test_duplicate_help_caught():
+    page = "# HELP repro_reqs_total again\n" + GOOD
+    errors = lint_metrics(page)
+    assert any("duplicate HELP" in e for e in errors)
+
+
+def test_invalid_type_caught():
+    errors = lint_metrics(
+        "# HELP repro_x h\n# TYPE repro_x summary\nrepro_x 1\n"
+    )
+    assert any("invalid type" in e for e in errors)
+
+
+def test_non_numeric_value_caught():
+    errors = lint_metrics(
+        "# HELP repro_x h\n# TYPE repro_x gauge\nrepro_x oops\n"
+    )
+    assert any("non-numeric" in e for e in errors)
+
+
+def test_histogram_missing_inf_bucket_caught():
+    page = (
+        "# HELP repro_h_seconds h\n"
+        "# TYPE repro_h_seconds histogram\n"
+        'repro_h_seconds_bucket{le="0.1"} 3\n'
+        "repro_h_seconds_sum 0.2\n"
+        "repro_h_seconds_count 3\n"
+    )
+    errors = lint_metrics(page)
+    assert any("+Inf" in e for e in errors)
+
+
+def test_malformed_sample_caught():
+    errors = lint_metrics("this is not a metric line\n")
+    assert any("unparseable" in e for e in errors)

@@ -21,6 +21,7 @@ from repro.serve.cluster.wire import (
     OPS,
     WIRE_MAGIC,
     WIRE_VERSION,
+    WIRE_VERSION_MIN,
     Reply,
     Request,
     WireArtifact,
@@ -202,8 +203,11 @@ class TestFrames:
     def test_magic_is_stable(self):
         # The constant is part of the protocol: changing it (or the
         # version) breaks mixed-version fleets and must be deliberate.
+        # v2 added the optional trace field to request frames; v1
+        # remains the floor every peer must still decode.
         assert WIRE_MAGIC == b"RW"
-        assert WIRE_VERSION == 1
+        assert WIRE_VERSION == 2
+        assert WIRE_VERSION_MIN == 1
 
     def test_predict_batch_payload(self):
         x = np.arange(12, dtype=float).reshape(3, 4)
@@ -212,3 +216,60 @@ class TestFrames:
         ref, got = back.payload
         assert ref == "toy/prod"
         assert np.array_equal(got, x) and got.dtype == x.dtype
+
+
+class TestTraceField:
+    """The v2 trace field and its backward-compatibility contract."""
+
+    def test_untraced_request_is_v1_byte_identical(self):
+        # A fleet with tracing off must emit the exact bytes a v1 peer
+        # expects — the upgrade is invisible until a trace is attached.
+        frame = encode_request(Request(7, "predict", ("m", [1.0, 2.0])))
+        assert frame[2] == WIRE_VERSION_MIN
+        back = decode_frame(frame)
+        assert back.trace is None
+
+    def test_reply_is_always_v1(self):
+        # Replies never carry a trace (workers return durations in the
+        # payload), so they stay decodable by the oldest parent.
+        frame = encode_reply(Reply(7, True, {"service_s": 0.1}))
+        assert frame[2] == WIRE_VERSION_MIN
+
+    def test_traced_request_roundtrip(self):
+        x = np.arange(8, dtype=float).reshape(2, 4)
+        trace = {"trace_ids": [3, 11]}
+        frame = encode_request(
+            Request(9, "predict", ("m", x), trace=trace)
+        )
+        assert frame[2] == WIRE_VERSION
+        back = decode_frame(frame)
+        assert back.trace == trace
+        ref, got = back.payload
+        assert ref == "m" and np.array_equal(got, x)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values)
+    def test_trace_value_space_roundtrip(self, trace):
+        # The trace slot takes any wire value; None means "no trace"
+        # and collapses back to a v1 frame.
+        frame = encode_request(Request(1, "ping", None, trace=trace))
+        back = decode_frame(frame)
+        if trace is None:
+            assert frame[2] == WIRE_VERSION_MIN and back.trace is None
+        else:
+            assert frame[2] == WIRE_VERSION
+            assert wire_equal(back.trace, trace)
+
+    def test_v1_peer_rejects_traced_frame(self):
+        # A v1 peer pins version == 1; the v2 byte must fail its header
+        # check loudly instead of being misread as a v1 body.
+        frame = encode_request(
+            Request(2, "predict", ("m", [0.5]), trace={"trace_ids": [1]})
+        )
+        assert frame[2] != WIRE_VERSION_MIN  # v1 check would reject
+
+    def test_metrics_snapshot_op_roundtrip(self):
+        # The op added for worker metric pulls rides the normal codec.
+        frame = encode_request(Request(3, "metrics_snapshot", None))
+        back = decode_frame(frame)
+        assert back.op == "metrics_snapshot" and back.payload is None

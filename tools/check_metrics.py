@@ -1,0 +1,214 @@
+"""Prometheus text-exposition linter for the observability exporter.
+
+Validates the invariants a real Prometheus scraper enforces (and a few
+it merely tolerates but that indicate a rendering bug on our side):
+
+* every sample line belongs to a family that declared ``# HELP`` and
+  ``# TYPE`` *before* its first sample;
+* ``# TYPE`` is one of ``counter`` / ``gauge`` / ``histogram``;
+* no family declares HELP or TYPE twice (a merge bug in
+  ``render_text``);
+* no two sample lines repeat the same series (name + label set) — a
+  duplicate makes the whole scrape rejected;
+* metric and label names match the Prometheus grammar; values parse as
+  floats; histogram families expose ``_bucket``/``_sum``/``_count``
+  with a ``+Inf`` bucket per label set.
+
+Usable as a library (``lint_metrics(text) -> [errors]``) — the obs
+smoke job and ``tests/test_obs_tools.py`` both call it — or as a CLI
+reading a scrape from a file or stdin::
+
+    python tools/check_metrics.py scrape.prom
+    curl -s localhost:9464/metrics | python tools/check_metrics.py -
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Set, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: ``name{labels} value`` — labels optional; timestamps unsupported on
+#: purpose (the exporter never emits them).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+VALID_KINDS = ("counter", "gauge", "histogram")
+
+#: Suffixes a histogram family's samples may carry.
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _base_family(name: str, kinds: Dict[str, str]) -> Optional[str]:
+    """Resolve a sample name to its declared family: exact for scalar
+    kinds, suffix-stripped for histograms."""
+    if name in kinds and kinds[name] != "histogram":
+        return name
+    for suffix in _HIST_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if kinds.get(base) == "histogram":
+                return base
+    if kinds.get(name) == "histogram":
+        return None  # bare sample of a histogram family is invalid
+    return None
+
+
+def _parse_labels(raw: str, line_no: int,
+                  errors: List[str]) -> Tuple[Tuple[str, str], ...]:
+    pairs = []
+    # Split on commas outside escaped quotes; the exporter never emits
+    # commas inside label values unescaped, so a simple split suffices
+    # once values are validated pair-by-pair.
+    for chunk in filter(None, raw.split(",")):
+        match = _LABEL_PAIR_RE.match(chunk.strip())
+        if not match:
+            errors.append(f"line {line_no}: malformed label pair {chunk!r}")
+            continue
+        key = match.group("key")
+        if not _LABEL_RE.match(key):
+            errors.append(f"line {line_no}: bad label name {key!r}")
+        pairs.append((key, match.group("value")))
+    return tuple(sorted(pairs))
+
+
+def lint_metrics(text: str) -> List[str]:
+    """Lint one exposition page; returns a list of error strings
+    (empty == clean)."""
+    errors: List[str] = []
+    helps: Set[str] = set()
+    kinds: Dict[str, str] = {}
+    seen_series: Set[Tuple[str, Tuple[Tuple[str, str], ...]]] = set()
+    sampled_families: Set[str] = set()
+    inf_buckets: Set[Tuple[str, Tuple[Tuple[str, str], ...]]] = set()
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {line_no}: HELP without text")
+                continue
+            name = parts[2]
+            if name in helps:
+                errors.append(f"line {line_no}: duplicate HELP for {name}")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {line_no}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in VALID_KINDS:
+                errors.append(
+                    f"line {line_no}: invalid type {kind!r} for {name}"
+                )
+            if name in kinds:
+                errors.append(f"line {line_no}: duplicate TYPE for {name}")
+            if name in sampled_families:
+                errors.append(
+                    f"line {line_no}: TYPE for {name} after its samples"
+                )
+            kinds[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comment — legal, ignored
+
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        if not _NAME_RE.match(name):
+            errors.append(f"line {line_no}: bad metric name {name!r}")
+        try:
+            float(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {line_no}: non-numeric value "
+                f"{match.group('value')!r}"
+            )
+        labels = _parse_labels(match.group("labels") or "", line_no,
+                               errors)
+        series = (name, labels)
+        if series in seen_series:
+            errors.append(
+                f"line {line_no}: duplicate series {name}"
+                f"{dict(labels) or ''}"
+            )
+        seen_series.add(series)
+
+        family = _base_family(name, kinds)
+        if family is None:
+            errors.append(
+                f"line {line_no}: sample {name} has no # TYPE declaration"
+            )
+            continue
+        sampled_families.add(family)
+        if family not in helps:
+            errors.append(
+                f"line {line_no}: sample {name} has no # HELP declaration"
+            )
+        if kinds.get(family) == "histogram" and name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(
+                    f"line {line_no}: histogram bucket without le label"
+                )
+            elif le == "+Inf":
+                key = tuple(p for p in labels if p[0] != "le")
+                inf_buckets.add((family, key))
+
+    # Every histogram label set that produced buckets must close with
+    # +Inf (scrapers reconstruct counts from the cumulative chain).
+    for (name, labels) in seen_series:
+        family = _base_family(name, kinds)
+        if kinds.get(family) == "histogram" and name.endswith("_bucket"):
+            key = tuple(p for p in labels if p[0] != "le")
+            if (family, key) not in inf_buckets:
+                errors.append(
+                    f"histogram {family}{dict(key) or ''} lacks a "
+                    f"+Inf bucket"
+                )
+    # Declared families that never sample are legal in Prometheus but a
+    # smell here (a registered instrument nothing writes) — not an
+    # error, so a freshly-booted exporter lints clean.
+    return sorted(set(errors))
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], "r", encoding="utf-8") as fh:
+            text = fh.read()
+    errors = lint_metrics(text)
+    for error in errors:
+        print(f"check_metrics: {error}", file=sys.stderr)
+    n_samples = sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    if errors:
+        print(f"check_metrics: {len(errors)} error(s) in "
+              f"{n_samples} samples", file=sys.stderr)
+        return 1
+    print(f"check_metrics: OK ({n_samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

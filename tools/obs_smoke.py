@@ -1,0 +1,142 @@
+"""Observability smoke: boot a live cluster, scrape it, lint the scrape.
+
+The end-to-end check behind CI's ``obs`` job: start a 2-shard
+:class:`~repro.serve.cluster.service.ShardedPolicyService` with the
+HTTP exporter and full trace sampling, drive a few hundred requests,
+then validate over real HTTP that
+
+* ``/healthz`` answers ``ok``;
+* ``/metrics`` parses clean under ``tools/check_metrics.py`` and
+  contains the batcher, router, transport, kernel-backend, and
+  per-shard worker series the telemetry spine promises;
+* ``/traces`` holds sampled requests whose per-stage spans sum to the
+  recorded end-to-end latency (within 10%);
+* the Chrome ``trace_event`` export is well-formed JSON.
+
+Artifacts (the raw scrape and the Chrome trace) are written to
+``--out`` for upload.  Exits non-zero on any failure.  Run locally::
+
+    PYTHONPATH=src python tools/obs_smoke.py --out obs-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_metrics import lint_metrics  # noqa: E402
+
+REQUIRED_SERIES = (
+    "repro_batcher_flushes_total",
+    "repro_batcher_queue_depth",
+    "repro_batcher_flush_size_bucket",
+    "repro_router_decisions_total",
+    "repro_transport_bytes_sent_total",
+    "repro_transport_bytes_received_total",
+    "repro_cluster_live_shards",
+    "repro_cluster_shard_inflight",
+    "repro_shm_resident_bytes",
+    "repro_server_requests_total",
+    "repro_server_latency_seconds_bucket",
+    "repro_native_events_total",
+    "repro_worker_traced_requests_total",
+)
+
+
+def _fixture_artifact():
+    from repro.core.tree import DecisionTreeClassifier
+    from repro.serve import PolicyArtifact
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (400, 5))
+    y = (x[:, 0] > 0.5).astype(int) * 2 + (x[:, 2] > 0.4).astype(int)
+    tree = DecisionTreeClassifier(max_leaf_nodes=32).fit(x, y)
+    return PolicyArtifact.from_tree(tree, name="abr")
+
+
+def _get(url: str) -> bytes:
+    return urllib.request.urlopen(url, timeout=10).read()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="obs-artifacts",
+                        help="artifact directory (default: obs-artifacts)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=300)
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    from repro.serve.cluster.service import ShardedPolicyService
+
+    failures = []
+    rng = np.random.default_rng(1)
+    with ShardedPolicyService(
+        n_shards=args.shards, max_batch=8, max_delay_s=0.002,
+        trace_sample=1.0, exporter_port=0,
+    ) as service:
+        service.publish("abr", _fixture_artifact())
+        for _ in range(args.requests):
+            result = service.submit(
+                "abr", rng.uniform(0, 1, 5)
+            ).result(timeout=30)
+            if not result.ok:
+                failures.append(f"serving error: {result.error}")
+                break
+        url = service.exporter.url
+
+        health = _get(url + "/healthz")
+        if health != b"ok\n":
+            failures.append(f"/healthz answered {health!r}")
+
+        scrape = _get(url + "/metrics").decode()
+        (out / "metrics.prom").write_text(scrape)
+        for error in lint_metrics(scrape):
+            failures.append(f"/metrics lint: {error}")
+        for series in REQUIRED_SERIES:
+            if series not in scrape:
+                failures.append(f"/metrics missing series {series}")
+        for shard_id in range(args.shards):
+            if f'shard="{shard_id}"' not in scrape:
+                failures.append(
+                    f"/metrics missing shard={shard_id} labeled series"
+                )
+
+        traces = json.loads(_get(url + "/traces"))
+        (out / "traces.json").write_text(json.dumps(traces, indent=1))
+        if not traces["traces"]:
+            failures.append("/traces returned no sampled traces")
+        for trace in traces["traces"][:50]:
+            span_sum = sum(s["duration_s"] for s in trace["spans"])
+            total = trace["total_s"]
+            if total > 0 and abs(span_sum - total) > 0.1 * total:
+                failures.append(
+                    f"trace {trace['trace_id']}: spans sum {span_sum:.6f}s"
+                    f" vs total {total:.6f}s (>10% apart)"
+                )
+
+        chrome = json.loads(_get(url + "/traces?format=chrome"))
+        (out / "trace.chrome.json").write_text(json.dumps(chrome))
+        if not chrome.get("traceEvents"):
+            failures.append("chrome export has no traceEvents")
+
+    for failure in failures:
+        print(f"obs_smoke: FAIL {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    n_samples = sum(1 for line in scrape.splitlines()
+                    if line.strip() and not line.startswith("#"))
+    print(f"obs_smoke: OK — {n_samples} metric samples, "
+          f"{len(traces['traces'])} traces, artifacts in {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
