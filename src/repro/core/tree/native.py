@@ -99,6 +99,31 @@ class NativeUnavailable(RuntimeError):
 _STATS_LOCK = threading.Lock()
 _STATS: Dict[str, int] = {}
 _LAST_ERROR: Optional[str] = None
+#: Optional event sink with the signature of
+#: :meth:`repro.obs.events.EventJournal.emit`; the owning serving tier
+#: (or worker replica) installs its journal here so silent kernel
+#: degradations surface as ``kernel_fallback`` events, not just a
+#: counter an operator has to know to watch.
+_EVENT_HOOK = None
+
+
+def set_event_hook(hook) -> None:
+    """Install (or clear, with ``None``) the module's event sink —
+    called as ``hook("kernel_fallback", severity=..., labels=...,
+    **fields)``.  Process-global, last writer wins; exceptions from the
+    hook are swallowed on the serving path."""
+    global _EVENT_HOOK
+    _EVENT_HOOK = hook
+
+
+def _emit_event(**fields) -> None:
+    hook = _EVENT_HOOK
+    if hook is None:
+        return
+    try:
+        hook("kernel_fallback", severity="warn", labels=None, **fields)
+    except Exception:  # noqa: BLE001 - telemetry must not break serving
+        pass
 
 
 def _bump(key: str, count: int = 1) -> None:
@@ -115,6 +140,7 @@ def _note_error(reason: str) -> None:
 def note_fallback(rows: int) -> None:
     """Record rows served by numpy although native was expected."""
     _bump("fallback_rows", rows)
+    _emit_event(rows=int(rows), last_error=last_error())
 
 
 def native_stats() -> Dict[str, Any]:

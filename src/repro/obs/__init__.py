@@ -21,11 +21,41 @@ close those gaps with zero new dependencies:
   wire / worker-service / kernel spans, exportable as Chrome
   ``trace_event`` JSON for flamegraph viewing;
 * :mod:`repro.obs.exporter` — :class:`MetricsExporter`, an opt-in
-  ``http.server`` thread exposing ``/metrics``, ``/traces``, and
-  ``/healthz`` on both serving tiers.
+  ``http.server`` thread exposing ``/metrics``, ``/traces``,
+  ``/events``, and ``/healthz`` on both serving tiers.
+
+PR 9 adds the *health engine* on top of the measurement spine — the
+layer that interprets the signals instead of just exposing them:
+
+* :mod:`repro.obs.events` — :class:`EventJournal`, a bounded ring of
+  typed, timestamped control-plane and lifecycle events (publishes,
+  shard deaths/heals, autoscale actions, canary changes, kernel
+  fallbacks, alerts) with a monotonic sequence number; worker journals
+  merge into the cluster parent's over the wire;
+* :mod:`repro.obs.health` — :class:`HealthMonitor` evaluating
+  declarative :class:`AlertRule`\\ s (including multi-window SLO
+  burn-rate rules) with pending→firing→resolved hysteresis, journaled
+  transitions, ``repro_alerts_active`` gauges and subscriber
+  callbacks;
+* :mod:`repro.obs.postmortem` — :class:`FlightRecorder`, black-box
+  incident bundles (events + metrics + traces + tier state) written
+  atomically on shard death, publish rollback, or page-severity
+  alerts.
 """
 
+from repro.obs.events import (
+    EVENT_KINDS,
+    SEVERITIES,
+    EventJournal,
+    events_to_jsonl,
+)
 from repro.obs.exporter import MetricsExporter
+from repro.obs.health import (
+    AlertRule,
+    HealthMonitor,
+    burn_rate_rule,
+    standard_rules,
+)
 from repro.obs.metrics import (
     LogHistogram,
     MetricsHub,
@@ -33,6 +63,7 @@ from repro.obs.metrics import (
     render_text,
     with_labels,
 )
+from repro.obs.postmortem import FlightRecorder, load_bundle
 from repro.obs.trace import Span, TraceRecord, Tracer
 
 __all__ = [
@@ -45,4 +76,14 @@ __all__ = [
     "Span",
     "TraceRecord",
     "MetricsExporter",
+    "EventJournal",
+    "EVENT_KINDS",
+    "SEVERITIES",
+    "events_to_jsonl",
+    "AlertRule",
+    "HealthMonitor",
+    "burn_rate_rule",
+    "standard_rules",
+    "FlightRecorder",
+    "load_bundle",
 ]

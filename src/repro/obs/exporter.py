@@ -9,6 +9,10 @@ serving three endpoints:
 * ``GET /traces``   — finished sampled traces as JSON; pass
   ``?format=chrome`` for Chrome ``trace_event`` JSON, ``?limit=N`` to
   cap the count;
+* ``GET /events``   — the structured event journal as JSON Lines
+  (``?since=SEQ`` returns only events with a larger sequence number —
+  the incremental-poll contract); served only when the tier wires an
+  ``events_fn`` in;
 * ``GET /healthz``  — liveness probe, ``200 ok``.
 
 Opt-in by construction: the serving tiers only start one when given
@@ -62,6 +66,14 @@ class _Handler(BaseHTTPRequestHandler):
                     fmt == "chrome"))
                 self._send(200, "application/json",
                            json.dumps(payload).encode())
+            elif route == "/events":
+                query = parse_qs(parsed.query)
+                since = 0
+                if "since" in query:
+                    since = max(0, int(query["since"][0]))
+                body = exporter.render_events(since=since)
+                self._send(200, "application/x-ndjson; charset=utf-8",
+                           body.encode())
             elif route == "/healthz":
                 self._send(200, "text/plain; charset=utf-8", b"ok\n")
             else:
@@ -93,13 +105,16 @@ class MetricsExporter:
         tracer: Optional[Any] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        events_fn: Optional[Callable[[int], List[Dict[str, Any]]]] = None,
     ) -> None:
         self._render_metrics = render_metrics
         self._tracer = tracer
+        self._events_fn = events_fn
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.exporter = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
         self.host = self._server.server_address[0]
         self.port = int(self._server.server_address[1])
 
@@ -121,17 +136,40 @@ class MetricsExporter:
             **self._tracer.snapshot(),
         }
 
+    def render_events(self, since: int = 0) -> str:
+        if self._events_fn is None:
+            return ""
+        from repro.obs.events import events_to_jsonl
+
+        return events_to_jsonl(self._events_fn(since))
+
     def start(self) -> "MetricsExporter":
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._server.serve_forever,
-                name="repro-obs-exporter",
-                daemon=True,
+        """Spin up the serving thread.  One-shot: a second ``start``
+        (the thread is already serving) or a ``start`` after ``close``
+        (the socket is gone) raises :class:`RuntimeError` instead of
+        silently leaking a duplicate or serving on a dead socket."""
+        if self._closed:
+            raise RuntimeError(
+                "MetricsExporter is closed; construct a new one instead "
+                "of restarting it"
             )
-            self._thread.start()
+        if self._thread is not None:
+            raise RuntimeError(
+                f"MetricsExporter already serving on {self.url}; "
+                f"start() is one-shot"
+            )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-exporter",
+            daemon=True,
+        )
+        self._thread.start()
         return self
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._thread is not None:
             self._server.shutdown()
             self._thread.join(timeout=5.0)

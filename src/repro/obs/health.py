@@ -1,0 +1,439 @@
+"""SLO burn-rate alert engine over the metrics spine.
+
+The serving stack records symptoms (latency windows, error ratios,
+shadow agreement, kernel fallbacks, queue depth); this module turns
+them into *verdicts*: declarative :class:`AlertRule` predicates
+evaluated by a :class:`HealthMonitor` ticker with hysteresis, so a
+transient blip never pages and a sustained breach always does.
+
+The state machine per rule follows the Prometheus/Google-SRE shape:
+
+``inactive`` → (predicate true) → ``pending`` → (still true after
+``for_s``) → ``firing`` → (predicate false) → resolved → ``inactive``
+(re-arming only after ``cooldown_s``).
+
+Transitions are journaled (``slo_breach`` on pending entry,
+``alert_fire`` / ``alert_resolve`` on the firing edge), mirrored into
+``repro_alerts_active{rule}`` gauges, and fanned out to subscribed
+callbacks — the hook a future auto-canary controller consumes instead
+of re-deriving SLO state.  A rule firing at ``page`` severity triggers
+the black-box :class:`~repro.obs.postmortem.FlightRecorder`.
+
+Multi-window burn-rate rules (:func:`burn_rate_rule`) require the
+breach over a fast *and* a slow window simultaneously — fast-only
+ignores old incidents, slow-only reacts too late; both together is the
+standard SRE-workbook construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "AlertRule",
+    "HealthMonitor",
+    "burn_rate_rule",
+    "standard_rules",
+]
+
+
+@dataclass
+class AlertRule:
+    """One declarative health verdict.
+
+    ``predicate`` is any zero-argument callable returning truthy while
+    the condition is breached — typically a closure over
+    :class:`~repro.serve.server.ServerMetrics` windows or a
+    :class:`~repro.obs.metrics.MetricsHub` snapshot.  A raising
+    predicate counts as "not breached" (monitoring must never take the
+    service down), but the failure is counted in the monitor's
+    ``predicate_errors``.
+    """
+
+    name: str
+    predicate: Callable[[], bool]
+    severity: str = "warn"
+    #: Breach must persist this long before the rule fires (hysteresis
+    #: against flapping); 0 fires on the first breached tick.
+    for_s: float = 0.0
+    #: After resolving, the rule cannot re-enter pending until this
+    #: much time has passed (dampens fire/resolve oscillation).
+    cooldown_s: float = 0.0
+    labels: Dict[str, str] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        from repro.obs.events import SEVERITIES
+
+        if not self.name:
+            raise ValueError("alert rules need a non-empty name")
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r} "
+                f"(not in {SEVERITIES})"
+            )
+        if self.for_s < 0 or self.cooldown_s < 0:
+            raise ValueError("for_s and cooldown_s must be >= 0")
+
+    @property
+    def key(self) -> str:
+        """Dedup identity: rule name + sorted labels."""
+        if not self.labels:
+            return self.name
+        tags = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"{self.name}{{{tags}}}"
+
+
+def burn_rate_rule(
+    name: str,
+    value_fn: Callable[[float], float],
+    threshold: float,
+    fast_window_s: float = 60.0,
+    slow_window_s: float = 1800.0,
+    **kwargs: Any,
+) -> AlertRule:
+    """Multi-window burn-rate rule: breached only while
+    ``value_fn(window)`` exceeds ``threshold`` over *both* the fast and
+    the slow window.
+
+    ``value_fn`` takes a window length in seconds and returns the
+    signal over that window — e.g. ``metrics.p95_ms`` or
+    ``metrics.error_ratio``.  Extra keyword arguments (``severity``,
+    ``for_s``, ``cooldown_s``, ``labels``, ``description``) pass
+    through to :class:`AlertRule`.
+    """
+    if fast_window_s <= 0 or slow_window_s <= 0:
+        raise ValueError("burn-rate windows must be positive")
+    if fast_window_s > slow_window_s:
+        raise ValueError("fast window must not exceed the slow window")
+
+    def predicate() -> bool:
+        return (value_fn(fast_window_s) > threshold
+                and value_fn(slow_window_s) > threshold)
+
+    kwargs.setdefault(
+        "description",
+        f"{name}: signal > {threshold} over {fast_window_s:g}s "
+        f"and {slow_window_s:g}s windows",
+    )
+    return AlertRule(name=name, predicate=predicate, **kwargs)
+
+
+class _RuleState:
+    __slots__ = ("phase", "pending_since", "fired_at", "resolved_at")
+
+    def __init__(self) -> None:
+        self.phase = "inactive"  # inactive | pending | firing
+        self.pending_since: Optional[float] = None
+        self.fired_at: Optional[float] = None
+        self.resolved_at: Optional[float] = None
+
+
+class HealthMonitor:
+    """Evaluate :class:`AlertRule`\\ s on a background ticker.
+
+    Args:
+        rules: initial rule set (more via :meth:`add_rule`).
+        journal: optional :class:`~repro.obs.events.EventJournal` that
+            receives ``slo_breach`` / ``alert_fire`` / ``alert_resolve``
+            events.
+        hub: optional metrics hub for ``repro_alerts_active{rule}``
+            gauges (1 while firing, 0 otherwise; series appear at
+            registration so dashboards see every known rule).
+        interval_s: ticker period for :meth:`start`.
+        recorder: optional
+            :class:`~repro.obs.postmortem.FlightRecorder`; a rule
+            firing at ``page`` severity captures a bundle.
+        clock: monotonic-seconds source (overridable so tests drive
+            the state machine deterministically via :meth:`tick`).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[List[AlertRule]] = None,
+        journal: Any = None,
+        hub: Any = None,
+        interval_s: float = 1.0,
+        recorder: Any = None,
+        clock=time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self._journal = journal
+        self._recorder = recorder
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rules: Dict[str, AlertRule] = {}
+        self._states: Dict[str, _RuleState] = {}
+        self._callbacks: List[Callable[[AlertRule, str, dict], Any]] = []
+        self._gauge = None
+        if hub is not None:
+            self._gauge = hub.gauge(
+                "repro_alerts_active",
+                "1 while the alert rule is firing, 0 otherwise",
+            )
+        self.ticks = 0
+        self.predicate_errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        for rule in rules or []:
+            self.add_rule(rule)
+
+    # -- configuration ----------------------------------------------------
+    def add_rule(self, rule: AlertRule) -> None:
+        with self._lock:
+            if rule.key in self._rules:
+                raise ValueError(f"duplicate alert rule {rule.key!r}")
+            self._rules[rule.key] = rule
+            self._states[rule.key] = _RuleState()
+        if self._gauge is not None:
+            self._gauge.labels(rule=rule.name, **rule.labels).set(0)
+
+    def subscribe(
+        self, callback: Callable[[AlertRule, str, dict], Any]
+    ) -> None:
+        """Register ``callback(rule, transition, event)`` for
+        ``"fire"`` / ``"resolve"`` transitions (the auto-canary hook).
+        A raising callback is swallowed — observers must not break the
+        monitor."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    # -- evaluation -------------------------------------------------------
+    def tick(self, now: Optional[float] = None) -> List[dict]:
+        """Evaluate every rule once; returns the transitions taken as
+        ``[{"rule", "transition", "at"}, ...]`` (empty when quiet)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            rules = list(self._rules.values())
+        transitions: List[dict] = []
+        for rule in rules:
+            try:
+                breached = bool(rule.predicate())
+            except Exception:  # noqa: BLE001 - a broken probe never pages
+                self.predicate_errors += 1
+                breached = False
+            state = self._states[rule.key]
+            if breached:
+                if state.phase == "inactive":
+                    if (rule.cooldown_s > 0
+                            and state.resolved_at is not None
+                            and now - state.resolved_at < rule.cooldown_s):
+                        continue  # still in cooldown: stay quiet
+                    state.phase = "pending"
+                    state.pending_since = now
+                    self._emit("slo_breach", rule, "info", phase="pending")
+                if (state.phase == "pending"
+                        and now - state.pending_since >= rule.for_s):
+                    state.phase = "firing"
+                    state.fired_at = now
+                    event = self._emit(
+                        "alert_fire", rule, rule.severity,
+                        pending_s=round(now - state.pending_since, 6),
+                    )
+                    if self._gauge is not None:
+                        self._gauge.labels(
+                            rule=rule.name, **rule.labels
+                        ).set(1)
+                    if (self._recorder is not None
+                            and rule.severity == "page"):
+                        try:
+                            self._recorder.capture(
+                                f"alert_{rule.name}",
+                                extra={"rule": rule.key},
+                            )
+                        except Exception:  # noqa: BLE001 - best effort
+                            pass
+                    self._notify(rule, "fire", event)
+                    transitions.append(
+                        {"rule": rule.key, "transition": "fire", "at": now}
+                    )
+            else:
+                if state.phase == "pending":
+                    state.phase = "inactive"
+                    state.pending_since = None
+                elif state.phase == "firing":
+                    state.phase = "inactive"
+                    state.resolved_at = now
+                    event = self._emit(
+                        "alert_resolve", rule, "info",
+                        firing_s=round(now - state.fired_at, 6),
+                    )
+                    if self._gauge is not None:
+                        self._gauge.labels(
+                            rule=rule.name, **rule.labels
+                        ).set(0)
+                    self._notify(rule, "resolve", event)
+                    transitions.append(
+                        {"rule": rule.key, "transition": "resolve",
+                         "at": now}
+                    )
+        self.ticks += 1
+        return transitions
+
+    def _emit(self, kind: str, rule: AlertRule, severity: str,
+              **fields: Any) -> dict:
+        fields.setdefault("description", rule.description)
+        event = {"kind": kind, "severity": severity,
+                 "labels": {"rule": rule.name, **rule.labels},
+                 "fields": fields}
+        if self._journal is not None:
+            try:
+                event = self._journal.emit(
+                    kind, severity=severity,
+                    labels={"rule": rule.name, **rule.labels}, **fields,
+                )
+            except Exception:  # noqa: BLE001 - journaling best effort
+                pass
+        return event
+
+    def _notify(self, rule: AlertRule, transition: str,
+                event: dict) -> None:
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            try:
+                callback(rule, transition, event)
+            except Exception:  # noqa: BLE001 - observer errors stay theirs
+                pass
+
+    # -- introspection ----------------------------------------------------
+    def active_alerts(self) -> List[str]:
+        """Keys of rules currently firing."""
+        with self._lock:
+            return sorted(
+                key for key, state in self._states.items()
+                if state.phase == "firing"
+            )
+
+    def states(self) -> Dict[str, str]:
+        """Rule key -> phase (``inactive`` / ``pending`` / ``firing``)."""
+        with self._lock:
+            return {key: state.phase
+                    for key, state in self._states.items()}
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> "HealthMonitor":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-obs-health", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - the ticker must survive
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "HealthMonitor":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def standard_rules(
+    metrics: Any,
+    slo_p95_ms: Optional[float] = None,
+    max_error_ratio: Optional[float] = 0.1,
+    fast_window_s: float = 60.0,
+    slow_window_s: float = 1800.0,
+    for_s: float = 5.0,
+    queue_depth_fn: Optional[Callable[[], int]] = None,
+    max_queue_depth: int = 1024,
+    shadow_report_fn: Optional[Callable[[], Dict[str, dict]]] = None,
+    min_shadow_agreement: float = 0.98,
+    min_shadow_requests: int = 100,
+    backend_report_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+    max_fallback_ratio: float = 0.01,
+) -> List[AlertRule]:
+    """The serving stack's stock rule set, closed over a tier's live
+    signal sources.
+
+    * ``p95_slo_burn`` (page): p95 latency above ``slo_p95_ms`` over
+      both burn windows — only built when an SLO is given;
+    * ``error_ratio_burn`` (page): error ratio above
+      ``max_error_ratio`` over both windows;
+    * ``shadow_agreement_floor`` (warn): any shadow split's agreement
+      below ``min_shadow_agreement`` once it has seen
+      ``min_shadow_requests`` mirrored requests;
+    * ``native_fallback_ratio`` (warn): numpy-served fallback rows
+      exceed ``max_fallback_ratio`` of native-served rows;
+    * ``queue_depth_ceiling`` (warn): batcher backlog above
+      ``max_queue_depth``.
+    """
+    rules: List[AlertRule] = []
+    if slo_p95_ms is not None:
+        rules.append(burn_rate_rule(
+            "p95_slo_burn", metrics.p95_ms, float(slo_p95_ms),
+            fast_window_s=fast_window_s, slow_window_s=slow_window_s,
+            severity="page", for_s=for_s,
+            description=f"p95 latency above {slo_p95_ms:g} ms SLO",
+        ))
+    if max_error_ratio is not None:
+        rules.append(burn_rate_rule(
+            "error_ratio_burn", metrics.error_ratio,
+            float(max_error_ratio),
+            fast_window_s=fast_window_s, slow_window_s=slow_window_s,
+            severity="page", for_s=for_s,
+            description=f"error ratio above {max_error_ratio:g}",
+        ))
+    if shadow_report_fn is not None:
+        def shadow_low() -> bool:
+            for row in shadow_report_fn().values():
+                if (row.get("requests", 0) >= min_shadow_requests
+                        and row.get("agreement_rate", 1.0)
+                        < min_shadow_agreement):
+                    return True
+            return False
+
+        rules.append(AlertRule(
+            "shadow_agreement_floor", shadow_low, severity="warn",
+            for_s=for_s,
+            description=(
+                f"shadow agreement below {min_shadow_agreement:g} "
+                f"after {min_shadow_requests} mirrored requests"
+            ),
+        ))
+
+    if backend_report_fn is not None:
+        def fallback_high() -> bool:
+            report = backend_report_fn() or {}
+            native_rows = fallback_rows = 0
+            for row in (report.get("models") or {}).values():
+                native_rows += int(row.get("native_rows", 0))
+                fallback_rows += int(row.get("fallback_rows", 0))
+            total = native_rows + fallback_rows
+            return (total > 0
+                    and fallback_rows / total > max_fallback_ratio)
+
+        rules.append(AlertRule(
+            "native_fallback_ratio", fallback_high, severity="warn",
+            for_s=for_s,
+            description=(
+                f"numpy fallback rows above {max_fallback_ratio:g} of "
+                f"tree-served rows"
+            ),
+        ))
+    if queue_depth_fn is not None:
+        rules.append(AlertRule(
+            "queue_depth_ceiling",
+            lambda: queue_depth_fn() > max_queue_depth,
+            severity="warn", for_s=for_s,
+            description=f"batcher backlog above {max_queue_depth}",
+        ))
+    return rules

@@ -1,0 +1,187 @@
+"""Black-box postmortem capture: atomic incident bundles on disk.
+
+When something breaks — a shard dies, a publish rolls back, a
+page-severity alert fires — the moment to collect evidence is *then*,
+not when an operator shows up.  A :class:`FlightRecorder` snapshots
+everything the serving tier knows into one JSON bundle:
+
+* the newest journal events (the "what happened" sequence),
+* the full metrics page (Prometheus text — lintable and diffable),
+* the recent trace ring (per-request latency decomposition),
+* tier state (shard membership, splits, registry fingerprint).
+
+Bundles are written atomically (temp file + ``os.replace``) under
+``REPRO_POSTMORTEM_DIR`` (or an explicit directory), pruned to a
+retention cap oldest-first, and pretty-printed / diffed by
+``tools/postmortem.py``.  Capture is **opt-in**: with neither an
+explicit directory nor the environment variable set, the recorder is
+disabled and every :meth:`FlightRecorder.capture` is a no-op — chaos
+tests and benchmarks must not litter the working tree.  Capture never
+raises: a full disk must not take down the serving path that is
+already having a bad day.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["FlightRecorder", "POSTMORTEM_DIR_ENV", "load_bundle"]
+
+#: Environment variable naming the bundle directory (opt-in switch).
+POSTMORTEM_DIR_ENV = "REPRO_POSTMORTEM_DIR"
+
+#: Bundle schema version, bumped on incompatible layout changes.
+BUNDLE_SCHEMA = 1
+
+
+def _slug(reason: str) -> str:
+    out = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+    ).strip("-")
+    return out[:64] or "capture"
+
+
+class FlightRecorder:
+    """Dump incident bundles for one serving tier.
+
+    Args:
+        directory: bundle directory; ``None`` falls back to
+            ``$REPRO_POSTMORTEM_DIR``, and if that is unset too the
+            recorder is disabled (captures no-op and return ``None``).
+        retain: newest bundles kept; older ones are pruned at capture.
+        journal: optional :class:`~repro.obs.events.EventJournal`
+            whose newest ``events_tail`` events land in the bundle.
+        metrics_fn: optional zero-arg callable returning the metrics
+            page (typically the tier's ``render_metrics``).
+        tracer: optional :class:`~repro.obs.trace.Tracer` whose
+            finished-trace ring is included.
+        state_fn: optional zero-arg callable returning a JSON-friendly
+            tier state dict (shard membership, splits, registry).
+        events_tail: journal events per bundle.
+        clock: epoch-seconds source (overridable in tests).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        retain: int = 8,
+        journal: Any = None,
+        metrics_fn: Optional[Callable[[], str]] = None,
+        tracer: Any = None,
+        state_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        events_tail: int = 256,
+        clock=time.time,
+    ) -> None:
+        if retain < 1:
+            raise ValueError("retain must be at least 1")
+        if directory is None:
+            directory = os.environ.get(POSTMORTEM_DIR_ENV) or None
+        self.directory = Path(directory) if directory else None
+        self.retain = retain
+        self._journal = journal
+        self._metrics_fn = metrics_fn
+        self._tracer = tracer
+        self._state_fn = state_fn
+        self._events_tail = events_tail
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None
+
+    # -- capture ----------------------------------------------------------
+    def capture(self, reason: str,
+                extra: Optional[Dict[str, Any]] = None) -> Optional[Path]:
+        """Write one bundle; returns its path, or ``None`` when the
+        recorder is disabled or the write failed (capture never
+        raises — the incident path must not gain failure modes)."""
+        if self.directory is None:
+            return None
+        try:
+            return self._capture(reason, extra)
+        except Exception:  # noqa: BLE001 - black box must not crash host
+            return None
+
+    def _capture(self, reason: str,
+                 extra: Optional[Dict[str, Any]]) -> Path:
+        now = self._clock()
+        bundle: Dict[str, Any] = {
+            "schema": BUNDLE_SCHEMA,
+            "reason": reason,
+            "ts": now,
+            "iso": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+            "pid": os.getpid(),
+        }
+        if extra:
+            bundle["extra"] = dict(extra)
+        if self._journal is not None:
+            try:
+                bundle["events"] = self._journal.tail(self._events_tail)
+            except Exception:  # noqa: BLE001 - partial bundles still help
+                bundle["events"] = []
+        if self._metrics_fn is not None:
+            try:
+                bundle["metrics"] = self._metrics_fn()
+            except Exception:  # noqa: BLE001
+                bundle["metrics"] = ""
+        if self._tracer is not None:
+            try:
+                bundle["traces"] = self._tracer.traces()
+            except Exception:  # noqa: BLE001
+                bundle["traces"] = []
+        if self._state_fn is not None:
+            try:
+                bundle["state"] = self._state_fn()
+            except Exception:  # noqa: BLE001
+                bundle["state"] = None
+        with self._lock:
+            self._counter += 1
+            # Millisecond timestamp + per-process counter: names sort
+            # chronologically and two captures in one millisecond (a
+            # death and its alert) still get distinct files.
+            name = (f"pm-{int(now * 1000):013d}-{self._counter:04d}"
+                    f"-{_slug(reason)}.json")
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / name
+            tmp = self.directory / (name + ".tmp")
+            tmp.write_text(
+                json.dumps(bundle, sort_keys=True, default=str, indent=1)
+            )
+            os.replace(tmp, path)  # readers only ever see whole bundles
+            self._prune_locked()
+        return path
+
+    def _prune_locked(self) -> None:
+        bundles = sorted(self.directory.glob("pm-*.json"))
+        for stale in bundles[:-self.retain]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # -- reading ----------------------------------------------------------
+    def bundles(self) -> List[Path]:
+        """Bundle paths on disk, oldest first (empty when disabled)."""
+        if self.directory is None or not self.directory.exists():
+            return []
+        return sorted(self.directory.glob("pm-*.json"))
+
+
+def load_bundle(path: Any) -> Dict[str, Any]:
+    """Parse one bundle file, validating its schema marker."""
+    bundle = json.loads(Path(path).read_text())
+    if not isinstance(bundle, dict) or "schema" not in bundle:
+        raise ValueError(f"{path}: not a postmortem bundle")
+    if bundle["schema"] > BUNDLE_SCHEMA:
+        raise ValueError(
+            f"{path}: bundle schema {bundle['schema']} is newer than "
+            f"this reader ({BUNDLE_SCHEMA})"
+        )
+    return bundle

@@ -198,9 +198,11 @@ class Autoscaler:
     scale-up never races a publish.
     """
 
-    def __init__(self, service: Any, config: AutoscaleConfig) -> None:
+    def __init__(self, service: Any, config: AutoscaleConfig,
+                 journal: Any = None) -> None:
         self.service = service
         self.config = config
+        self.journal = journal
         self.events: List[ScaleEvent] = []
         self.scale_ups = 0
         self.scale_downs = 0
@@ -284,6 +286,14 @@ class Autoscaler:
                     "idle_ticks": signals.idle_ticks,
                 },
             ))
+        if self.journal is not None:
+            try:
+                self.journal.emit(
+                    f"autoscale_{action}", reason=reason,
+                    shards_before=before, shards_after=before + delta,
+                )
+            except Exception:  # noqa: BLE001 - journaling best effort
+                pass
 
     def _sample(self) -> Optional[AutoscaleSignals]:
         raw = self.service._autoscale_signals(

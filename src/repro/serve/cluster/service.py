@@ -108,7 +108,9 @@ from repro.serve.cluster.wire import (
     decode_frame,
     encode_request,
 )
+from repro.obs.events import EventJournal
 from repro.obs.metrics import MetricsHub, render_text, with_labels
+from repro.obs.postmortem import FlightRecorder
 from repro.obs.trace import Tracer
 from repro.serve.cluster.worker import ERR_SHARD
 from repro.serve.registry import ModelRegistry, control_state_digest
@@ -447,6 +449,7 @@ class ShardedPolicyService:
         transport: Union[str, WorkerFactory] = "pipe",
         trace_sample: float = 0.0,
         exporter_port: Optional[int] = None,
+        postmortem_dir: Optional[str] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -473,12 +476,32 @@ class ShardedPolicyService:
         self.registry = registry if registry is not None else ModelRegistry()
         self.hub = MetricsHub()
         self.tracer = Tracer(sample_rate=trace_sample)
+        #: The cluster's merged flight log: parent-side control and
+        #: lifecycle events land here directly; worker journals are
+        #: drained over the ``events_since`` op and re-sequenced in
+        #: under a ``shard`` label (see :meth:`events`).
+        self.journal = EventJournal(hub=self.hub)
+        self.registry.journal = self.journal
+        #: Per-shard high-water mark of drained worker event seqs.
+        self._worker_event_seq: Dict[int, int] = {}
+        self._events_lock = threading.Lock()
         self._metrics = ServerMetrics(max_latency_samples, hub=self.hub)
         self._m_routed = self.hub.counter(
             "repro_router_decisions_total",
             "Flush groups dispatched, per target shard",
         )
         self.exporter = None
+        self.health = None
+        #: Black-box capture for shard deaths, publish rollbacks and
+        #: page-severity alerts (disabled unless a directory is
+        #: configured via the argument or $REPRO_POSTMORTEM_DIR).
+        self.recorder = FlightRecorder(
+            directory=postmortem_dir,
+            journal=self.journal,
+            metrics_fn=self.render_metrics,
+            tracer=self.tracer,
+            state_fn=self._blackbox_state,
+        )
         #: (name, version) -> SharedMemory the parent owns; released on
         #: retire (workers unmapped theirs) or at close.  Kept alive for
         #: the version's whole life — replacement replicas re-attach
@@ -580,7 +603,9 @@ class ShardedPolicyService:
                         f"shard {shard.shard_id} failed its startup ping"
                     )
             if autoscale is not None:
-                self.autoscaler = Autoscaler(self, autoscale).start()
+                self.autoscaler = Autoscaler(
+                    self, autoscale, journal=self.journal
+                ).start()
             register_serving_collectors(
                 self.hub, batcher=self._dispatcher,
                 delay=self._dispatcher.delay,
@@ -603,6 +628,9 @@ class ShardedPolicyService:
         process, transport = self._worker_transport.spawn(
             self._ctx, shard_id, self._next_child_seed()
         )
+        self.journal.emit("shard_spawn",
+                          labels={"shard": str(shard_id)},
+                          transport=self.transport)
         return _Shard(shard_id, process, transport)
 
     def _start_reader(self, shard: _Shard) -> None:
@@ -818,6 +846,11 @@ class ShardedPolicyService:
                 self._shards_by_id.pop(dead.shard_id, None)
                 self._shards_by_id[shard.shard_id] = shard
                 self._shards = shards
+            self.journal.emit(
+                "shard_heal", labels={"shard": str(shard.shard_id)},
+                replaced=dead.shard_id,
+                control_log_len=len(self._control_log),
+            )
         except Exception:  # noqa: BLE001 - healing is best effort
             pass
 
@@ -958,6 +991,14 @@ class ShardedPolicyService:
             if (self._remote_fleet and shipment.key is not None
                     and self._cache_refs.get(shipment.key, 0) == 0):
                 self._release_cache_segment(shipment.key)
+            # The registry hook already journaled the rollback; the
+            # black box keeps the evidence (which shards applied, the
+            # metrics page at failure time).
+            self.recorder.capture(
+                f"publish_rollback_{name}",
+                extra={"model": name, "version": version,
+                       "applied_shards": [s.shard_id for s in applied]},
+            )
             raise
         self._control_log.append(["publish", name, shipment, version])
         if self._remote_fleet and shipment.key is not None:
@@ -1127,14 +1168,22 @@ class ShardedPolicyService:
             self._drop_split_log_entries(ref)
             self._control_log.append(["set_split", payload])
             self._broadcast_or_evict("set_split", payload)
+        self.journal.emit(
+            "canary_change", labels={"ref": ref},
+            canary=canary, canary_fraction=float(canary_fraction),
+            shadow=shadow,
+        )
 
     def clear_split(self, ref: str) -> None:
         """Remove ``ref``'s split on every shard (and from the replay
         log — a fresh replica simply never installs it)."""
         with self._control_lock:
             self._broadcast_or_evict("clear_split", ref)
-            self._splits.pop(ref, None)
+            removed = self._splits.pop(ref, None)
             self._drop_split_log_entries(ref)
+        if removed is not None:
+            self.journal.emit("canary_change", labels={"ref": ref},
+                              cleared=True)
 
     def _drop_split_log_entries(self, ref: str) -> None:
         self._control_log = [
@@ -1516,6 +1565,20 @@ class ShardedPolicyService:
                 entry.ok = False
                 entry.result = f"shard {shard.shard_id} died"
                 entry.event.set()
+        # Journal + black-box capture run on the detector thread but
+        # take no control lock (the journal has its own, the recorder
+        # only reads) — the reader must stay free to fail futures.
+        self.journal.emit(
+            "shard_death",
+            severity="info" if shard.draining else "error",
+            labels={"shard": str(shard.shard_id)},
+            draining=shard.draining, failed_requests=len(doomed),
+        )
+        if not shard.draining and not self._closed:
+            self.recorder.capture(
+                f"shard_death_{shard.shard_id}",
+                extra={"shard": shard.shard_id},
+            )
         if self.self_heal and not self._closed and not shard.draining:
             # Healing replays the control log, which needs the control
             # lock — never block the reader thread (it may *be* the
@@ -1838,19 +1901,121 @@ class ShardedPolicyService:
                     )
         return render_text(*snaps)
 
+    def _drain_worker_events(self) -> None:
+        """Pull every worker journal's new events into the parent journal.
+
+        Incremental: the parent remembers the last drained seq per
+        shard and asks ``events_since`` for the delta only; replies are
+        re-sequenced into the merged journal under a ``shard`` label.
+        Read-only and shard-death-tolerant (same posture as
+        ``render_metrics``), serialized so two concurrent ``/events``
+        scrapes cannot double-ingest one delta.
+        """
+        if self._closed:
+            return
+        with self._events_lock:
+            for shard in list(self._shards):
+                if not shard.alive:
+                    continue
+                last = self._worker_event_seq.get(shard.shard_id, 0)
+                try:
+                    events = self._rpc(shard, "events_since", last)
+                except RuntimeError:
+                    continue  # dying shard: the survivors still drain
+                if not events:
+                    continue
+                self._worker_event_seq[shard.shard_id] = max(
+                    int(e.get("seq", last)) for e in events
+                )
+                self.journal.ingest(
+                    events, {"shard": str(shard.shard_id)}
+                )
+
+    def events(self, since: int = 0) -> List[dict]:
+        """The merged cluster event stream (parent + every worker),
+        newer than ``since`` — what ``/events?since=`` serves.
+
+        Each read first drains the worker journals, so the merged
+        stream is current as of the call; ``seq`` is globally
+        monotonic over the merged journal (worker-origin events keep
+        their per-shard seq in ``fields.origin_seq``).
+        """
+        self._drain_worker_events()
+        return self.journal.events_since(since)
+
+    def _blackbox_state(self) -> Dict[str, Any]:
+        """Tier state for postmortem bundles.
+
+        Deliberately lock-free (list/dict reads are atomic snapshots):
+        capture runs on reader threads and inside control operations,
+        so taking the control lock here could deadlock the very
+        failure path being recorded.
+        """
+        return {
+            "tier": "ShardedPolicyService",
+            "transport": self.transport,
+            "routing": self.routing,
+            "shards": [
+                {"shard": s.shard_id, "alive": s.alive,
+                 "draining": s.draining, "inflight": s.inflight}
+                for s in list(self._shards)
+            ],
+            "splits": split_state(dict(self._splits)),
+            "control_log_len": len(self._control_log),
+            "registry": self.registry.fingerprint(),
+        }
+
     def start_exporter(self, port: int = 0,
                        host: str = "127.0.0.1") -> "MetricsExporter":
-        """Start (or return) the HTTP exporter serving ``/metrics``,
-        ``/traces`` and ``/healthz`` for this service."""
-        if self.exporter is None:
-            from repro.obs.exporter import MetricsExporter
+        """Start the HTTP exporter serving ``/metrics``, ``/traces``,
+        ``/events`` and ``/healthz`` for this service.
 
-            self.exporter = MetricsExporter(
-                self.render_metrics, tracer=self.tracer,
-                host=host, port=port,
+        One-shot per service: calling it again while an exporter runs,
+        or after :meth:`close`, raises ``RuntimeError`` — the old
+        silent-return behaviour could leak a second HTTP server.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "service is closed: start_exporter() would serve "
+                "metrics for a dead cluster"
             )
-            self.exporter.start()
+        if self.exporter is not None:
+            raise RuntimeError(
+                f"exporter already running on {self.exporter.url}; "
+                f"close() it before starting another"
+            )
+        from repro.obs.exporter import MetricsExporter
+
+        self.exporter = MetricsExporter(
+            self.render_metrics, tracer=self.tracer,
+            host=host, port=port, events_fn=self.events,
+        )
+        self.exporter.start()
         return self.exporter
+
+    def start_health(self, rules: Optional[list] = None,
+                     interval_s: float = 1.0, **rule_kwargs):
+        """Start the SLO alert engine over the cluster's client-side
+        metrics (see :meth:`PolicyServer.start_health
+        <repro.serve.server.PolicyServer.start_health>` — same
+        contract, cluster signal sources)."""
+        from repro.obs.health import HealthMonitor, standard_rules
+
+        if self.health is not None:
+            raise RuntimeError("health monitor already running")
+        if rules is None:
+            rules = standard_rules(
+                self._metrics,
+                queue_depth_fn=self._dispatcher.queue_depth,
+                shadow_report_fn=self.shadow_report,
+                backend_report_fn=self.backend_report,
+                **rule_kwargs,
+            )
+        self.health = HealthMonitor(
+            rules, journal=self.journal, hub=self.hub,
+            interval_s=interval_s, recorder=self.recorder,
+        ).start()
+        return self.health
 
     def batching_state(self) -> Dict[str, Any]:
         """Current front-end microbatching posture (adaptive-delay
@@ -1919,6 +2084,12 @@ class ShardedPolicyService:
             if self._closed:
                 return
             self._closed = True
+        if self.health is not None:
+            try:
+                self.health.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+            self.health = None
         if self.exporter is not None:
             try:
                 self.exporter.close()

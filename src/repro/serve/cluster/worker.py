@@ -30,7 +30,9 @@ Ops (see :data:`repro.serve.cluster.wire.OPS`): ``publish``,
 ``shadow_report``, ``describe``, ``ping``, ``stop``,
 ``backend_report`` (native-kernel vs numpy serving counters per model),
 ``metrics_snapshot`` (the worker hub's labeled series, pulled by the
-parent's ``/metrics`` scrape and re-labeled per shard)
+parent's ``/metrics`` scrape and re-labeled per shard),
+``events_since`` (incremental drain of the worker's event journal,
+merged into the parent's under a ``shard`` label)
 (``publish_tombstone`` and ``describe`` exist for the elastic tier:
 replaying retired version slots into a replacement replica, and
 fingerprinting a replica's full control state for lockstep
@@ -81,6 +83,7 @@ from repro.serve.registry import (
     control_state_digest,
     registry_backend_report,
 )
+from repro.obs.events import EventJournal
 from repro.obs.metrics import MetricsHub
 from repro.serve.server import ServerMetrics, register_serving_collectors
 from repro.serve.splitter import TrafficSplitter, mirror_shadow, split_state
@@ -251,8 +254,18 @@ class WorkerCore:
         #: the control channel (``metrics_snapshot`` op) and renders it
         #: under a ``shard`` label next to its own series.
         self.hub = MetricsHub()
+        #: This replica's own event journal: registry transitions,
+        #: split changes and kernel fallbacks are recorded locally and
+        #: drained by the parent (``events_since`` op), which re-labels
+        #: them with this shard's id.
+        self.journal = EventJournal(hub=self.hub)
         self.metrics = ServerMetrics(hub=self.hub)
         self.splitter = TrafficSplitter(seed=split_seed)
+        self.registry.journal = self.journal
+        self.splitter.journal = self.journal
+        from repro.core.tree import native
+
+        native.set_event_hook(self.journal.emit)
         register_serving_collectors(self.hub, splitter=self.splitter)
         self._m_traced = self.hub.counter(
             "repro_worker_traced_requests_total",
@@ -444,6 +457,11 @@ class WorkerCore:
             return metrics.snapshot()
         if op == "metrics_snapshot":
             return self.hub.snapshot()
+        if op == "events_since":
+            # Append-only journal drain: the parent polls with its
+            # per-shard high-water seq and merges the reply under a
+            # shard label.  Plain dicts ride the typed wire codec.
+            return self.journal.events_since(int(payload or 0))
         if op == "backend_report":
             return registry_backend_report(registry)
         if op == "shadow_report":

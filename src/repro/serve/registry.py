@@ -76,6 +76,21 @@ class ModelRegistry:
         # version numbers are stable identifiers and never shift).
         self._models: Dict[str, List[Optional[PolicyArtifact]]] = {}
         self._aliases: Dict[str, Tuple[str, Optional[int]]] = {}
+        #: Optional :class:`repro.obs.events.EventJournal` the owning
+        #: tier attaches; publish / rollback / alias transitions are
+        #: journaled through it (best effort, never a failure source).
+        self.journal: Optional[Any] = None
+
+    def _journal(self, kind: str, severity: str = "info",
+                 labels: Optional[Dict[str, str]] = None,
+                 **fields: Any) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.emit(kind, severity=severity, labels=labels,
+                              **fields)
+        except Exception:  # noqa: BLE001 - journaling is best effort
+            pass
 
     # -- mutation --------------------------------------------------------
     def publish(self, name: str, artifact: PolicyArtifact) -> int:
@@ -105,7 +120,10 @@ class ModelRegistry:
                 raise ValueError(f"{name!r} is an alias, not a model name")
             versions = self._models.setdefault(name, [])
             versions.append(artifact)
-            return len(versions)
+            version = len(versions)
+        self._journal("publish", labels={"model": name},
+                      version=version, artifact_kind=artifact.kind)
+        return version
 
     def alias(
         self, alias: str, target: str, version: Optional[int] = None
@@ -121,6 +139,9 @@ class ModelRegistry:
             if version is not None:
                 self._get_artifact(target, version)  # in-range, not retired
             self._aliases[alias] = (target, version)
+        self._journal("alias_move", labels={"alias": alias,
+                                            "model": target},
+                      version=version)
 
     def publish_tombstone(self, name: str) -> int:
         """Append an already-retired version slot (replica replay only).
@@ -185,6 +206,8 @@ class ModelRegistry:
                     if target == name
                 ]:
                     del self._aliases[alias]
+        self._journal("rollback", severity="error",
+                      labels={"model": name}, version=version)
 
     def retire(self, name: str, version: int) -> None:
         """Delete one old version so long-running servers don't leak

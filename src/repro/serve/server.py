@@ -19,7 +19,9 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.events import EventJournal
 from repro.obs.metrics import LogHistogram, MetricsHub, render_text
+from repro.obs.postmortem import FlightRecorder
 from repro.obs.trace import Tracer
 from repro.serve.adaptive import AdaptiveDelay, batching_state
 from repro.serve.artifact import PolicyArtifact
@@ -29,6 +31,7 @@ from repro.serve.splitter import (
     TrafficSplitter,
     check_split_targets,
     guard_retire_against_splits,
+    split_state,
 )
 from repro.utils.rng import SeedLike
 
@@ -42,7 +45,7 @@ class _ModelStats:
 
     __slots__ = (
         "requests", "errors", "error_kinds", "hist", "batch_sizes",
-        "versions", "busy_s", "last_ts", "recent",
+        "versions", "busy_s", "last_ts", "recent", "recent_errors",
     )
 
     #: Size of the sliding window behind :meth:`ServerMetrics.p95_ms`.
@@ -72,6 +75,11 @@ class _ModelStats:
         #: ring.  Timestamps let the probe window by wall time as well
         #: as by count.
         self.recent: deque = deque(maxlen=self.RECENT_WINDOW)
+        #: Sliding window of recent *error* timestamps — ``recent``
+        #: holds only successes (rejection latencies must not deflate
+        #: percentiles), so the windowed error-ratio probe keeps its
+        #: own ring of when failures happened.
+        self.recent_errors: deque = deque(maxlen=self.RECENT_WINDOW)
 
 
 class ServerMetrics:
@@ -167,6 +175,7 @@ class ServerMetrics:
                 # serving percentiles.
                 stats.errors += 1
                 stats.error_kinds[error] += 1
+                stats.recent_errors.append(now)
             else:
                 stats.versions[version] += 1
                 stats.recent.append((now, latency_s))
@@ -248,6 +257,37 @@ class ServerMetrics:
                 worst, float(np.percentile(np.asarray(latencies), 95))
             )
         return worst * 1e3
+
+    def error_ratio(self, window_s: Optional[float] = None) -> float:
+        """Errors / all requests over the recent sliding windows,
+        across every model, in ``[0, 1]``.
+
+        The burn-rate companion to :meth:`p95_ms`: alert rules read
+        the ratio directly instead of re-deriving it from raw
+        counters.  ``window_s`` restricts both rings to requests
+        recorded in the last that-many seconds (None keeps the full
+        count-bounded rings).  An *empty* window reads 0.0 — "no
+        traffic" is not "failing"; a window that saw only errors reads
+        1.0.
+        """
+        cutoff = None
+        if window_s is not None:
+            cutoff = time.perf_counter() - window_s
+        with self._lock:
+            errors = successes = 0
+            for stats in self._models.values():
+                if cutoff is None:
+                    errors += len(stats.recent_errors)
+                    successes += len(stats.recent)
+                else:
+                    errors += sum(
+                        1 for ts in stats.recent_errors if ts >= cutoff
+                    )
+                    successes += sum(
+                        1 for ts, _lat in stats.recent if ts >= cutoff
+                    )
+        total = errors + successes
+        return errors / total if total else 0.0
 
     def snapshot(self) -> Dict[str, dict]:
         """Point-in-time metrics per model (plain dicts, JSON-friendly).
@@ -372,9 +412,13 @@ class PolicyServer:
             tracing; traced requests decompose into per-stage spans,
             see :mod:`repro.obs.trace`).
         exporter_port: when not None, start the observability HTTP
-            exporter (``/metrics``, ``/traces``, ``/healthz``) on this
-            port at construction (0 = ephemeral; read it back from
-            ``server.exporter.port``).
+            exporter (``/metrics``, ``/traces``, ``/events``,
+            ``/healthz``) on this port at construction (0 = ephemeral;
+            read it back from ``server.exporter.port``).
+        postmortem_dir: directory for black-box incident bundles
+            (``None`` honours ``$REPRO_POSTMORTEM_DIR``; unset means
+            capture is disabled — see
+            :class:`repro.obs.postmortem.FlightRecorder`).
 
     Usage::
 
@@ -394,12 +438,26 @@ class PolicyServer:
         split_seed: SeedLike = None,
         trace_sample: float = 0.0,
         exporter_port: Optional[int] = None,
+        postmortem_dir: Optional[str] = None,
     ) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
         self.hub = MetricsHub()
         self.tracer = Tracer(sample_rate=trace_sample)
+        #: Structured flight log (see :mod:`repro.obs.events`): every
+        #: publish/alias/split/fallback transition lands here, readable
+        #: via :meth:`events` and the exporter's ``/events`` endpoint.
+        self.journal = EventJournal(hub=self.hub)
         self._metrics = ServerMetrics(max_latency_samples, hub=self.hub)
         self.splitter = TrafficSplitter(seed=split_seed)
+        # Control-plane emitters write through this server's journal.
+        # (A registry shared across servers journals into whichever
+        # server attached last — acceptable: the journal is a
+        # diagnostic stream, not a consistency surface.)
+        self.registry.journal = self.journal
+        self.splitter.journal = self.journal
+        from repro.core.tree import native as _native
+
+        _native.set_event_hook(self.journal.emit)
         # Serializes split reconfiguration against retire: the retire
         # guard is check-then-act over the split table, so the two must
         # not interleave.
@@ -422,7 +480,19 @@ class PolicyServer:
             self.hub, batcher=self._batcher, delay=self.delay,
             splitter=self.splitter,
         )
+        #: Black-box capture (disabled unless a directory is
+        #: configured); the health monitor triggers it on
+        #: page-severity alerts.
+        self.recorder = FlightRecorder(
+            directory=postmortem_dir,
+            journal=self.journal,
+            metrics_fn=self.render_metrics,
+            tracer=self.tracer,
+            state_fn=self._blackbox_state,
+        )
+        self.health = None
         self.exporter = None
+        self._closed = False
         if exporter_port is not None:
             self.start_exporter(port=exporter_port)
 
@@ -563,20 +633,84 @@ class PolicyServer:
         """This server's hub in Prometheus text exposition format."""
         return render_text(self.hub.snapshot())
 
-    def start_exporter(self, port: int = 0, host: str = "127.0.0.1"):
-        """Start (or return the already-running) observability HTTP
-        endpoint; see :class:`repro.obs.exporter.MetricsExporter`."""
-        if self.exporter is None:
-            from repro.obs.exporter import MetricsExporter
+    def events(self, since: int = 0) -> List[dict]:
+        """Journal events newer than ``since`` (see
+        :meth:`repro.obs.events.EventJournal.events_since`) — what the
+        exporter's ``/events?since=`` endpoint serves."""
+        return self.journal.events_since(since)
 
-            self.exporter = MetricsExporter(
-                self.render_metrics, tracer=self.tracer,
-                host=host, port=port,
-            ).start()
+    def _blackbox_state(self) -> Dict[str, Any]:
+        """What a postmortem bundle records about this tier's control
+        state (cheap, lock-light, JSON-friendly)."""
+        return {
+            "tier": "PolicyServer",
+            "registry": self.registry.fingerprint(),
+            "splits": split_state(self.splitter.splits()),
+            "batching": self.batching_state(),
+        }
+
+    def start_exporter(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start the observability HTTP endpoint; see
+        :class:`repro.obs.exporter.MetricsExporter`.
+
+        One-shot per server: calling it again while an exporter is
+        running, or after :meth:`close`, raises ``RuntimeError`` — the
+        old silent-return behaviour could leak a second HTTP server
+        bound to a stale port.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "PolicyServer is closed: start_exporter() would serve "
+                "metrics for a dead server"
+            )
+        if self.exporter is not None:
+            raise RuntimeError(
+                f"exporter already running on {self.exporter.url}; "
+                f"close() it before starting another"
+            )
+        from repro.obs.exporter import MetricsExporter
+
+        self.exporter = MetricsExporter(
+            self.render_metrics, tracer=self.tracer,
+            host=host, port=port, events_fn=self.events,
+        ).start()
         return self.exporter
+
+    def start_health(self, rules: Optional[list] = None,
+                     interval_s: float = 1.0, **rule_kwargs):
+        """Start the SLO alert engine over this server's metrics.
+
+        Without explicit ``rules``, the stock set from
+        :func:`repro.obs.health.standard_rules` is wired to this
+        server's live signal sources; ``rule_kwargs`` (``slo_p95_ms``,
+        ``max_error_ratio``, window lengths, …) parameterize it.
+        Returns the running :class:`~repro.obs.health.HealthMonitor`
+        (subscribe to it for fire/resolve callbacks).
+        """
+        from repro.obs.health import HealthMonitor, standard_rules
+
+        if self.health is not None:
+            raise RuntimeError("health monitor already running")
+        if rules is None:
+            rules = standard_rules(
+                self._metrics,
+                queue_depth_fn=self._batcher.queue_depth,
+                shadow_report_fn=self.splitter.shadow_report,
+                backend_report_fn=self.backend_report,
+                **rule_kwargs,
+            )
+        self.health = HealthMonitor(
+            rules, journal=self.journal, hub=self.hub,
+            interval_s=interval_s, recorder=self.recorder,
+        ).start()
+        return self.health
 
     def close(self) -> None:
         """Drain and stop; every submitted request still completes."""
+        self._closed = True
+        if self.health is not None:
+            self.health.close()
+            self.health = None
         self._batcher.close()
         if self.exporter is not None:
             self.exporter.close()

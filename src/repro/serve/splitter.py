@@ -91,6 +91,19 @@ class TrafficSplitter:
         #: Lock-free fast-path flag the batcher reads once per flush;
         #: bool reads are GIL-atomic, and staleness only lasts one flush.
         self.active = False
+        #: Optional :class:`repro.obs.events.EventJournal` the owning
+        #: tier attaches; split installs/clears are journaled as
+        #: ``canary_change`` events (best effort).
+        self.journal = None
+
+    def _journal_change(self, ref: str, **fields) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.emit("canary_change", labels={"ref": ref},
+                              **fields)
+        except Exception:  # noqa: BLE001 - journaling is best effort
+            pass
 
     # -- configuration ---------------------------------------------------
     def set_split(
@@ -116,13 +129,19 @@ class TrafficSplitter:
                 if stats is None or stats.shadow_ref != shadow:
                     self._shadow[ref] = _ShadowStats(shadow)
             self.active = True
+        self._journal_change(
+            ref, canary=canary, canary_fraction=float(canary_fraction),
+            shadow=shadow,
+        )
         return split
 
     def clear(self, ref: str) -> None:
         """Remove ``ref``'s split; its traffic flows undivided again."""
         with self._lock:
-            self._splits.pop(ref, None)
+            removed = self._splits.pop(ref, None)
             self.active = bool(self._splits)
+        if removed is not None:
+            self._journal_change(ref, cleared=True)
 
     def splits(self) -> Dict[str, TrafficSplit]:
         """Snapshot of every active split, keyed by the split

@@ -1,9 +1,11 @@
-"""Tests for tools/check_metrics.py — the exposition-format linter.
+"""Tests for tools/check_metrics.py and tools/postmortem.py.
 
 The linter is CI's gate on the /metrics endpoint, so it must both pass
 a real scrape from the hub and actually catch the failure modes it
 claims to (missing HELP/TYPE, duplicate series, malformed samples,
-histograms without a closing +Inf bucket).
+histograms without a closing +Inf bucket, health families with the
+wrong type or vocabulary).  The postmortem CLI must render and diff
+real :class:`~repro.obs.postmortem.FlightRecorder` bundles.
 """
 
 import sys
@@ -11,9 +13,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
 
-from check_metrics import lint_metrics  # noqa: E402
+from check_metrics import lint_health_families, lint_metrics  # noqa: E402
 
+from repro.obs.events import EventJournal
 from repro.obs.metrics import MetricsHub, render_text, with_labels
+from repro.obs.postmortem import FlightRecorder
 
 GOOD = """\
 # HELP repro_reqs_total Requests served
@@ -100,3 +104,111 @@ def test_histogram_missing_inf_bucket_caught():
 def test_malformed_sample_caught():
     errors = lint_metrics("this is not a metric line\n")
     assert any("unparseable" in e for e in errors)
+
+
+HEALTH_GOOD = """\
+# HELP repro_events_total Structured journal events
+# TYPE repro_events_total counter
+repro_events_total{kind="publish",severity="info"} 3
+repro_events_total{kind="shard_death",severity="error"} 1
+# HELP repro_alerts_active 1 while firing
+# TYPE repro_alerts_active gauge
+repro_alerts_active{rule="p95_slo_burn"} 1
+repro_alerts_active{rule="error_ratio_burn"} 0
+"""
+
+
+def test_health_families_clean_page_lints_clean():
+    assert lint_health_families(HEALTH_GOOD) == []
+
+
+def test_health_families_absent_is_clean():
+    assert lint_health_families(GOOD) == []
+
+
+def test_events_total_unknown_kind_caught():
+    page = HEALTH_GOOD + (
+        'repro_events_total{kind="explosion",severity="info"} 1\n'
+    )
+    errors = lint_health_families(page)
+    assert any("not in EVENT_KINDS" in e for e in errors)
+
+
+def test_events_total_missing_severity_caught():
+    page = HEALTH_GOOD + 'repro_events_total{kind="publish"} 1\n'
+    errors = lint_health_families(page)
+    assert any("severity" in e for e in errors)
+
+
+def test_alerts_active_without_rule_label_caught():
+    page = HEALTH_GOOD + "repro_alerts_active 1\n"
+    errors = lint_health_families(page)
+    assert any("without rule label" in e for e in errors)
+
+
+def test_alerts_active_non_binary_value_caught():
+    page = HEALTH_GOOD + 'repro_alerts_active{rule="x"} 3\n'
+    errors = lint_health_families(page)
+    assert any("not 0 or 1" in e for e in errors)
+
+
+def test_health_family_wrong_type_caught():
+    page = HEALTH_GOOD.replace(
+        "# TYPE repro_alerts_active gauge",
+        "# TYPE repro_alerts_active counter",
+    )
+    errors = lint_health_families(page)
+    assert any("expected 'gauge'" in e for e in errors)
+
+
+def test_real_journal_and_gauge_render_lint_clean():
+    hub = MetricsHub()
+    journal = EventJournal(hub=hub)
+    journal.emit("publish", labels={"model": "m"})
+    journal.emit("alert_fire", severity="page", labels={"rule": "r"})
+    hub.gauge("repro_alerts_active", "firing flag").labels(rule="r").set(1)
+    page = hub.render()
+    assert lint_metrics(page) == []
+    assert lint_health_families(page) == []
+
+
+def _bundle_pair(tmp_path):
+    journal = EventJournal()
+    journal.emit("publish", labels={"model": "m"}, version=1)
+    recorder = FlightRecorder(
+        directory=str(tmp_path), journal=journal,
+        metrics_fn=lambda: (
+            "# HELP repro_x h\n# TYPE repro_x gauge\n"
+            f"repro_x {journal.last_seq}\n"
+        ),
+        state_fn=lambda: {"tier": "test", "events": journal.last_seq},
+    )
+    first = recorder.capture("before")
+    journal.emit("shard_death", severity="error", labels={"shard": "0"})
+    second = recorder.capture("after")
+    return first, second
+
+
+def test_postmortem_show_renders_report(tmp_path, capsys):
+    from postmortem import main as postmortem_main
+
+    first, _ = _bundle_pair(tmp_path)
+    assert postmortem_main(["postmortem.py", "show", str(first)]) == 0
+    out = capsys.readouterr().out
+    assert "reason   before" in out
+    assert "publish" in out
+    assert "tier: test" in out
+
+
+def test_postmortem_diff_reports_new_events_and_deltas(tmp_path, capsys):
+    from postmortem import main as postmortem_main
+
+    first, second = _bundle_pair(tmp_path)
+    assert postmortem_main(
+        ["postmortem.py", "diff", str(first), str(second)]) == 0
+    out = capsys.readouterr().out
+    assert "shard_death" in out  # the incident's own timeline
+    assert "publish" not in out.split("events only in")[1].split(
+        "state changes")[0]  # shared history is not re-listed
+    assert "repro_x: 1 -> 2" in out
+    assert "events: 1 -> 2" in out

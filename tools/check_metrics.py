@@ -14,6 +14,13 @@ it merely tolerates but that indicate a rendering bug on our side):
   floats; histogram families expose ``_bucket``/``_sum``/``_count``
   with a ``+Inf`` bucket per label set.
 
+On top of the generic grammar checks, :func:`lint_health_families`
+enforces the health engine's contract on its two metric families when
+they appear in a scrape: ``repro_events_total`` must be a counter whose
+every sample carries ``kind`` and ``severity`` labels with values from
+the journal's vocabulary, and ``repro_alerts_active`` must be a gauge
+whose every sample carries a ``rule`` label with a 0-or-1 value.
+
 Usable as a library (``lint_metrics(text) -> [errors]``) — the obs
 smoke job and ``tests/test_obs_tools.py`` both call it — or as a CLI
 reading a scrape from a file or stdin::
@@ -186,6 +193,78 @@ def lint_metrics(text: str) -> List[str]:
     return sorted(set(errors))
 
 
+def lint_health_families(text: str) -> List[str]:
+    """Lint the health engine's two families, when present.
+
+    ``repro_events_total`` samples must declare ``# TYPE ... counter``
+    and carry ``kind``/``severity`` labels whose values come from the
+    event journal's vocabulary; ``repro_alerts_active`` must declare
+    ``gauge`` and carry a ``rule`` label with a 0-or-1 value.  A scrape
+    without either family lints clean (both are opt-in features)."""
+    try:
+        from repro.obs.events import EVENT_KINDS, SEVERITIES
+    except ImportError:  # CLI run without PYTHONPATH=src
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "src")
+        )
+        from repro.obs.events import EVENT_KINDS, SEVERITIES
+
+    expected_kinds = {
+        "repro_events_total": "counter",
+        "repro_alerts_active": "gauge",
+    }
+    errors: List[str] = []
+    kinds: Dict[str, str] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) == 4:
+                kinds[parts[2]] = parts[3]
+            continue
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match or match.group("name") not in expected_kinds:
+            continue
+        name = match.group("name")
+        labels = dict(
+            _parse_labels(match.group("labels") or "", line_no, errors)
+        )
+        if name == "repro_events_total":
+            kind = labels.get("kind")
+            severity = labels.get("severity")
+            if kind not in EVENT_KINDS:
+                errors.append(
+                    f"line {line_no}: {name} kind label {kind!r} not in "
+                    f"EVENT_KINDS"
+                )
+            if severity not in SEVERITIES:
+                errors.append(
+                    f"line {line_no}: {name} severity label "
+                    f"{severity!r} not in SEVERITIES"
+                )
+        else:  # repro_alerts_active
+            if "rule" not in labels:
+                errors.append(
+                    f"line {line_no}: {name} sample without rule label"
+                )
+            if match.group("value") not in ("0", "1", "0.0", "1.0"):
+                errors.append(
+                    f"line {line_no}: {name} value "
+                    f"{match.group('value')!r} is not 0 or 1"
+                )
+    for name, expected in expected_kinds.items():
+        if name in kinds and kinds[name] != expected:
+            errors.append(
+                f"family {name} declared {kinds[name]!r}, expected "
+                f"{expected!r}"
+            )
+    return sorted(set(errors))
+
+
 def main(argv: List[str]) -> int:
     if len(argv) != 2 or argv[1] in ("-h", "--help"):
         print(__doc__)
@@ -195,7 +274,7 @@ def main(argv: List[str]) -> int:
     else:
         with open(argv[1], "r", encoding="utf-8") as fh:
             text = fh.read()
-    errors = lint_metrics(text)
+    errors = sorted(set(lint_metrics(text) + lint_health_families(text)))
     for error in errors:
         print(f"check_metrics: {error}", file=sys.stderr)
     n_samples = sum(

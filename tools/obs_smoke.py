@@ -11,10 +11,21 @@ then validate over real HTTP that
   per-shard worker series the telemetry spine promises;
 * ``/traces`` holds sampled requests whose per-stage spans sum to the
   recorded end-to-end latency (within 10%);
-* the Chrome ``trace_event`` export is well-formed JSON.
+* the Chrome ``trace_event`` export is well-formed JSON;
+* ``/events`` serves well-formed JSON Lines with strictly monotone
+  sequence numbers, at least one ``publish`` event from boot, and
+  worker-origin events carrying per-shard labels (the cross-process
+  merge);
+* one alert fires end-to-end: a synthetic p95 SLO breach walks
+  pending → firing (``repro_alerts_active{rule="p95_slo_burn"} 1``
+  on a live scrape, ``slo_breach``/``alert_fire`` in the journal)
+  → resolved once traffic stops;
+* killing a shard under self-heal writes a black-box postmortem
+  bundle that parses under ``repro.obs.postmortem.load_bundle``.
 
-Artifacts (the raw scrape and the Chrome trace) are written to
-``--out`` for upload.  Exits non-zero on any failure.  Run locally::
+Artifacts (the raw scrapes, the Chrome trace, the events JSONL, and
+the postmortem bundles) are written to ``--out`` for upload.  Exits
+non-zero on any failure.  Run locally::
 
     PYTHONPATH=src python tools/obs_smoke.py --out obs-artifacts
 """
@@ -24,13 +35,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 import urllib.request
 from pathlib import Path
 
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from check_metrics import lint_metrics  # noqa: E402
+from check_metrics import lint_health_families, lint_metrics  # noqa: E402
 
 REQUIRED_SERIES = (
     "repro_batcher_flushes_total",
@@ -74,13 +86,15 @@ def main() -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
 
+    from repro.obs.postmortem import load_bundle
     from repro.serve.cluster.service import ShardedPolicyService
 
     failures = []
     rng = np.random.default_rng(1)
     with ShardedPolicyService(
         n_shards=args.shards, max_batch=8, max_delay_s=0.002,
-        trace_sample=1.0, exporter_port=0,
+        trace_sample=1.0, exporter_port=0, self_heal=True,
+        postmortem_dir=str(out / "postmortems"),
     ) as service:
         service.publish("abr", _fixture_artifact())
         for _ in range(args.requests):
@@ -127,6 +141,119 @@ def main() -> int:
         if not chrome.get("traceEvents"):
             failures.append("chrome export has no traceEvents")
 
+        # -- alert end-to-end: synthetic p95 SLO breach ----------------
+        # An SLO of 1 microsecond is unmeetable, so the burn-rate rule
+        # breaches on real traffic; short windows and for_s make the
+        # full pending -> firing -> resolved walk take seconds.
+        monitor = service.start_health(
+            slo_p95_ms=0.001, fast_window_s=1.0, slow_window_s=1.0,
+            for_s=0.1, interval_s=0.02,
+        )
+        deadline = time.monotonic() + 20
+        while (time.monotonic() < deadline
+               and not monitor.active_alerts()):
+            service.submit("abr", rng.uniform(0, 1, 5)).result(timeout=30)
+        if not any("p95_slo_burn" in key
+                   for key in monitor.active_alerts()):
+            failures.append("p95_slo_burn alert never fired")
+        scrape = _get(url + "/metrics").decode()
+        (out / "metrics.prom").write_text(scrape)  # richer page wins
+        if 'repro_alerts_active{rule="p95_slo_burn"} 1' not in scrape:
+            failures.append(
+                "firing alert gauge not visible on a live /metrics scrape"
+            )
+        if "repro_events_total" not in scrape:
+            failures.append("/metrics missing series repro_events_total")
+        for error in lint_metrics(scrape):
+            failures.append(f"/metrics lint (post-alert): {error}")
+        for error in lint_health_families(scrape):
+            failures.append(f"/metrics health-family lint: {error}")
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and monitor.active_alerts():
+            time.sleep(0.1)
+        if monitor.active_alerts():
+            failures.append("alert did not resolve after traffic stopped")
+        kinds = [event["kind"] for event in service.events()]
+        for needed in ("slo_breach", "alert_fire", "alert_resolve"):
+            if needed not in kinds:
+                failures.append(
+                    f"journal missing {needed} after the alert cycle"
+                )
+
+        # -- chaos: shard kill -> self-heal + postmortem bundle --------
+        victim = service._shards[0].shard_id
+        service.kill_shard(victim)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            kinds = [event["kind"] for event in service.events()]
+            if "shard_heal" in kinds:
+                break
+            time.sleep(0.1)
+        for needed in ("shard_death", "shard_heal"):
+            if needed not in kinds:
+                failures.append(
+                    f"journal missing {needed} after shard kill"
+                )
+        result = service.submit(
+            "abr", rng.uniform(0, 1, 5)
+        ).result(timeout=30)
+        if not result.ok:
+            failures.append(
+                f"serving error after self-heal: {result.error}"
+            )
+        # Two bundles by now: the page-severity alert fired one, the
+        # shard death another.  All must parse; one must be the death's.
+        bundles = sorted((out / "postmortems").glob("pm-*.json"))
+        if not bundles:
+            failures.append("no postmortem bundle written")
+        reasons = []
+        for path in bundles:
+            try:
+                reasons.append(str(load_bundle(path).get("reason", "")))
+            except ValueError as exc:
+                failures.append(f"postmortem bundle unreadable: {exc}")
+        if not any(r.startswith("shard_death") for r in reasons):
+            failures.append(
+                f"no shard_death postmortem bundle (reasons: {reasons})"
+            )
+        if not any(r.startswith("alert_") for r in reasons):
+            failures.append(
+                f"no page-alert postmortem bundle (reasons: {reasons})"
+            )
+
+        # -- /events: JSONL contract + cross-process merge -------------
+        raw_events = _get(url + "/events?since=0").decode()
+        (out / "events.jsonl").write_text(raw_events)
+        events = []
+        for line in filter(None, raw_events.splitlines()):
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                failures.append(f"/events line is not JSON: {line[:80]!r}")
+        seqs = [event.get("seq") for event in events]
+        if not events:
+            failures.append("/events returned no events")
+        if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+            failures.append("/events seq is not strictly monotone")
+        if not any(event.get("kind") == "publish" for event in events):
+            failures.append("/events has no publish event from boot")
+        if not any(event.get("kind") == "publish"
+                   and "shard" in (event.get("labels") or {})
+                   for event in events):
+            failures.append(
+                "/events has no worker-origin (shard-labeled) publish "
+                "event — cross-process journal merge broken"
+            )
+        if seqs:
+            mid = seqs[len(seqs) // 2]
+            later = _get(url + f"/events?since={mid}").decode()
+            later_seqs = [json.loads(line)["seq"]
+                          for line in filter(None, later.splitlines())]
+            if any(seq <= mid for seq in later_seqs):
+                failures.append(
+                    f"/events?since={mid} returned seq <= {mid}"
+                )
+
     for failure in failures:
         print(f"obs_smoke: FAIL {failure}", file=sys.stderr)
     if failures:
@@ -134,7 +261,9 @@ def main() -> int:
     n_samples = sum(1 for line in scrape.splitlines()
                     if line.strip() and not line.startswith("#"))
     print(f"obs_smoke: OK — {n_samples} metric samples, "
-          f"{len(traces['traces'])} traces, artifacts in {out}/")
+          f"{len(traces['traces'])} traces, {len(events)} journal "
+          f"events, {len(bundles)} postmortem bundle(s), "
+          f"artifacts in {out}/")
     return 0
 
 

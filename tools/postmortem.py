@@ -1,0 +1,155 @@
+"""Pretty-print and diff black-box postmortem bundles.
+
+Companion CLI for :mod:`repro.obs.postmortem`.  Bundles are plain JSON,
+but "what changed between the bundle before the incident and the one
+after" is the question an operator actually asks — so:
+
+* ``show <bundle>`` renders one bundle as a human-readable incident
+  report: header (reason / time / pid), the event timeline with
+  severities, tier state, and a metrics/trace inventory;
+* ``diff <a> <b>`` compares two bundles: events present only in the
+  newer one (the incident's own timeline), tier-state changes, and
+  metric samples whose values moved.
+
+Run::
+
+    PYTHONPATH=src python tools/postmortem.py show pm-....json
+    PYTHONPATH=src python tools/postmortem.py diff before.json after.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.postmortem import load_bundle  # noqa: E402
+
+
+def _fmt_event(event: Dict[str, Any]) -> str:
+    labels = ",".join(
+        f"{k}={v}" for k, v in sorted((event.get("labels") or {}).items())
+    )
+    fields = ",".join(
+        f"{k}={v}" for k, v in sorted((event.get("fields") or {}).items())
+    )
+    parts = [
+        f"#{event.get('seq', '?'):>5}",
+        f"{event.get('severity', '?'):<5}",
+        f"{event.get('kind', '?'):<16}",
+    ]
+    if labels:
+        parts.append(f"[{labels}]")
+    if fields:
+        parts.append(fields)
+    return "  ".join(parts)
+
+
+def _metric_samples(page: str) -> Dict[str, str]:
+    """Sample lines of a Prometheus page, keyed by series (name+labels)."""
+    out: Dict[str, str] = {}
+    for line in page.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        if series:
+            out[series] = value
+    return out
+
+
+def show(path: str) -> int:
+    bundle = load_bundle(path)
+    print(f"postmortem bundle  {path}")
+    print(f"  reason   {bundle.get('reason')}")
+    print(f"  captured {bundle.get('iso')}  (pid {bundle.get('pid')})")
+    if bundle.get("extra"):
+        for key, value in sorted(bundle["extra"].items()):
+            print(f"  {key:<8} {value}")
+    state = bundle.get("state")
+    if state:
+        print("state:")
+        for key, value in sorted(state.items()):
+            print(f"  {key}: {value}")
+    events: List[Dict[str, Any]] = bundle.get("events") or []
+    print(f"events ({len(events)}):")
+    for event in events:
+        print(f"  {_fmt_event(event)}")
+    metrics = bundle.get("metrics") or ""
+    traces = bundle.get("traces") or []
+    print(f"metrics: {len(_metric_samples(metrics))} samples   "
+          f"traces: {len(traces)} sampled requests")
+    return 0
+
+
+def _event_key(event: Dict[str, Any]) -> Tuple:
+    return (
+        event.get("seq"),
+        event.get("kind"),
+        tuple(sorted((event.get("labels") or {}).items())),
+    )
+
+
+def diff(path_a: str, path_b: str) -> int:
+    a, b = load_bundle(path_a), load_bundle(path_b)
+    print(f"diff {path_a} -> {path_b}")
+    print(f"  reason   {a.get('reason')} -> {b.get('reason')}")
+    print(f"  captured {a.get('iso')} -> {b.get('iso')}")
+
+    seen = {_event_key(e) for e in a.get("events") or []}
+    new_events = [e for e in b.get("events") or []
+                  if _event_key(e) not in seen]
+    print(f"events only in {Path(path_b).name} ({len(new_events)}):")
+    for event in new_events:
+        print(f"  + {_fmt_event(event)}")
+
+    state_a, state_b = a.get("state") or {}, b.get("state") or {}
+    changed = sorted(
+        key for key in set(state_a) | set(state_b)
+        if state_a.get(key) != state_b.get(key)
+    )
+    if changed:
+        print("state changes:")
+        for key in changed:
+            print(f"  {key}: {state_a.get(key)} -> {state_b.get(key)}")
+    else:
+        print("state changes: none")
+
+    samples_a = _metric_samples(a.get("metrics") or "")
+    samples_b = _metric_samples(b.get("metrics") or "")
+    moved = sorted(
+        series for series in set(samples_a) | set(samples_b)
+        if samples_a.get(series) != samples_b.get(series)
+    )
+    print(f"metric samples changed: {len(moved)}")
+    for series in moved[:40]:
+        print(f"  {series}: {samples_a.get(series, '-')} -> "
+              f"{samples_b.get(series, '-')}")
+    if len(moved) > 40:
+        print(f"  ... and {len(moved) - 40} more")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_show = sub.add_parser("show", help="pretty-print one bundle")
+    p_show.add_argument("bundle")
+    p_diff = sub.add_parser("diff", help="compare two bundles")
+    p_diff.add_argument("bundle_a")
+    p_diff.add_argument("bundle_b")
+    args = parser.parse_args(argv[1:])
+    if args.command == "show":
+        return show(args.bundle)
+    return diff(args.bundle_a, args.bundle_b)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
