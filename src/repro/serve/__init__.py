@@ -13,6 +13,11 @@ The subsystem turns compiled policies into a served system:
 * :class:`TrafficSplitter` — registry-layer canary routing and shadow
   mirroring for staged rollouts;
 * :class:`AdaptiveDelay` — load-aware microbatch flush deadlines;
+* :mod:`repro.serve.online` — the closed loop: :class:`TraceCapture`
+  (sampled served (state, action) ring), :class:`Redistiller`
+  (DAgger refits against the registered teacher), and
+  :class:`AutoCanaryController` (gated canary ramp that promotes to
+  the alias or calls ``rollback_publish`` — see ``docs/online.md``);
 * :mod:`repro.serve.cluster` — the elastic sharded multi-process tier:
   shared-memory artifacts, load-aware routing, shard autoscaling, and
   self-healing control-log replay (imported lazily; it spawns
@@ -27,6 +32,12 @@ The subsystem turns compiled policies into a served system:
 from repro.serve.adaptive import AdaptiveDelay
 from repro.serve.artifact import PolicyArtifact
 from repro.serve.batcher import MicroBatcher, ServeResult
+from repro.serve.online import (
+    AutoCanaryController,
+    Redistiller,
+    RefitResult,
+    TraceCapture,
+)
 from repro.serve.registry import ModelRegistry, ResolvedModel
 from repro.serve.server import PolicyServer, ServeError, ServerMetrics
 from repro.serve.splitter import TrafficSplit, TrafficSplitter
@@ -43,4 +54,8 @@ __all__ = [
     "TrafficSplit",
     "TrafficSplitter",
     "AdaptiveDelay",
+    "TraceCapture",
+    "Redistiller",
+    "RefitResult",
+    "AutoCanaryController",
 ]

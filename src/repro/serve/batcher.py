@@ -156,6 +156,10 @@ class MicroBatcher:
         self.splitter = splitter
         self.tracer = tracer
         self.hub = hub
+        #: Optional :class:`repro.serve.online.TraceCapture`: when set
+        #: (by ``PolicyServer.start_online``), every flushed group is
+        #: offered for sampling.  ``None`` keeps the hot path untouched.
+        self.capture = None
         if hub is not None:
             from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
             self._m_flushes = hub.counter(
@@ -473,6 +477,9 @@ class MicroBatcher:
         else:
             actions = [np.array(row) for row in out]
         name, version = resolved.name, resolved.version
+        capture = self.capture
+        if capture is not None and capture.sample_rate > 0.0:
+            capture.submit_group(name, version, x, actions)
         for request, action, latency in zip(valid, actions, latencies):
             # In-process tier: service is the kernel bracket itself, so
             # the decomposition is queue_wait / batch_assembly / kernel.

@@ -485,6 +485,13 @@ class ShardedPolicyService:
         #: Per-shard high-water mark of drained worker event seqs.
         self._worker_event_seq: Dict[int, int] = {}
         self._events_lock = threading.Lock()
+        #: Parent-side trace-capture ring (None until
+        #: :meth:`start_online`): worker rings drain into it over the
+        #: ``capture_drain`` op under the same per-shard high-water
+        #: discipline as the journal.
+        self.capture = None
+        self._worker_capture_seq: Dict[int, int] = {}
+        self._capture_lock = threading.Lock()
         self._metrics = ServerMetrics(max_latency_samples, hub=self.hub)
         self._m_routed = self.hub.counter(
             "repro_router_decisions_total",
@@ -492,6 +499,7 @@ class ShardedPolicyService:
         )
         self.exporter = None
         self.health = None
+        self.online = None
         #: Black-box capture for shard deaths, publish rollbacks and
         #: page-severity alerts (disabled unless a directory is
         #: configured via the argument or $REPRO_POSTMORTEM_DIR).
@@ -1124,6 +1132,47 @@ class ShardedPolicyService:
             # Host-cache accounting: this version no longer references
             # its wire key; unlink the cached segment once the last
             # referencing version is gone.
+            key = self._version_keys.pop((name, version), None)
+            if key is not None:
+                refs = self._cache_refs.get(key, 0) - 1
+                if refs <= 0:
+                    self._release_cache_segment(key)
+                else:
+                    self._cache_refs[key] = refs
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # noqa: BLE001 - release best effort
+                pass
+
+    def rollback_publish(self, name: str, version: int) -> None:
+        """Undo the most recent publish of ``name`` cluster-wide — the
+        auto-canary controller's abort path.
+
+        Parent refusal rules run first (must be the current latest, no
+        pinned alias, no active split routing to it), then the mirror
+        rolls back, the publish entry leaves the replay log, and the
+        rollback broadcasts to every live shard.  The version slot is
+        freed for reuse — unlike :meth:`retire`, which tombstones it —
+        because a rolled-back canary was never a legitimate part of the
+        version history.
+        """
+        with self._control_lock:
+            guard_retire_against_splits(
+                dict(self._splits), self.registry, name, version
+            )
+            self.registry.rollback_publish(name, version)
+            # Mirror and log first (log == mirror even when the
+            # broadcast fails wholesale): the slot is simply gone, so
+            # a replacement replica never replays it.
+            self._control_log = [
+                entry for entry in self._control_log
+                if not (entry[0] == "publish" and entry[1] == name
+                        and entry[3] == version)
+            ]
+            self._broadcast_or_evict("rollback_publish", (name, version))
+            shm = self._segments.pop((name, version), None)
             key = self._version_keys.pop((name, version), None)
             if key is not None:
                 refs = self._cache_refs.get(key, 0) - 1
@@ -1931,6 +1980,65 @@ class ShardedPolicyService:
                     events, {"shard": str(shard.shard_id)}
                 )
 
+    def _drain_worker_captures(self) -> None:
+        """Pull every worker capture ring's new entries into the parent
+        ring (``self.capture``), shard-labeled and re-sequenced.
+
+        Same incremental discipline as :meth:`_drain_worker_events`:
+        per-shard high-water seq, shard-death-tolerant, serialized so
+        two concurrent drains cannot double-ingest a delta.  The drain
+        request also carries the parent ring's current sample rate, so
+        the whole fleet's capture turns on (and off) from one knob.
+        """
+        if self._closed or self.capture is None:
+            return
+        with self._capture_lock:
+            for shard in list(self._shards):
+                if not shard.alive:
+                    continue
+                last = self._worker_capture_seq.get(shard.shard_id, 0)
+                try:
+                    entries = self._rpc(shard, "capture_drain", {
+                        "since": last,
+                        "sample_rate": self.capture.sample_rate,
+                    })
+                except RuntimeError:
+                    continue  # dying shard: the survivors still drain
+                if not entries:
+                    continue
+                self._worker_capture_seq[shard.shard_id] = max(
+                    int(e.get("seq", last)) for e in entries
+                )
+                self.capture.ingest(
+                    entries, {"shard": str(shard.shard_id)}
+                )
+
+    def routed_service_estimate_ms(self, ref: str) -> Optional[float]:
+        """Worst-case per-(shard, model) service-time estimate for
+        ``ref``, in milliseconds.
+
+        Each shard keeps one EWMA per *requested* model ref alongside
+        its blended per-shard EWMA (which mixes model costs — the
+        ROADMAP's known routing blind spot).  This read prefers the
+        per-model estimate and falls back to the blended one only for
+        shards that have never served ``ref``; the max over live
+        shards is what the auto-canary controller compares against its
+        p95 SLO before advancing a ramp.  ``None`` means no live shard
+        has any signal yet.
+        """
+        worst: Optional[float] = None
+        for shard in list(self._shards):
+            if not shard.alive:
+                continue
+            estimate = shard.ewma_by_model.get(ref)
+            if estimate is None and shard.ewma_service_s > 0.0:
+                estimate = shard.ewma_service_s
+            if estimate is None or estimate <= 0.0:
+                continue
+            if worst is None or estimate > worst:
+                worst = estimate
+        return None if worst is None else worst * 1e3
+
     def events(self, since: int = 0) -> List[dict]:
         """The merged cluster event stream (parent + every worker),
         newer than ``since`` — what ``/events?since=`` serves.
@@ -2017,6 +2125,70 @@ class ShardedPolicyService:
         ).start()
         return self.health
 
+    def start_online(
+        self,
+        ref: str,
+        teacher: Any,
+        sample_rate: float = 0.05,
+        capacity: int = 4096,
+        monitor: Optional[Any] = None,
+        interval_s: Optional[float] = None,
+        seed: Optional[int] = None,
+        min_samples: int = 256,
+        leaf_nodes: int = 200,
+        hist_bins: int = 256,
+        n_classes: Optional[int] = None,
+        **controller_kwargs: Any,
+    ):
+        """Close the loop cluster-wide: drain sampled worker captures,
+        refit against ``teacher``, auto-canary the refits (see
+        :mod:`repro.serve.online` and
+        :meth:`PolicyServer.start_online
+        <repro.serve.server.PolicyServer.start_online>` — same
+        contract).
+
+        The cluster flavor wires two extra things: worker rings drain
+        through :meth:`_drain_worker_captures` on every controller
+        tick, and the controller's SLO gate reads
+        :meth:`routed_service_estimate_ms` — the per-(shard, model)
+        estimate, not the blended per-shard EWMA.
+        """
+        from repro.serve.online import (
+            AutoCanaryController,
+            Redistiller,
+            TraceCapture,
+        )
+
+        if self._closed:
+            raise RuntimeError(
+                "service is closed: start_online() would capture for a "
+                "dead cluster"
+            )
+        if self.online is not None:
+            raise RuntimeError("online controller already running")
+        self.capture = TraceCapture(
+            capacity=capacity, sample_rate=sample_rate, seed=seed,
+            hub=self.hub,
+        )
+        redistiller = Redistiller(
+            self.capture, teacher, min_samples=min_samples,
+            leaf_nodes=leaf_nodes, hist_bins=hist_bins,
+            n_classes=n_classes,
+            name=controller_kwargs.get("candidate") or f"{ref}-refit",
+        )
+        controller_kwargs.setdefault(
+            "service_estimate_fn", self.routed_service_estimate_ms
+        )
+        self.online = AutoCanaryController(
+            self, ref, redistiller,
+            monitor=monitor if monitor is not None else self.health,
+            journal=self.journal, hub=self.hub,
+            drain_fn=self._drain_worker_captures, **controller_kwargs,
+        )
+        if interval_s is not None:
+            self.online.start(interval_s)
+        return self.online
+
     def batching_state(self) -> Dict[str, Any]:
         """Current front-end microbatching posture (adaptive-delay
         telemetry when the controller is wired in)."""
@@ -2084,6 +2256,12 @@ class ShardedPolicyService:
             if self._closed:
                 return
             self._closed = True
+        if self.online is not None:
+            try:
+                self.online.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+            self.online = None
         if self.health is not None:
             try:
                 self.health.close()

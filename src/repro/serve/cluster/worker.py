@@ -32,7 +32,10 @@ Ops (see :data:`repro.serve.cluster.wire.OPS`): ``publish``,
 ``metrics_snapshot`` (the worker hub's labeled series, pulled by the
 parent's ``/metrics`` scrape and re-labeled per shard),
 ``events_since`` (incremental drain of the worker's event journal,
-merged into the parent's under a ``shard`` label)
+merged into the parent's under a ``shard`` label), ``capture_drain``
+(incremental drain of the worker's sampled trace-capture ring — same
+high-water-mark discipline as ``events_since`` — that also pushes the
+parent's live sample rate down to the shard)
 (``publish_tombstone`` and ``describe`` exist for the elastic tier:
 replaying retired version slots into a replacement replica, and
 fingerprinting a replica's full control state for lockstep
@@ -85,6 +88,7 @@ from repro.serve.registry import (
 )
 from repro.obs.events import EventJournal
 from repro.obs.metrics import MetricsHub
+from repro.serve.online import TraceCapture
 from repro.serve.server import ServerMetrics, register_serving_collectors
 from repro.serve.splitter import TrafficSplitter, mirror_shadow, split_state
 
@@ -261,6 +265,12 @@ class WorkerCore:
         self.journal = EventJournal(hub=self.hub)
         self.metrics = ServerMetrics(hub=self.hub)
         self.splitter = TrafficSplitter(seed=split_seed)
+        #: This replica's sampled (state, action) ring.  Dormant (rate
+        #: 0.0, zero hot-path cost) until the parent's first
+        #: ``capture_drain`` pushes a live sample rate down.
+        self.capture = TraceCapture(
+            capacity=2048, sample_rate=0.0, seed=split_seed, hub=self.hub
+        )
         self.registry.journal = self.journal
         self.splitter.journal = self.journal
         from repro.core.tree import native
@@ -389,6 +399,11 @@ class WorkerCore:
             result = serve_stacked(
                 registry, splitter, metrics, ref, x, shadow_sink=deferred
             )
+            if self.capture.sample_rate > 0.0:
+                # Sample from the resolved groups, so canaried rows are
+                # recorded under the model that actually served them.
+                for name, version, idx, out in result["groups"]:
+                    self.capture.submit_group(name, version, x[idx], out)
             if trace is not None:
                 # Continue the sampled trace: count it and echo the
                 # context so the parent can pair reply to trace even on
@@ -462,6 +477,16 @@ class WorkerCore:
             # per-shard high-water seq and merges the reply under a
             # shard label.  Plain dicts ride the typed wire codec.
             return self.journal.events_since(int(payload or 0))
+        if op == "capture_drain":
+            # Trace-capture drain, same discipline as events_since: the
+            # parent polls with its per-shard high-water seq.  The
+            # payload also carries the fleet sample rate, so turning
+            # capture on/off is one knob on the parent.
+            payload = payload or {}
+            rate = payload.get("sample_rate")
+            if rate is not None:
+                self.capture.sample_rate = float(rate)
+            return self.capture.entries_since(int(payload.get("since", 0)))
         if op == "backend_report":
             return registry_backend_report(registry)
         if op == "shadow_report":

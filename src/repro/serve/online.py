@@ -1,0 +1,845 @@
+"""Online DAgger re-distillation with auto-canary promotion.
+
+This module closes the paper's loop.  Metis converts DL networking
+policies into decision trees offline; everything below turns that
+one-shot conversion into a self-improving serving pipeline:
+
+* :class:`TraceCapture` — a bounded, sampled ring of served
+  ``(state, action)`` pairs per model.  The hot path pays one vectorized
+  Bernoulli draw per flushed batch and nothing at all while the sample
+  rate is zero; cluster workers each keep a private ring that the
+  parent drains over the ``capture_drain`` wire op exactly like the
+  PR 9 event journal (per-shard high-water marks, shard-death
+  tolerant).
+* :class:`Redistiller` — DAgger-style refits from captured experience:
+  the captured *states* are relabeled with one batched teacher query
+  (`DistillDataset.from_policy`) and a fresh tree is fitted with the
+  hist splitter, so an in-service refit costs milliseconds, not a
+  training run.
+* :class:`AutoCanaryController` — an explicit-clock state machine that
+  publishes each refit under a candidate name and walks it through a
+  canary ramp (e.g. 1% → 10% → 50% → alias move) on the tier's
+  :class:`~repro.serve.splitter.TrafficSplitter`.  Every step advances
+  only while the subscribed :class:`~repro.obs.health.HealthMonitor`
+  rules stay resolved and the routed per-(shard, model) service-time
+  estimate clears the p95 SLO; any watched rule firing — or a shard
+  dying mid-ramp — clears the split and calls ``rollback_publish``, so
+  the journal reads ``shard_death < rollback``/``canary_change`` in
+  sequence order.
+
+The controller never sleeps internally: ``tick(now)`` takes an explicit
+timestamp, so the chaos/property test layer drives whole
+ramp-promote/rollback stories on a fake clock.  ``start()`` adds an
+optional background ticker for real deployments (the smoke script).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.artifact import PolicyArtifact
+
+__all__ = [
+    "TraceCapture",
+    "Redistiller",
+    "RefitResult",
+    "AutoCanaryController",
+]
+
+
+class _TeacherShim:
+    """Adapt a :class:`PolicyArtifact`-style ``predict_batch`` to the
+    ``act_greedy_batch`` surface the distillation layer labels with.
+
+    Teacher artifacts built via :meth:`PolicyArtifact.from_teacher`
+    already serve greedy actions through ``predict_batch``, so the shim
+    is a rename, not a computation.
+    """
+
+    def __init__(self, artifact: Any) -> None:
+        self._artifact = artifact
+
+    def act_greedy_batch(self, states: np.ndarray) -> np.ndarray:
+        return np.asarray(self._artifact.predict_batch(states))
+
+
+def _as_labeler(teacher: Any) -> Any:
+    if hasattr(teacher, "act_greedy_batch"):
+        return teacher
+    if hasattr(teacher, "predict_batch"):
+        return _TeacherShim(teacher)
+    raise TypeError(
+        "teacher must expose act_greedy_batch (a policy) or "
+        "predict_batch (a served artifact)"
+    )
+
+
+class TraceCapture:
+    """Sampled ring of served ``(state, action)`` pairs.
+
+    Entries are plain dicts — ``{"seq", "ts", "model", "version",
+    "state", "action"}`` — so they cross the typed wire codec verbatim
+    when a cluster parent drains a worker's ring.  The ring is bounded
+    (``capacity``); once full, the oldest entries are evicted and
+    counted.  Three consumption modes:
+
+    * :meth:`entries_since` — non-destructive, by sequence number: the
+      wire drain, where each consumer keeps its own high-water mark
+      (disjoint batches per consumer by construction);
+    * :meth:`take` — destructive pop for the
+      :class:`Redistiller` (concurrent takers get disjoint batches);
+    * :meth:`ingest` — parent-side re-sequencing of drained worker
+      entries, preserving the worker-local ``seq`` as ``origin_seq``.
+
+    ``submit_group`` is hot-path safe: it returns immediately at rate
+    zero, draws one vectorized Bernoulli mask otherwise, and never
+    raises (failures are counted, not thrown).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        sample_rate: float = 0.0,
+        seed: Optional[int] = None,
+        hub: Optional[Any] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: deque = deque()
+        self._seq = 0
+        self._sample_rate = 0.0
+        self.sample_rate = sample_rate
+        self._rng = np.random.default_rng(seed)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.evicted = 0
+        self.submit_errors = 0
+        self.captured_total = 0
+        self._m_captured = None
+        self._m_evicted = None
+        if hub is not None:
+            self.bind_hub(hub)
+
+    # -- configuration ----------------------------------------------------
+    @property
+    def sample_rate(self) -> float:
+        return self._sample_rate
+
+    @sample_rate.setter
+    def sample_rate(self, rate: float) -> None:
+        self._sample_rate = min(1.0, max(0.0, float(rate)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- producer ---------------------------------------------------------
+    def submit_group(
+        self,
+        model: str,
+        version: Any,
+        rows: np.ndarray,
+        actions: Sequence[Any],
+    ) -> int:
+        """Sample from one served batch; returns how many pairs landed.
+
+        ``rows`` is the 2-D state block that was predicted and
+        ``actions`` the aligned per-row outputs.  Never raises — a
+        capture must not take serving down.
+        """
+        rate = self._sample_rate
+        if rate <= 0.0:
+            return 0
+        try:
+            rows = np.asarray(rows)
+            n = int(rows.shape[0]) if rows.ndim >= 2 else 0
+            if n == 0 or n != len(actions):
+                return 0
+            if rate >= 1.0:
+                picked = range(n)
+            else:
+                mask = self._rng.random(n) < rate
+                if not mask.any():
+                    return 0
+                picked = np.flatnonzero(mask)
+            ts = float(self._clock())
+            landed = 0
+            with self._lock:
+                for i in picked:
+                    action = actions[int(i)]
+                    if isinstance(action, np.generic):
+                        action = action.item()
+                    elif isinstance(action, np.ndarray):
+                        action = np.array(action, copy=True)
+                    self._seq += 1
+                    self._append_locked({
+                        "seq": self._seq,
+                        "ts": ts,
+                        "model": str(model),
+                        "version": int(version),
+                        "state": np.array(rows[int(i)], dtype=float,
+                                          copy=True),
+                        "action": action,
+                    })
+                    landed += 1
+                self.captured_total += landed
+            if landed and self._m_captured is not None:
+                try:
+                    self._m_captured.labels(model=str(model)).inc(landed)
+                except Exception:  # noqa: BLE001 - metrics are best effort
+                    pass
+            return landed
+        except Exception:  # noqa: BLE001 - the hot path must survive
+            self.submit_errors += 1
+            return 0
+
+    def _append_locked(self, entry: dict) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.popleft()
+            self.evicted += 1
+            if self._m_evicted is not None:
+                try:
+                    self._m_evicted.labels().inc()
+                except Exception:  # noqa: BLE001
+                    pass
+        self._entries.append(entry)
+
+    # -- consumers --------------------------------------------------------
+    def entries_since(self, seq: int = 0) -> List[dict]:
+        """Entries with ``seq`` strictly greater than the given mark,
+        oldest first (non-destructive — the wire drain path)."""
+        with self._lock:
+            return [e for e in self._entries if e["seq"] > seq]
+
+    def take(self, max_n: Optional[int] = None) -> List[dict]:
+        """Destructively pop up to ``max_n`` oldest entries (all when
+        ``None``).  Concurrent takers receive disjoint batches."""
+        out: List[dict] = []
+        with self._lock:
+            while self._entries and (max_n is None or len(out) < max_n):
+                out.append(self._entries.popleft())
+        return out
+
+    def ingest(
+        self, entries: Iterable[dict], extra: Optional[Dict[str, Any]] = None
+    ) -> int:
+        """Fold drained worker entries into this (parent) ring,
+        re-sequencing into the local monotonic order.  The worker-local
+        ``seq`` is preserved as ``origin_seq``; ``extra`` (e.g. the
+        shard id) is merged into each entry."""
+        count = 0
+        with self._lock:
+            for raw in entries:
+                entry = dict(raw)
+                entry["origin_seq"] = entry.get("seq")
+                if extra:
+                    entry.update(extra)
+                self._seq += 1
+                entry["seq"] = self._seq
+                self._append_locked(entry)
+                count += 1
+            self.captured_total += count
+        if count and self._m_captured is not None:
+            try:
+                self._m_captured.labels(model="_ingest").inc(count)
+            except Exception:  # noqa: BLE001
+                pass
+        return count
+
+    # -- introspection ----------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "depth": len(self._entries),
+                "capacity": self.capacity,
+                "seq": self._seq,
+                "sample_rate": self._sample_rate,
+                "captured_total": self.captured_total,
+                "evicted": self.evicted,
+                "submit_errors": self.submit_errors,
+            }
+
+    def bind_hub(self, hub: Any) -> "TraceCapture":
+        """Mirror the ring into ``repro_online_*`` metric families."""
+        self._m_captured = hub.counter(
+            "repro_online_captured_total",
+            "Served (state, action) pairs sampled into the capture ring",
+        )
+        self._m_evicted = hub.counter(
+            "repro_online_capture_evicted_total",
+            "Capture-ring entries evicted by the capacity bound",
+        )
+        depth = hub.gauge(
+            "repro_online_capture_depth",
+            "Current number of entries held by the capture ring",
+        )
+        rate = hub.gauge(
+            "repro_online_capture_sample_rate",
+            "Live Bernoulli sampling rate of the capture ring",
+        )
+
+        def collect() -> None:
+            snap = self.snapshot()
+            depth.labels().set(snap["depth"])
+            rate.labels().set(snap["sample_rate"])
+
+        hub.register_collector(collect)
+        return self
+
+
+@dataclass
+class RefitResult:
+    """One completed DAgger refit.
+
+    ``agreement`` is the refit tree's fidelity to the teacher on the
+    relabeled capture set (the promote gate); ``served_agreement`` is
+    how often the *served* actions matched the teacher on those same
+    states — the drift that triggered the refit, measured exactly.
+    """
+
+    artifact: PolicyArtifact
+    n_samples: int
+    agreement: float
+    served_agreement: float
+
+
+class Redistiller:
+    """DAgger-style refit of a served policy from captured experience.
+
+    Each :meth:`refit` drains the capture ring, accumulates states
+    until ``min_samples`` are buffered, relabels them with one batched
+    teacher query, and fits a fresh tree with the hist splitter (the
+    ~6x-cheaper engine that makes in-service refits affordable).
+    ``teacher`` is swappable at runtime — pointing it at a new policy
+    is how drift is induced in the smoke script.
+    """
+
+    def __init__(
+        self,
+        capture: TraceCapture,
+        teacher: Any,
+        *,
+        leaf_nodes: int = 200,
+        hist_bins: int = 256,
+        min_samples: int = 256,
+        n_classes: Optional[int] = None,
+        name: str = "refit",
+        codegen: bool = False,
+        models: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.capture = capture
+        self.teacher = teacher
+        self.leaf_nodes = int(leaf_nodes)
+        self.hist_bins = int(hist_bins)
+        self.min_samples = int(min_samples)
+        self.n_classes = n_classes
+        self.name = name
+        self.codegen = codegen
+        self.models = set(models) if models is not None else None
+        self.refits = 0
+        self._states: List[np.ndarray] = []
+        self._served: List[Any] = []
+        self._lock = threading.Lock()
+
+    @property
+    def teacher(self) -> Any:
+        return self._teacher
+
+    @teacher.setter
+    def teacher(self, teacher: Any) -> None:
+        self._teacher = _as_labeler(teacher)
+
+    def pending_samples(self) -> int:
+        with self._lock:
+            return len(self._states) + len(self.capture)
+
+    def refit(self) -> Optional[RefitResult]:
+        """Drain the ring and fit; ``None`` until ``min_samples`` of
+        experience have accumulated (the drained states are buffered,
+        not lost)."""
+        from repro.core.distill.dataset import DistillDataset
+        from repro.core.distill.viper import distill_from_dataset
+
+        with self._lock:
+            for entry in self.capture.take():
+                if (self.models is not None
+                        and entry.get("model") not in self.models):
+                    continue
+                state = np.asarray(entry.get("state"), dtype=float)
+                if state.ndim != 1 or state.size == 0:
+                    continue
+                self._states.append(state)
+                self._served.append(entry.get("action"))
+            if len(self._states) < self.min_samples:
+                return None
+            states = np.vstack(self._states)
+            served = np.asarray(self._served)
+            self._states = []
+            self._served = []
+        dataset = DistillDataset.from_policy(states, self._teacher)
+        policy = distill_from_dataset(
+            dataset,
+            leaf_nodes=self.leaf_nodes,
+            n_classes=self.n_classes,
+            splitter="hist",
+            hist_bins=self.hist_bins,
+        )
+        agreement = dataset.agreement_with(policy)
+        try:
+            served_agreement = float(
+                (served.astype(dataset.actions.dtype)
+                 == dataset.actions).mean()
+            )
+        except (TypeError, ValueError):
+            served_agreement = 0.0
+        artifact = PolicyArtifact.from_tree(
+            policy.tree, name=self.name, codegen=self.codegen
+        )
+        self.refits += 1
+        return RefitResult(
+            artifact=artifact,
+            n_samples=int(states.shape[0]),
+            agreement=float(agreement),
+            served_agreement=served_agreement,
+        )
+
+
+#: Rule names whose pending/firing phases gate ramp advancement and
+#: whose fire transitions abort an active ramp.
+DEFAULT_WATCH_RULES = ("shadow_agreement_floor", "p95_slo_burn")
+#: Rule names whose fire transitions request a refit while idle.
+DEFAULT_DRIFT_RULES = ("shadow_agreement_floor",)
+
+
+class AutoCanaryController:
+    """Publish refits through a gated canary ramp; promote or roll back.
+
+    ``tier`` is either tier — :class:`~repro.serve.server.PolicyServer`
+    or :class:`~repro.serve.cluster.service.ShardedPolicyService` —
+    both expose the same ``publish`` / ``set_split`` / ``clear_split``
+    / ``alias`` / ``rollback_publish`` surface.  ``ref`` must be an
+    **alias** (the registry refuses to alias over a model name), which
+    is exactly what makes promotion atomic: the final ramp step repoints
+    the alias at the pinned candidate version.
+
+    The controller is an explicit state machine.  ``tick(now)`` does
+    all the work; a fire of a watched rule (via
+    ``monitor.subscribe``) or a ``shard_death`` journal event only sets
+    a flag that the next tick acts on, so tests drive every promote and
+    rollback story deterministically on a fake clock.  While ramping,
+    the canary split carries **no shadow**: mirroring base-vs-candidate
+    during a drift fix would hold ``shadow_agreement_floor`` breached
+    forever (they are *supposed* to disagree — that is the fix).  The
+    detection shadow is reinstalled after promotion instead.
+    """
+
+    def __init__(
+        self,
+        tier: Any,
+        ref: str,
+        redistiller: Redistiller,
+        monitor: Optional[Any] = None,
+        *,
+        stages: Sequence[float] = (0.01, 0.10, 0.50),
+        hold_s: float = 30.0,
+        candidate: Optional[str] = None,
+        watch_rules: Sequence[str] = DEFAULT_WATCH_RULES,
+        drift_rules: Sequence[str] = DEFAULT_DRIFT_RULES,
+        min_refit_agreement: float = 0.90,
+        slo_p95_ms: Optional[float] = None,
+        service_estimate_fn: Optional[Callable[[str], Optional[float]]] = None,
+        refit_interval_s: Optional[float] = None,
+        detection_shadow: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+        journal: Optional[Any] = None,
+        drain_fn: Optional[Callable[[], Any]] = None,
+        hub: Optional[Any] = None,
+    ) -> None:
+        if not stages:
+            raise ValueError("need at least one canary stage")
+        fractions = [float(f) for f in stages]
+        if any(not 0.0 < f <= 1.0 for f in fractions):
+            raise ValueError("canary stages must be fractions in (0, 1]")
+        if sorted(fractions) != fractions:
+            raise ValueError("canary stages must be non-decreasing")
+        self.tier = tier
+        self.ref = ref
+        self.redistiller = redistiller
+        self.monitor = monitor
+        self.stages = tuple(fractions)
+        self.hold_s = float(hold_s)
+        self.candidate = candidate or f"{ref}-refit"
+        self.watch_rules = tuple(watch_rules)
+        self.drift_rules = tuple(drift_rules)
+        self.min_refit_agreement = float(min_refit_agreement)
+        self.slo_p95_ms = slo_p95_ms
+        self.service_estimate_fn = service_estimate_fn
+        self.refit_interval_s = refit_interval_s
+        self.detection_shadow = detection_shadow
+        self.history: List[dict] = []
+        self._clock = clock
+        self._journal = journal if journal is not None \
+            else getattr(tier, "journal", None)
+        self._drain = drain_fn
+        self._lock = threading.RLock()
+        self._state = "idle"
+        self._stage = -1
+        self._stage_started = 0.0
+        self._candidate_version: Optional[int] = None
+        self._drift_pending = False
+        self._abort: Optional[str] = None
+        self._paused_on: Optional[List[str]] = None
+        self._last_refit_at = clock()
+        self._journal_seq = self._journal_tail()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._closed = False
+        self._m_refits = self._m_promotions = self._m_rollbacks = None
+        self._g_fraction = self._g_agreement = None
+        if hub is not None:
+            self.bind_hub(hub)
+        if monitor is not None and hasattr(monitor, "subscribe"):
+            monitor.subscribe(self._on_alert)
+
+    # -- wiring -----------------------------------------------------------
+    def bind_hub(self, hub: Any) -> "AutoCanaryController":
+        self._m_refits = hub.counter(
+            "repro_online_refits_total",
+            "DAgger refits completed by the online redistiller",
+        )
+        self._m_promotions = hub.counter(
+            "repro_online_promotions_total",
+            "Canary ramps promoted to the serving alias",
+        )
+        self._m_rollbacks = hub.counter(
+            "repro_online_rollbacks_total",
+            "Canary ramps rolled back (rollback_publish called)",
+        )
+        self._g_fraction = hub.gauge(
+            "repro_online_canary_fraction",
+            "Current canary traffic fraction of the online ramp",
+        )
+        self._g_agreement = hub.gauge(
+            "repro_online_refit_agreement_ratio",
+            "Teacher agreement of the most recent refit tree",
+        )
+        self._g_fraction.labels(model=self.ref).set(0.0)
+        return self
+
+    def _journal_tail(self) -> int:
+        if self._journal is None:
+            return 0
+        try:
+            events = self._journal.events_since(0)
+            return int(events[-1]["seq"]) if events else 0
+        except Exception:  # noqa: BLE001 - journal is observational
+            return 0
+
+    def _inc(self, family: Any) -> None:
+        if family is not None:
+            try:
+                family.labels().inc()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _set_fraction(self, fraction: float) -> None:
+        if self._g_fraction is not None:
+            try:
+                self._g_fraction.labels(model=self.ref).set(fraction)
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _record(self, action: str, **detail: Any) -> None:
+        entry = {"at": self._clock(), "action": action, **detail}
+        self.history.append(entry)
+
+    # -- alert subscription ------------------------------------------------
+    def _on_alert(self, rule: Any, transition: str, event: dict) -> None:
+        """HealthMonitor callback: set flags; the next tick acts."""
+        name = getattr(rule, "name", str(rule))
+        with self._lock:
+            if transition != "fire":
+                return
+            if self._state == "ramping":
+                if name in self.watch_rules:
+                    self._abort = name
+            elif name in self.drift_rules:
+                self._drift_pending = True
+
+    def request_refit(self) -> None:
+        """Manually request a refit on the next idle tick (the smoke
+        script's drift-forcing hook)."""
+        with self._lock:
+            self._drift_pending = True
+
+    # -- the state machine -------------------------------------------------
+    def tick(self, now: Optional[float] = None) -> dict:
+        """Advance the state machine once; returns :meth:`status`."""
+        with self._lock:
+            if self._closed:
+                return self.status()
+            if now is None:
+                now = self._clock()
+            if self._drain is not None:
+                try:
+                    self._drain()
+                except Exception:  # noqa: BLE001 - drain is best effort
+                    pass
+            self._scan_journal()
+            if self._state == "ramping":
+                self._tick_ramp(now)
+            else:
+                self._tick_idle(now)
+            return self.status()
+
+    def _scan_journal(self) -> None:
+        if self._journal is None:
+            return
+        try:
+            events = self._journal.events_since(self._journal_seq)
+        except Exception:  # noqa: BLE001
+            return
+        for event in events:
+            self._journal_seq = max(
+                self._journal_seq, int(event.get("seq", self._journal_seq))
+            )
+            if (event.get("kind") == "shard_death"
+                    and event.get("severity") == "error"
+                    and self._state == "ramping"):
+                self._abort = "shard_death"
+
+    def _tick_idle(self, now: float) -> None:
+        due = (
+            self.refit_interval_s is not None
+            and now - self._last_refit_at >= self.refit_interval_s
+        )
+        if not (self._drift_pending or due):
+            return
+        self._last_refit_at = now
+        result = self.redistiller.refit()
+        if result is None:
+            # Not enough captured experience yet; keep the drift flag so
+            # the next tick retries once more samples have drained.
+            self._record("refit_deferred",
+                         pending=self.redistiller.pending_samples())
+            return
+        self._inc(self._m_refits)
+        if self._g_agreement is not None:
+            try:
+                self._g_agreement.labels(model=self.ref).set(
+                    result.agreement
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        self._record(
+            "refit", n_samples=result.n_samples,
+            agreement=result.agreement,
+            served_agreement=result.served_agreement,
+        )
+        if result.agreement < self.min_refit_agreement:
+            # A tree that cannot even fit the teacher must not serve;
+            # stand down until the next drift fire or scheduled refit.
+            self._drift_pending = False
+            self._record("refit_rejected", agreement=result.agreement,
+                         floor=self.min_refit_agreement)
+            return
+        self._drift_pending = False
+        self._begin_ramp_locked(result.artifact, now)
+
+    def begin_ramp(
+        self, artifact: PolicyArtifact, now: Optional[float] = None
+    ) -> int:
+        """Publish ``artifact`` as the candidate and start the ramp at
+        the first stage (public for tests and manual operation);
+        returns the published candidate version."""
+        with self._lock:
+            if self._state == "ramping":
+                raise RuntimeError("a canary ramp is already active")
+            if now is None:
+                now = self._clock()
+            return self._begin_ramp_locked(artifact, now)
+
+    def _begin_ramp_locked(
+        self, artifact: PolicyArtifact, now: float
+    ) -> int:
+        version = self.tier.publish(self.candidate, artifact)
+        self._candidate_version = version
+        self._state = "ramping"
+        self._stage = 0
+        self._stage_started = now
+        self._abort = None
+        self._paused_on = None
+        fraction = self.stages[0]
+        # Canary-only: replacing any drift-detection shadow split lets
+        # shadow_agreement_floor resolve while the fix ramps.
+        self.tier.set_split(
+            self.ref, canary=f"{self.candidate}@{version}",
+            canary_fraction=fraction,
+        )
+        self._set_fraction(fraction)
+        self._record("ramp", candidate=self.candidate, version=version,
+                     fraction=fraction)
+        return version
+
+    def _gates(self) -> List[str]:
+        blocked: List[str] = []
+        if self.monitor is not None:
+            try:
+                phases = self.monitor.states()
+            except Exception:  # noqa: BLE001 - a broken monitor blocks
+                return ["monitor_error"]
+            for name in self.watch_rules:
+                for key, phase in phases.items():
+                    if phase not in ("pending", "firing"):
+                        continue
+                    if key == name or key.startswith(name + "{"):
+                        blocked.append(key)
+        if (self.slo_p95_ms is not None
+                and self.service_estimate_fn is not None):
+            try:
+                estimate = self.service_estimate_fn(self.ref)
+            except Exception:  # noqa: BLE001
+                estimate = None
+            if estimate is not None and estimate > self.slo_p95_ms:
+                blocked.append(
+                    f"service_estimate:{estimate:.3f}ms>"
+                    f"{self.slo_p95_ms:g}ms"
+                )
+        return blocked
+
+    def _tick_ramp(self, now: float) -> None:
+        if self._abort is not None:
+            self._rollback(now, self._abort)
+            return
+        blocked = self._gates()
+        if blocked:
+            # Pause: hold the current fraction and restart the stage
+            # timer; only journal the transition into paused once.
+            self._stage_started = now
+            if self._paused_on != blocked:
+                self._paused_on = blocked
+                self._record("pause", stage=self._stage, blocked=blocked)
+            return
+        if self._paused_on is not None:
+            self._paused_on = None
+            self._record("resume", stage=self._stage)
+        if now - self._stage_started < self.hold_s:
+            return
+        if self._stage + 1 < len(self.stages):
+            self._stage += 1
+            fraction = self.stages[self._stage]
+            self._stage_started = now
+            self.tier.set_split(
+                self.ref,
+                canary=f"{self.candidate}@{self._candidate_version}",
+                canary_fraction=fraction,
+            )
+            self._set_fraction(fraction)
+            self._record("advance", stage=self._stage, fraction=fraction)
+        else:
+            self._promote(now)
+
+    def _promote(self, now: float) -> None:
+        version = self._candidate_version
+        self.tier.clear_split(self.ref)
+        self.tier.alias(self.ref, self.candidate, version)
+        if self.detection_shadow is not None:
+            # Fresh shadow stats (the splitter resets them on install),
+            # so the loop keeps watching for the *next* drift.
+            self.tier.set_split(self.ref, shadow=self.detection_shadow)
+        self._state = "idle"
+        self._stage = -1
+        self._set_fraction(0.0)
+        self._inc(self._m_promotions)
+        self._record("promote", candidate=self.candidate, version=version)
+
+    def _rollback(self, now: float, reason: str) -> None:
+        version = self._candidate_version
+        # Split first: rollback_publish refuses while a split still
+        # routes traffic at the candidate.
+        try:
+            self.tier.clear_split(self.ref)
+        except Exception:  # noqa: BLE001 - the split may already be gone
+            pass
+        error = None
+        try:
+            self.tier.rollback_publish(self.candidate, version)
+        except Exception as exc:  # noqa: BLE001 - record, do not crash
+            error = str(exc)
+        if self.detection_shadow is not None:
+            try:
+                self.tier.set_split(self.ref, shadow=self.detection_shadow)
+            except Exception:  # noqa: BLE001
+                pass
+        self._state = "idle"
+        self._stage = -1
+        self._abort = None
+        self._paused_on = None
+        self._drift_pending = False
+        self._set_fraction(0.0)
+        self._inc(self._m_rollbacks)
+        detail: Dict[str, Any] = {
+            "candidate": self.candidate, "version": version,
+            "reason": reason,
+        }
+        if error is not None:
+            detail["error"] = error
+        self._record("rollback", **detail)
+
+    # -- introspection -----------------------------------------------------
+    def status(self) -> dict:
+        return {
+            "state": self._state,
+            "stage": self._stage,
+            "fraction": (
+                self.stages[self._stage]
+                if 0 <= self._stage < len(self.stages) else 0.0
+            ),
+            "candidate": self.candidate,
+            "candidate_version": self._candidate_version,
+            "drift_pending": self._drift_pending,
+            "abort": self._abort,
+            "paused_on": list(self._paused_on or []),
+            "refits": self.redistiller.refits,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, interval_s: float = 1.0) -> "AutoCanaryController":
+        """Background ticker for real deployments; tests call
+        :meth:`tick` directly instead."""
+        if self._thread is not None:
+            raise RuntimeError("controller already started")
+        self.interval_s = float(interval_s)
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-online-canary", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - the ticker must survive
+                pass
+
+    def close(self) -> None:
+        self._closed = True
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "AutoCanaryController":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -491,6 +491,7 @@ class PolicyServer:
             state_fn=self._blackbox_state,
         )
         self.health = None
+        self.online = None
         self.exporter = None
         self._closed = False
         if exporter_port is not None:
@@ -531,6 +532,18 @@ class PolicyServer:
                 self.splitter.splits(), self.registry, name, version
             )
             self.registry.retire(name, version)
+
+    def rollback_publish(self, name: str, version: int) -> None:
+        """Undo the most recent publish of ``name`` (see
+        :meth:`ModelRegistry.rollback_publish`) — the auto-canary
+        controller's escape hatch.  Refuses while an active split still
+        routes traffic at that version, same guard as :meth:`retire`.
+        """
+        with self._control_lock:
+            guard_retire_against_splits(
+                self.splitter.splits(), self.registry, name, version
+            )
+            self.registry.rollback_publish(name, version)
 
     # -- traffic splitting -----------------------------------------------
     def set_split(
@@ -705,9 +718,74 @@ class PolicyServer:
         ).start()
         return self.health
 
+    def start_online(
+        self,
+        ref: str,
+        teacher: Any,
+        sample_rate: float = 0.05,
+        capacity: int = 4096,
+        monitor: Optional[Any] = None,
+        interval_s: Optional[float] = None,
+        seed: SeedLike = None,
+        min_samples: int = 256,
+        leaf_nodes: int = 200,
+        hist_bins: int = 256,
+        n_classes: Optional[int] = None,
+        **controller_kwargs: Any,
+    ):
+        """Close the loop: capture served traffic, refit against
+        ``teacher``, and auto-canary the refits (see
+        :mod:`repro.serve.online`).
+
+        ``ref`` must be an alias — promotion repoints it at the refit.
+        ``monitor`` defaults to this server's running health monitor
+        (:meth:`start_health` first if drift-triggered refits are
+        wanted).  ``interval_s`` starts the controller's background
+        ticker; leave ``None`` and call ``controller.tick()`` to drive
+        it explicitly (tests, cron).  Remaining keyword arguments reach
+        :class:`~repro.serve.online.AutoCanaryController`.  One-shot
+        per server, like :meth:`start_health`.
+        """
+        from repro.serve.online import (
+            AutoCanaryController,
+            Redistiller,
+            TraceCapture,
+        )
+
+        if self._closed:
+            raise RuntimeError(
+                "PolicyServer is closed: start_online() would capture "
+                "for a dead server"
+            )
+        if self.online is not None:
+            raise RuntimeError("online controller already running")
+        capture = TraceCapture(
+            capacity=capacity, sample_rate=sample_rate, seed=seed,
+            hub=self.hub,
+        )
+        self._batcher.capture = capture
+        redistiller = Redistiller(
+            capture, teacher, min_samples=min_samples,
+            leaf_nodes=leaf_nodes, hist_bins=hist_bins,
+            n_classes=n_classes,
+            name=controller_kwargs.get("candidate") or f"{ref}-refit",
+        )
+        self.online = AutoCanaryController(
+            self, ref, redistiller,
+            monitor=monitor if monitor is not None else self.health,
+            journal=self.journal, hub=self.hub, **controller_kwargs,
+        )
+        if interval_s is not None:
+            self.online.start(interval_s)
+        return self.online
+
     def close(self) -> None:
         """Drain and stop; every submitted request still completes."""
         self._closed = True
+        if self.online is not None:
+            self.online.close()
+            self.online = None
+            self._batcher.capture = None
         if self.health is not None:
             self.health.close()
             self.health = None

@@ -128,6 +128,13 @@ class TrafficSplitter:
                 stats = self._shadow.get(ref)
                 if stats is None or stats.shadow_ref != shadow:
                     self._shadow[ref] = _ShadowStats(shadow)
+            else:
+                # Replacing a shadowed split with a shadow-less one
+                # (e.g. the auto-canary ramp taking over from a
+                # drift-detection mirror) retires its agreement stats:
+                # keeping them would hold shadow_agreement_floor
+                # breached on traffic that no longer mirrors.
+                self._shadow.pop(ref, None)
             self.active = True
         self._journal_change(
             ref, canary=canary, canary_fraction=float(canary_fraction),

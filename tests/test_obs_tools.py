@@ -13,7 +13,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
 
-from check_metrics import lint_health_families, lint_metrics  # noqa: E402
+import numpy as np
+
+from check_metrics import (  # noqa: E402
+    lint_health_families,
+    lint_metrics,
+    lint_online_families,
+)
 
 from repro.obs.events import EventJournal
 from repro.obs.metrics import MetricsHub, render_text, with_labels
@@ -159,6 +165,65 @@ def test_health_family_wrong_type_caught():
     )
     errors = lint_health_families(page)
     assert any("expected 'gauge'" in e for e in errors)
+
+
+ONLINE_GOOD = """\
+# HELP repro_online_captured_total Sampled pairs
+# TYPE repro_online_captured_total counter
+repro_online_captured_total{model="abr"} 120
+# HELP repro_online_capture_sample_rate Live sampling rate
+# TYPE repro_online_capture_sample_rate gauge
+repro_online_capture_sample_rate 0.05
+# HELP repro_online_canary_fraction Current canary fraction
+# TYPE repro_online_canary_fraction gauge
+repro_online_canary_fraction{model="abr"} 0.1
+"""
+
+
+def test_online_families_clean_page_lints_clean():
+    assert lint_online_families(ONLINE_GOOD) == []
+
+
+def test_online_families_absent_is_clean():
+    assert lint_online_families(GOOD) == []
+
+
+def test_online_captured_without_model_label_caught():
+    page = ONLINE_GOOD + "repro_online_captured_total 3\n"
+    errors = lint_online_families(page)
+    assert any("without model label" in e for e in errors)
+
+
+def test_online_fraction_outside_unit_interval_caught():
+    page = ONLINE_GOOD + (
+        'repro_online_canary_fraction{model="x"} 1.5\n'
+    )
+    errors = lint_online_families(page)
+    assert any("outside [0, 1]" in e for e in errors)
+
+
+def test_online_family_wrong_type_caught():
+    page = ONLINE_GOOD.replace(
+        "# TYPE repro_online_captured_total counter",
+        "# TYPE repro_online_captured_total gauge",
+    )
+    errors = lint_online_families(page)
+    assert any("expected 'counter'" in e for e in errors)
+
+
+def test_real_capture_ring_render_lints_clean():
+    from repro.serve.online import TraceCapture
+
+    hub = MetricsHub()
+    capture = TraceCapture(capacity=8, sample_rate=0.5, seed=0,
+                           hub=hub)
+    capture.submit_group(
+        "abr", 1, np.ones((6, 3)), [0, 1, 0, 1, 0, 1]
+    )
+    page = hub.render()
+    assert lint_metrics(page) == []
+    assert lint_online_families(page) == []
+    assert "repro_online_capture_depth" in page
 
 
 def test_real_journal_and_gauge_render_lint_clean():

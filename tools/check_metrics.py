@@ -20,6 +20,10 @@ they appear in a scrape: ``repro_events_total`` must be a counter whose
 every sample carries ``kind`` and ``severity`` labels with values from
 the journal's vocabulary, and ``repro_alerts_active`` must be a gauge
 whose every sample carries a ``rule`` label with a 0-or-1 value.
+:func:`lint_online_families` does the same for the online loop's
+``repro_online_*`` families: declared kinds must match the docs,
+per-model families must label every sample with ``model``, and
+sample-rate / canary-fraction / agreement gauges must stay in [0, 1].
 
 Usable as a library (``lint_metrics(text) -> [errors]``) — the obs
 smoke job and ``tests/test_obs_tools.py`` both call it — or as a CLI
@@ -265,6 +269,85 @@ def lint_health_families(text: str) -> List[str]:
     return sorted(set(errors))
 
 
+#: The online loop's exported families and their declared kinds.
+_ONLINE_FAMILIES = {
+    "repro_online_captured_total": "counter",
+    "repro_online_capture_evicted_total": "counter",
+    "repro_online_capture_depth": "gauge",
+    "repro_online_capture_sample_rate": "gauge",
+    "repro_online_refits_total": "counter",
+    "repro_online_promotions_total": "counter",
+    "repro_online_rollbacks_total": "counter",
+    "repro_online_canary_fraction": "gauge",
+    "repro_online_refit_agreement_ratio": "gauge",
+}
+
+#: Families whose samples must carry a ``model`` label.
+_ONLINE_MODEL_LABELED = (
+    "repro_online_captured_total",
+    "repro_online_canary_fraction",
+    "repro_online_refit_agreement_ratio",
+)
+
+#: Families whose values are ratios and must stay inside [0, 1].
+_ONLINE_UNIT_INTERVAL = (
+    "repro_online_capture_sample_rate",
+    "repro_online_canary_fraction",
+    "repro_online_refit_agreement_ratio",
+)
+
+
+def lint_online_families(text: str) -> List[str]:
+    """Lint the online loop's ``repro_online_*`` families, when present.
+
+    Counters and gauges must declare the kinds the docs promise;
+    per-model families must carry a ``model`` label on every sample;
+    sample-rate, canary-fraction, and agreement gauges must stay inside
+    [0, 1].  A scrape without any ``repro_online_*`` family lints clean
+    (the loop is opt-in via ``start_online``)."""
+    errors: List[str] = []
+    kinds: Dict[str, str] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) == 4:
+                kinds[parts[2]] = parts[3]
+            continue
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        name = match.group("name")
+        if name not in _ONLINE_FAMILIES:
+            continue
+        labels = dict(
+            _parse_labels(match.group("labels") or "", line_no, errors)
+        )
+        if name in _ONLINE_MODEL_LABELED and "model" not in labels:
+            errors.append(
+                f"line {line_no}: {name} sample without model label"
+            )
+        if name in _ONLINE_UNIT_INTERVAL:
+            try:
+                value = float(match.group("value"))
+            except ValueError:
+                value = float("nan")
+            if not 0.0 <= value <= 1.0:
+                errors.append(
+                    f"line {line_no}: {name} value "
+                    f"{match.group('value')!r} outside [0, 1]"
+                )
+    for name, expected in _ONLINE_FAMILIES.items():
+        if name in kinds and kinds[name] != expected:
+            errors.append(
+                f"family {name} declared {kinds[name]!r}, expected "
+                f"{expected!r}"
+            )
+    return sorted(set(errors))
+
+
 def main(argv: List[str]) -> int:
     if len(argv) != 2 or argv[1] in ("-h", "--help"):
         print(__doc__)
@@ -274,7 +357,11 @@ def main(argv: List[str]) -> int:
     else:
         with open(argv[1], "r", encoding="utf-8") as fh:
             text = fh.read()
-    errors = sorted(set(lint_metrics(text) + lint_health_families(text)))
+    errors = sorted(set(
+        lint_metrics(text)
+        + lint_health_families(text)
+        + lint_online_families(text)
+    ))
     for error in errors:
         print(f"check_metrics: {error}", file=sys.stderr)
     n_samples = sum(

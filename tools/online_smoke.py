@@ -1,0 +1,250 @@
+"""Online-loop smoke: force drift, watch a full canary ramp promote.
+
+The end-to-end check behind CI's ``online`` job: boot a 2-shard
+:class:`~repro.serve.cluster.service.ShardedPolicyService` with the
+online loop armed (:meth:`start_online`), then close the paper's loop
+on real processes and a real clock:
+
+* serve alias ``abr`` from a tree distilled at threshold 0.5 while a
+  published ``teacher`` artifact (same threshold) shadow-mirrors the
+  traffic — agreement is high, nothing fires;
+* **force drift via a teacher swap**: publish a v2 teacher at
+  threshold 0.3 and swap the redistiller's labeler to match.  The
+  detection mirror now disagrees on ~20% of uniform traffic, so
+  ``shadow_agreement_floor`` walks pending → firing;
+* the controller refits from the captured (state, action) ring,
+  ramps the refit through the canary stages, and promotes it to the
+  alias — the smoke polls until ``aliases()["abr"]`` points at the
+  pinned refit;
+* post-promote, the reinstalled detection mirror agrees again and the
+  floor resolves;
+* the live ``/metrics`` scrape lints clean (including
+  ``lint_online_families``) and contains the ``repro_online_*`` series
+  the promote path must emit.
+
+Artifacts written to ``--out`` for upload: the capture ring
+(``capture_ring.jsonl``), the canary journal — every
+``canary_change`` / ``alias_move`` / ``rollback`` / ``publish`` event
+(``canary_journal.jsonl``), the controller history
+(``controller_history.json``), and the final scrape
+(``metrics.prom``).  Exits non-zero on any failure.  Run locally::
+
+    PYTHONPATH=src python tools/online_smoke.py --out online-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_metrics import (  # noqa: E402
+    lint_metrics,
+    lint_online_families,
+)
+
+REQUIRED_SERIES = (
+    "repro_online_captured_total",
+    "repro_online_capture_depth",
+    "repro_online_capture_sample_rate",
+    "repro_online_refits_total",
+    "repro_online_promotions_total",
+    "repro_online_canary_fraction",
+    "repro_online_refit_agreement_ratio",
+)
+
+CANARY_KINDS = ("canary_change", "alias_move", "rollback", "publish")
+
+
+class ThresholdTeacher:
+    """Picklable oracle: action = 1 iff feature 0 exceeds a threshold."""
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+
+    def act_greedy_batch(self, states: np.ndarray) -> np.ndarray:
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return (states[:, 0] > self.threshold).astype(int)
+
+
+def _tree_artifact(name: str, threshold: float):
+    from repro.core.tree import DecisionTreeClassifier
+    from repro.serve import PolicyArtifact
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (400, 4))
+    y = (x[:, 0] > threshold).astype(int)
+    tree = DecisionTreeClassifier(max_leaf_nodes=16).fit(x, y)
+    return PolicyArtifact.from_tree(tree, name=name)
+
+
+def _drive(service, rng, n):
+    futures = [service.submit("abr", rng.uniform(0, 1, 4))
+               for _ in range(n)]
+    return [f.result(timeout=30) for f in futures]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="online-artifacts",
+                        help="artifact directory (default: online-artifacts)")
+    parser.add_argument("--shards", type=int, default=2)
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    from repro.serve import PolicyArtifact
+    from repro.serve.cluster.service import ShardedPolicyService
+
+    failures = []
+    rng = np.random.default_rng(1)
+    with ShardedPolicyService(
+        n_shards=args.shards, max_batch=8, max_delay_s=0.002,
+        exporter_port=0,
+    ) as service:
+        service.publish("policy", _tree_artifact("policy", 0.5))
+        service.alias("abr", "policy")
+        service.publish("teacher", PolicyArtifact.from_teacher(
+            ThresholdTeacher(0.5), n_features=4, name="teacher"
+        ))
+        monitor = service.start_health(
+            slo_p95_ms=None, max_error_ratio=None,
+            min_shadow_requests=60, min_shadow_agreement=0.95,
+            for_s=0.0, interval_s=0.05,
+        )
+        controller = service.start_online(
+            "abr", ThresholdTeacher(0.5), sample_rate=1.0,
+            min_samples=64, leaf_nodes=16, stages=(0.01, 0.5),
+            hold_s=0.3, monitor=monitor, detection_shadow="teacher",
+            min_refit_agreement=0.8, interval_s=0.05,
+        )
+        service.set_split("abr", shadow="teacher")
+
+        # Phase 1: aligned teacher — traffic flows, nothing fires.
+        if not all(r.ok for r in _drive(service, rng, 150)):
+            failures.append("serving error before drift")
+        time.sleep(0.3)
+        if monitor.active_alerts():
+            failures.append(
+                f"alert fired without drift: {monitor.active_alerts()}"
+            )
+
+        # Phase 2: force drift via teacher swap — the oracle moved.
+        service.publish("teacher", PolicyArtifact.from_teacher(
+            ThresholdTeacher(0.3), n_features=4, name="teacher"
+        ))
+        controller.redistiller.teacher = ThresholdTeacher(0.3)
+        deadline = time.monotonic() + 30
+        fired = False
+        while time.monotonic() < deadline:
+            _drive(service, rng, 50)
+            if any("shadow_agreement_floor" in key
+                   for key in monitor.active_alerts()):
+                fired = True
+                break
+        if not fired:
+            failures.append("shadow_agreement_floor never fired on drift")
+
+        # Phase 3: watch the full ramp promote to the alias.
+        deadline = time.monotonic() + 60
+        promoted = False
+        while time.monotonic() < deadline:
+            _drive(service, rng, 25)
+            alias = service.registry.aliases().get("abr")
+            if alias and alias[0] == "abr-refit":
+                promoted = True
+                break
+        if not promoted:
+            failures.append(
+                f"ramp never promoted (controller status: "
+                f"{controller.status()})"
+            )
+        # The alias moves mid-tick on the background thread; give the
+        # tick a moment to finish writing its history record.
+        deadline = time.monotonic() + 5
+        while (time.monotonic() < deadline
+               and controller.status()["state"] != "idle"):
+            time.sleep(0.05)
+        history = [h.get("action") for h in controller.history]
+        for needed in ("refit", "ramp", "promote"):
+            if needed not in history:
+                failures.append(
+                    f"controller history missing {needed!r}: {history}"
+                )
+        if "rollback" in history:
+            failures.append(f"unexpected rollback in history: {history}")
+
+        # Phase 4: the reinstalled detection mirror agrees again.
+        split = service.splits().get("abr")
+        if split is None or split.shadow != "teacher":
+            failures.append("detection shadow not reinstalled after promote")
+        _drive(service, rng, 150)
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline and monitor.active_alerts():
+            time.sleep(0.1)
+        if monitor.active_alerts():
+            failures.append(
+                "floor did not resolve after promote: "
+                f"{monitor.active_alerts()}"
+            )
+        report = service.shadow_report().get("abr", {})
+        if report.get("agreement_rate", 0.0) < 0.95:
+            failures.append(
+                f"post-promote shadow agreement low: {report}"
+            )
+
+        # -- artifacts -------------------------------------------------
+        ring = service.capture.entries_since(0)
+        with (out / "capture_ring.jsonl").open("w") as fh:
+            for entry in ring:
+                row = dict(entry)
+                row["state"] = [float(v) for v in row["state"]]
+                fh.write(json.dumps(row) + "\n")
+        if not ring:
+            failures.append("capture ring empty at shutdown")
+
+        events = service.events()
+        canary_events = [e for e in events if e["kind"] in CANARY_KINDS]
+        with (out / "canary_journal.jsonl").open("w") as fh:
+            for event in canary_events:
+                fh.write(json.dumps(event) + "\n")
+        kinds = [e["kind"] for e in canary_events]
+        for needed in ("canary_change", "alias_move"):
+            if needed not in kinds:
+                failures.append(f"canary journal missing {needed}")
+
+        (out / "controller_history.json").write_text(
+            json.dumps(controller.history, indent=1, default=str)
+        )
+
+        scrape = urllib.request.urlopen(
+            service.exporter.url + "/metrics", timeout=10
+        ).read().decode()
+        (out / "metrics.prom").write_text(scrape)
+        for error in lint_metrics(scrape):
+            failures.append(f"/metrics lint: {error}")
+        for error in lint_online_families(scrape):
+            failures.append(f"/metrics online-family lint: {error}")
+        for series in REQUIRED_SERIES:
+            if series not in scrape:
+                failures.append(f"/metrics missing series {series}")
+
+    for failure in failures:
+        print(f"online_smoke: FAIL {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"online_smoke: OK — promoted {service.registry.aliases()['abr']}"
+          f" after {history.count('refit')} refit(s), "
+          f"{len(ring)} ring entries, {len(canary_events)} canary journal "
+          f"events, artifacts in {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
